@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks run on geometrically scaled-down versions of the paper's
+workloads (see DESIGN.md, "Scaling note"): each file regenerates the series
+of one figure or table of Section 5 at laptop scale, and the associated
+paper-scale modeled series can be printed with ``repro-bench <name>``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import random_matrix
+from repro.config import configured
+
+
+#: Scaled stand-ins for the paper's square workloads (Fig. 3/4 use up to
+#: 25K, Fig. 5/Table 1 up to 60K; the divisor-100 scaling of DESIGN.md
+#: brings those to a few hundred).
+BENCH_SQUARE = 256
+BENCH_LARGE_SQUARE = 384
+#: Scaled stand-in for the 60K x 5K tall workload.
+BENCH_TALL = (600, 64)
+
+
+@pytest.fixture(scope="session")
+def square_matrix() -> np.ndarray:
+    return random_matrix(BENCH_SQUARE, BENCH_SQUARE, seed=1)
+
+
+@pytest.fixture(scope="session")
+def large_square_matrix() -> np.ndarray:
+    return random_matrix(BENCH_LARGE_SQUARE, BENCH_LARGE_SQUARE, seed=2)
+
+
+@pytest.fixture(scope="session")
+def tall_matrix_fixture() -> np.ndarray:
+    return random_matrix(*BENCH_TALL, seed=3)
+
+
+@pytest.fixture(scope="session")
+def square_matrix_f32() -> np.ndarray:
+    return random_matrix(BENCH_SQUARE, BENCH_SQUARE, seed=4, dtype=np.float32)
+
+
+@pytest.fixture(scope="session")
+def square_pair() -> tuple[np.ndarray, np.ndarray]:
+    return (random_matrix(BENCH_SQUARE, BENCH_SQUARE, seed=5),
+            random_matrix(BENCH_SQUARE, BENCH_SQUARE, seed=6))
+
+
+@pytest.fixture(autouse=True)
+def recursive_base_case():
+    """Use a base case small enough that the recursive algorithms actually
+    recurse at benchmark sizes (mirrors an L1-sized base case relative to
+    the scaled-down matrices)."""
+    with configured(base_case_elements=4096):
+        yield

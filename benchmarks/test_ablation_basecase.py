@@ -1,0 +1,30 @@
+"""Ablation — cache-oblivious base-case size (Section 3.4).
+
+The only tunable of the cache-oblivious algorithms is where the recursion
+stops.  This sweep benchmarks AtA with base cases from "tiny" (recursion
+dominates, many small BLAS calls) to "huge" (a single syrk call), showing
+the plateau the ideal-cache analysis predicts once the base case fits in
+cache — the reason the algorithm is "virtually tuning free".
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.model import CacheModel
+from repro.core import ata
+
+
+@pytest.mark.parametrize("base_elements", [256, 1024, 4096, 16384, 10 ** 9])
+def test_base_case_sweep(benchmark, square_matrix, base_elements):
+    a = square_matrix
+    cache = CacheModel(capacity_words=base_elements)
+    result = benchmark(lambda: ata(a, cache=cache))
+    assert np.allclose(np.tril(result), np.tril(a.T @ a))
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+def test_precision_sweep(benchmark, square_matrix, dtype):
+    """Single vs double precision (the paper evaluates both, §5.1)."""
+    a = square_matrix.astype(dtype)
+    result = benchmark(lambda: ata(a))
+    assert np.allclose(np.tril(result), np.tril(a.T @ a), atol=1e-2)

@@ -1,0 +1,53 @@
+"""Ablation — scheduler construction cost and level formulas (Section 4.1).
+
+The paper argues the task-assignment phase costs only O(P) (a BFS over a
+tree with P leaves) and is therefore negligible next to the matrix work.
+These benchmarks measure the tree construction for both parallel modes and
+the evaluation of the Eq. 5 / Eq. 6 level formulas, and regenerate the
+communication ablation comparing measured AtA-D traffic to Prop. 4.2.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import ablation_communication, ablation_flops, ablation_levels
+from repro.scheduler import build_task_tree, parallel_levels_distributed, parallel_levels_shared
+
+
+@pytest.mark.parametrize("mode", ["shared", "distributed"])
+@pytest.mark.parametrize("processes", [16, 64])
+def test_task_tree_construction(benchmark, mode, processes):
+    """O(P) scheduler phase: building the task tree for the scaled problem."""
+    tree = benchmark(lambda: build_task_tree(4096, 4096, processes, mode))
+    assert len(tree.owners()) == processes
+
+
+def test_level_formula_evaluation(benchmark):
+    def run():
+        return [parallel_levels_shared(p) + parallel_levels_distributed(p)
+                for p in range(1, 129)]
+
+    values = benchmark(run)
+    assert len(values) == 128
+
+
+def test_ablation_flops_table(benchmark):
+    """Regenerate the Eq. 3 operation-count ratio table (the 2/3 claim)."""
+    (table,) = benchmark.pedantic(lambda: ablation_flops(sizes=(128, 512, 2048)),
+                                  rounds=1, iterations=1)
+    assert all(0.55 < r < 0.8 for r in table.column("ratio"))
+
+
+def test_ablation_levels_table(benchmark):
+    (table,) = benchmark.pedantic(lambda: ablation_levels(max_processes=64),
+                                  rounds=1, iterations=1)
+    assert len(table.rows) == 64
+
+
+def test_ablation_communication_table(benchmark):
+    """Measured AtA-D root traffic vs the Prop. 4.2 analytic bounds."""
+    (table,) = benchmark.pedantic(
+        lambda: ablation_communication(sizes=(96,), processes=(4, 8)),
+        rounds=1, iterations=1)
+    for record in table.as_records():
+        assert record["root_messages_measured"] <= 3 * record["root_messages_bound"]

@@ -1,0 +1,60 @@
+"""Figure 6 — AtA-D vs ScaLAPACK pdsyrk vs CAPS vs COSMA.
+
+Fig. 6 compares the distributed algorithms on 10K², 20K² and 60K×5K
+matrices for P ∈ {8,...,64} processes (one core each).  The scaled
+benchmarks run all four code paths on the simulated MPI layer; CAPS is
+exercised on the square workload only, exactly as in the paper.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import caps_multiply, cosma_multiply, pdsyrk
+from repro.bench.figures import fig6
+from repro.distributed import ata_distributed
+
+
+@pytest.mark.parametrize("processes", [4, 8, 16])
+def test_fig6_ata_d(benchmark, square_matrix, processes):
+    a = square_matrix
+    result = benchmark(lambda: ata_distributed(a, processes=processes))
+    assert np.allclose(np.tril(result), np.tril(a.T @ a))
+
+
+@pytest.mark.parametrize("processes", [4, 16])
+def test_fig6_pdsyrk(benchmark, square_matrix, processes):
+    a = square_matrix
+    result = benchmark(lambda: pdsyrk(a, processes=processes))
+    assert np.allclose(np.tril(result), np.tril(a.T @ a))
+
+
+def test_fig6_caps_square_only(benchmark, square_pair):
+    a, b = square_pair
+    result = benchmark(lambda: caps_multiply(a, b, processes=7))
+    assert np.allclose(result, a @ b)
+
+
+def test_fig6_cosma(benchmark, square_matrix):
+    a = square_matrix
+    b = a[:, : a.shape[1] // 2]
+    result = benchmark(lambda: cosma_multiply(a, b, processes=8))
+    assert np.allclose(result, a.T @ b)
+
+
+def test_fig6_tall_matrix_ata_d(benchmark, tall_matrix_fixture):
+    """The rectangular workload of Fig. 6(g)-(i); CAPS is skipped for it in
+    the paper because it only handles square operands."""
+    a = tall_matrix_fixture
+    result = benchmark(lambda: ata_distributed(a, processes=8))
+    assert np.allclose(np.tril(result), np.tril(a.T @ a))
+
+
+def test_fig6_regenerate_series(benchmark):
+    tables = benchmark.pedantic(
+        lambda: fig6(measured_shapes=[(128, 128)], measured_processes=[4],
+                     paper_shapes=[(10_000, 10_000)], paper_processes=[8, 32, 64]),
+        rounds=1, iterations=1)
+    paper = tables[0]
+    records = paper.as_records()
+    at_8 = next(r for r in records if r["processes"] == 8)
+    assert at_8["ata_d_seconds"] < at_8["pdsyrk_seconds"]

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""AtA-D scaling study on the simulated MPI layer (Section 4.3 / Fig. 6).
+
+Runs the distributed algorithm for an increasing number of ranks, reports
+the task-tree shape, the measured communication traffic, and how it
+compares with the analytic bounds of Proposition 4.2, then prints the
+corresponding paper-scale modeled times alongside the ScaLAPACK-style
+pdsyrk baseline.
+
+Run with::
+
+    python examples/distributed_scaling.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.baselines import pdsyrk
+from repro.distributed import ata_distributed, costs
+from repro.perfmodel import model_distributed_ata, model_distributed_pdsyrk
+from repro.scheduler import parallel_levels_distributed
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    n = 768
+    a = rng.standard_normal((n, n))
+    reference = np.tril(a.T @ a)
+
+    print(f"Input: {n} x {n} double precision "
+          f"({a.nbytes / 1e6:.0f} MB), simulated MPI ranks\n")
+    header = (f"{'P':>3s} {'levels':>6s} {'wall (s)':>9s} {'msgs':>6s} "
+              f"{'volume MB':>10s} {'root msgs':>9s} {'P4.2 bound':>10s} {'ok':>3s}")
+    print(header)
+    print("-" * len(header))
+
+    for p in (1, 2, 4, 8, 16):
+        start = time.perf_counter()
+        c, stats = ata_distributed(a, processes=p, return_stats=True)
+        elapsed = time.perf_counter() - start
+        assert np.allclose(np.tril(c), reference)
+        bound = costs.latency_messages(n, p)
+        print(f"{p:>3d} {parallel_levels_distributed(p):>6d} {elapsed:>9.3f} "
+              f"{stats.total_messages:>6d} {stats.total_bytes / 1e6:>10.2f} "
+              f"{stats.root_messages:>9d} {bound:>10d} "
+              f"{'yes' if stats.root_messages <= 3 * bound else 'NO':>3s}")
+
+    # Baseline comparison at one configuration.
+    print("\nBaseline (simulated ScaLAPACK pdsyrk) at P = 8:")
+    start = time.perf_counter()
+    c_pd, pd_stats = pdsyrk(a, processes=8, return_stats=True)
+    elapsed = time.perf_counter() - start
+    assert np.allclose(np.tril(c_pd), reference)
+    print(f"  wall = {elapsed:.3f} s, messages = {pd_stats.total_messages}, "
+          f"volume = {pd_stats.total_bytes / 1e6:.2f} MB, grid = {pd_stats.grid}")
+
+    # Paper-scale modeled times (the series behind Fig. 6a).
+    print("\nModeled paper-scale times for a 10,000 x 10,000 input "
+          "(TeraStat node, 1 core per process):")
+    print(f"{'P':>3s} {'AtA-D (s)':>10s} {'pdsyrk (s)':>11s}")
+    for p in (8, 16, 32, 64):
+        t_ata = model_distributed_ata(10_000, p).total_seconds
+        t_pd = model_distributed_pdsyrk(10_000, p).total_seconds
+        print(f"{p:>3d} {t_ata:>10.2f} {t_pd:>11.2f}")
+
+
+if __name__ == "__main__":
+    main()

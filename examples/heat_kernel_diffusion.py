@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Discrete heat-kernel computation via A A^T (intro use case).
+
+Reproduces the discrete-differential-geometry scenario the paper's
+introduction cites: the heat kernel ``K(t) = Φ exp(-Λt) Φ^T`` of a graph
+Laplacian, evaluated as the product of ``B = Φ E(t)^{1/2}`` by its own
+transpose using the AtA family.  Diffuses a point source on a 2-D grid and
+prints the heat-kernel signature of a few vertices.
+
+Run with::
+
+    python examples/heat_kernel_diffusion.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import (
+    diffuse,
+    grid_laplacian,
+    heat_kernel,
+    heat_kernel_signature,
+    spectral_decomposition,
+)
+
+
+def render_grid(values: np.ndarray, rows: int, cols: int) -> str:
+    """Coarse ASCII rendering of a scalar field on the grid."""
+    ramp = " .:-=+*#%@"
+    grid = values.reshape(rows, cols)
+    lo, hi = grid.min(), grid.max()
+    span = (hi - lo) or 1.0
+    lines = []
+    for r in range(rows):
+        idx = ((grid[r] - lo) / span * (len(ramp) - 1)).astype(int)
+        lines.append("".join(ramp[i] for i in idx))
+    return "\n".join(lines)
+
+
+def main() -> None:
+    rows, cols = 16, 32
+    n = rows * cols
+    print(f"Grid graph: {rows} x {cols} = {n} vertices")
+
+    laplacian = grid_laplacian(rows, cols)
+    spectrum = spectral_decomposition(laplacian)
+    print(f"Laplacian spectrum: λ_min = {spectrum.eigenvalues[0]:.2e}, "
+          f"λ_max = {spectrum.eigenvalues[-1]:.3f}\n")
+
+    # Point source in one corner, diffused for increasing times.
+    u0 = np.zeros(n)
+    u0[0] = 1.0
+    for t in (0.5, 2.0, 10.0):
+        u = diffuse(spectrum, u0, t)
+        print(f"t = {t:5.1f}   total heat = {u.sum():.6f}   "
+              f"max = {u.max():.4f}   spread (std of mass) = "
+              f"{np.sqrt(np.sum(u * np.arange(n) ** 2) - np.sum(u * np.arange(n)) ** 2):.1f}")
+        print(render_grid(u, rows, cols))
+        print()
+
+    # Heat-kernel signature at three scales (a classic shape descriptor):
+    # corner, edge and interior vertices have distinguishable signatures.
+    times = [0.1, 1.0, 10.0]
+    signature = heat_kernel_signature(spectrum, times, truncate=128)
+    corner, edge, interior = 0, cols // 2, (rows // 2) * cols + cols // 2
+    print("Heat-kernel signature HKS(v, t) = K_t(v, v):")
+    print(f"{'vertex':>10s} " + " ".join(f"t={t:<8g}" for t in times))
+    for name, v in (("corner", corner), ("edge", edge), ("interior", interior)):
+        values = " ".join(f"{signature[v, i]:<10.5f}" for i in range(len(times)))
+        print(f"{name:>10s} {values}")
+
+    # Verify against dense expm at a single time.
+    import scipy.linalg
+    k = heat_kernel(spectrum, 1.0)
+    reference = scipy.linalg.expm(-1.0 * laplacian)
+    print(f"\nmax |K(1) - expm(-L)| = {np.max(np.abs(k - reference)):.2e}")
+
+
+if __name__ == "__main__":
+    main()

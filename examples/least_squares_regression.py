@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Polynomial regression through the normal equations (intro use case).
+
+Fits a noisy degree-5 polynomial with the normal-equation solver whose Gram
+matrix ``A^T A`` is built by each of the three AtA backends (sequential,
+shared-memory, distributed), and compares against ``numpy.linalg.lstsq``.
+
+Run with::
+
+    python examples/least_squares_regression.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import gram_matrix, solve_normal_equations
+
+
+def build_design_matrix(x: np.ndarray, degree: int) -> np.ndarray:
+    """Vandermonde design matrix with columns 1, x, x², ..., x^degree."""
+    return np.vander(x, degree + 1, increasing=True)
+
+
+def main() -> None:
+    rng = np.random.default_rng(2024)
+
+    # Ground-truth polynomial and noisy samples
+    coefficients = np.array([1.5, -2.0, 0.7, 0.3, -0.05, 0.01])
+    degree = len(coefficients) - 1
+    x = np.linspace(-3.0, 3.0, 4000)
+    y_clean = build_design_matrix(x, degree) @ coefficients
+    y = y_clean + 0.25 * rng.standard_normal(x.shape)
+
+    a = build_design_matrix(x, degree)
+    print(f"Design matrix: {a.shape[0]} samples x {a.shape[1]} coefficients\n")
+
+    reference = np.linalg.lstsq(a, y, rcond=None)[0]
+
+    for backend, workers in (("sequential", 1), ("shared", 8), ("distributed", 6)):
+        result = solve_normal_equations(a, y, backend=backend, workers=workers)
+        err_vs_truth = np.linalg.norm(result.x - coefficients)
+        err_vs_lstsq = np.linalg.norm(result.x - reference)
+        print(f"backend={backend:12s} workers={workers:2d}  "
+              f"residual={result.residual_norm:9.3f}  "
+              f"|x - truth|={err_vs_truth:.3e}  |x - lstsq|={err_vs_lstsq:.3e}  "
+              f"cond(A^T A)={result.gram_condition:.2e}")
+
+    # The Gram matrix itself is often the useful output (e.g. for repeated
+    # solves with different right-hand sides): build it once, reuse it.
+    gram = gram_matrix(a, backend="shared", workers=8)
+    print(f"\nGram matrix: shape {gram.shape}, symmetric error "
+          f"{np.max(np.abs(gram - gram.T)):.1e}, "
+          f"diagonal range [{gram.diagonal().min():.3g}, {gram.diagonal().max():.3g}]")
+
+    # Ridge (Tikhonov) variant for a deliberately rank-deficient design.
+    a_deficient = np.hstack([a, a[:, :2]])          # duplicated columns
+    ridge = solve_normal_equations(a_deficient, y, regularization=1e-6)
+    print(f"rank-deficient design + ridge: residual={ridge.residual_norm:.3f} "
+          f"(finite coefficients: {np.isfinite(ridge.x).all()})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Regenerate every figure and table of the paper's evaluation (Section 5).
+
+Thin wrapper over the benchmark harness: runs each registered experiment
+(Figures 3-6, Table 1 and the ablations) on reduced grids so the whole
+script completes in a couple of minutes, and prints the resulting tables.
+For the full grids use the CLI: ``repro-bench all`` or
+``python -m repro.bench.cli all --csv-dir results/``.
+
+Run with::
+
+    python examples/reproduce_figures.py
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import registry
+
+#: Reduced parameter grids per experiment (keyword arguments forwarded to
+#: the experiment functions in repro.bench.figures).
+QUICK_SETTINGS = {
+    "fig3": dict(measured_sizes=[128, 256], paper_sizes=[2_500, 10_000, 25_000]),
+    "fig4": dict(measured_sizes=[128, 256], paper_sizes=[2_500, 10_000, 25_000]),
+    "fig5": dict(measured_shapes=[(256, 192)], measured_cores=[2, 8, 16],
+                 paper_shapes=[(30_000, 30_000), (60_000, 5_000)],
+                 paper_cores=[2, 4, 8, 16]),
+    "fig6": dict(measured_shapes=[(192, 192)], measured_processes=[4, 8],
+                 paper_shapes=[(10_000, 10_000), (60_000, 5_000)],
+                 paper_processes=[8, 16, 32, 64]),
+    "table1": dict(measured_sizes=[192, 256], paper_sizes=[30_000, 40_000, 50_000, 60_000]),
+    "ablation_flops": dict(sizes=(128, 512, 2048, 8192)),
+    "ablation_workspace": dict(n=256, repeats=2),
+    "ablation_levels": dict(max_processes=32),
+    "ablation_communication": dict(sizes=(128,), processes=(4, 8, 16)),
+}
+
+
+def main() -> None:
+    experiments = registry()
+    for name in sorted(experiments):
+        experiment = experiments[name]
+        kwargs = QUICK_SETTINGS.get(name, {})
+        print("=" * 100)
+        print(f"{name}: {experiment.description}   [{experiment.paper_reference}]")
+        print("=" * 100)
+        for table in experiment.run(**kwargs):
+            print(table.to_text())
+            print()
+
+
+if __name__ == "__main__":
+    main()

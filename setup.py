@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file
+exists so that the package can be installed in editable mode on machines
+whose setuptools/wheel toolchain predates PEP 660 editable wheels
+(``pip install -e . --no-build-isolation --no-use-pep517``), e.g. offline
+containers without the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

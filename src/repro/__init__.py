@@ -1,0 +1,81 @@
+"""repro — reproduction of *Efficiently Parallelizable Strassen-Based
+Multiplication of a Matrix by its Transpose* (Arrigoni, Maggioli, Massini,
+Rodolà — ICPP 2021).
+
+The package implements the paper's contribution and everything it depends
+on:
+
+* :func:`repro.ata` — the sequential cache-oblivious AtA algorithm
+  (Algorithm 1), plus :func:`repro.fast_strassen` (the rectangular Strassen
+  ``A^T B`` it uses) and :func:`repro.recursive_gemm` (Algorithm 2);
+* :func:`repro.ata_shared` — AtA-S, the shared-memory parallel algorithm
+  driven by the collision-free task tree of Section 4.2;
+* :func:`repro.ata_distributed` — AtA-D, the distributed
+  distribute–compute–retrieve algorithm of Section 4.3, running on the
+  bundled simulated MPI layer;
+* the baselines of Section 5 (MKL-like ``syrk``/``gemm``, ScaLAPACK-style
+  ``pdsyrk``, CAPS, COSMA), the performance model that prices counted work
+  on the paper's cluster, the applications the introduction motivates, and
+  the benchmark harness that regenerates every figure and table.
+
+Quickstart
+----------
+>>> import numpy as np, repro
+>>> a = np.random.default_rng(0).standard_normal((500, 300))
+>>> c = repro.ata(a)                      # lower triangle of A^T A
+>>> c_full = repro.ata_full(a)            # full symmetric product
+>>> c_par = repro.ata_shared(a, threads=8)
+>>> c_dist = repro.ata_distributed(a, processes=8)
+"""
+
+from .config import Config, configured, get_config, set_config
+from .errors import (
+    CommunicatorError,
+    ConfigurationError,
+    DTypeError,
+    ReproError,
+    SchedulerError,
+    ShapeError,
+    WorkspaceError,
+)
+from .core import (
+    aat,
+    ata,
+    ata_full,
+    fast_strassen,
+    recursive_gemm,
+    strassen_atb,
+    StrassenWorkspace,
+)
+from .parallel import ata_shared
+from .distributed import ata_distributed
+from .blas import symmetrize_from_lower
+from .scheduler import build_task_tree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Config",
+    "configured",
+    "get_config",
+    "set_config",
+    "CommunicatorError",
+    "ConfigurationError",
+    "DTypeError",
+    "ReproError",
+    "SchedulerError",
+    "ShapeError",
+    "WorkspaceError",
+    "aat",
+    "ata",
+    "ata_full",
+    "fast_strassen",
+    "recursive_gemm",
+    "strassen_atb",
+    "StrassenWorkspace",
+    "ata_shared",
+    "ata_distributed",
+    "symmetrize_from_lower",
+    "build_task_tree",
+    "__version__",
+]

@@ -1,0 +1,47 @@
+"""Applications of the A^T A product motivated in the paper's introduction."""
+
+from .covariance import PCAResult, correlation_matrix, covariance_matrix, pca
+from .gram_schmidt import (
+    modified_gram_schmidt,
+    orthogonality_defect,
+    project_onto_columns,
+    reorthogonalize,
+)
+from .heat_kernel import (
+    LaplacianSpectrum,
+    diffuse,
+    grid_laplacian,
+    heat_kernel,
+    heat_kernel_signature,
+    laplacian_from_edges,
+    path_laplacian,
+    spectral_decomposition,
+)
+from .least_squares import LeastSquaresResult, gram_matrix, solve_normal_equations
+from .svd import GramSVD, low_rank_approximation, singular_values, svd_via_ata
+
+__all__ = [
+    "PCAResult",
+    "correlation_matrix",
+    "covariance_matrix",
+    "pca",
+    "modified_gram_schmidt",
+    "orthogonality_defect",
+    "project_onto_columns",
+    "reorthogonalize",
+    "LaplacianSpectrum",
+    "diffuse",
+    "grid_laplacian",
+    "heat_kernel",
+    "heat_kernel_signature",
+    "laplacian_from_edges",
+    "path_laplacian",
+    "spectral_decomposition",
+    "LeastSquaresResult",
+    "gram_matrix",
+    "solve_normal_equations",
+    "GramSVD",
+    "low_rank_approximation",
+    "singular_values",
+    "svd_via_ata",
+]

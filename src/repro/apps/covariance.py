@@ -1,0 +1,157 @@
+"""Covariance / correlation matrices and PCA via the A^T A product.
+
+The most common large-scale consumer of ``A^T A`` in data analysis is the
+sample covariance matrix: for a data matrix ``X`` with ``m`` observations in
+rows and ``n`` features in columns,
+
+    cov(X) = (X - mean)^T (X - mean) / (m - 1)
+
+is exactly a matrix-times-its-transpose product of the centred data — the
+operation the paper accelerates.  This module builds covariance and
+correlation matrices with the AtA family (sequential, shared-memory or
+distributed backend) and implements principal component analysis on top of
+them, mirroring how practitioners actually use the kernel.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Literal, Optional
+
+import numpy as np
+import scipy.linalg
+
+from ..blas.kernels import symmetrize_from_lower, validate_matrix
+from ..core.ata import ata
+from ..distributed.ata_distributed import ata_distributed
+from ..errors import ShapeError
+from ..parallel.ata_shared import ata_shared
+
+__all__ = ["covariance_matrix", "correlation_matrix", "PCAResult", "pca"]
+
+Backend = Literal["sequential", "shared", "distributed"]
+
+
+def _gram_lower(x: np.ndarray, backend: Backend, workers: int) -> np.ndarray:
+    if backend == "sequential":
+        return ata(x)
+    if backend == "shared":
+        return ata_shared(x, threads=workers)
+    if backend == "distributed":
+        return ata_distributed(x, processes=workers)
+    raise ShapeError(f"unknown backend {backend!r}")
+
+
+def covariance_matrix(x: np.ndarray, *, ddof: int = 1,
+                      backend: Backend = "sequential", workers: int = 4,
+                      assume_centered: bool = False) -> np.ndarray:
+    """Sample covariance matrix of the rows of ``x`` (observations x features).
+
+    Parameters
+    ----------
+    x:
+        Data matrix of shape ``(m, n)``: ``m`` observations of ``n`` features.
+    ddof:
+        Delta degrees of freedom; the divisor is ``m - ddof`` (1 gives the
+        unbiased estimator, 0 the maximum-likelihood one).
+    backend, workers:
+        Which AtA implementation computes the Gram matrix of the centred
+        data.
+    assume_centered:
+        Skip mean removal when the caller guarantees zero-mean columns.
+    """
+    validate_matrix(x, "X")
+    m, _ = x.shape
+    if m - ddof <= 0:
+        raise ShapeError(f"need more than {ddof} observations, got {m}")
+    work = np.array(x, dtype=np.float64, copy=True)
+    if not assume_centered:
+        work -= work.mean(axis=0, keepdims=True)
+    lower = _gram_lower(np.ascontiguousarray(work), backend, workers)
+    cov = symmetrize_from_lower(np.array(lower, copy=True))
+    cov /= (m - ddof)
+    return cov.astype(x.dtype, copy=False)
+
+
+def correlation_matrix(x: np.ndarray, *, backend: Backend = "sequential",
+                       workers: int = 4, eps: float = 1e-12) -> np.ndarray:
+    """Pearson correlation matrix of the columns of ``x``.
+
+    Columns with (numerically) zero variance get zero correlation with every
+    other column and unit self-correlation.
+    """
+    cov = covariance_matrix(x, backend=backend, workers=workers).astype(np.float64)
+    std = np.sqrt(np.clip(np.diag(cov), 0.0, None))
+    safe = np.where(std > eps, std, 1.0)
+    corr = cov / np.outer(safe, safe)
+    degenerate = std <= eps
+    if np.any(degenerate):
+        corr[degenerate, :] = 0.0
+        corr[:, degenerate] = 0.0
+    np.fill_diagonal(corr, 1.0)
+    corr = np.clip(corr, -1.0, 1.0)
+    return corr.astype(x.dtype, copy=False)
+
+
+@dataclasses.dataclass
+class PCAResult:
+    """Principal component analysis computed through the covariance matrix."""
+
+    components: np.ndarray          #: (n_components, n_features), rows orthonormal
+    explained_variance: np.ndarray  #: eigenvalues of the covariance matrix
+    explained_variance_ratio: np.ndarray
+    mean: np.ndarray
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Project data into the principal-component space."""
+        x = np.asarray(x, dtype=np.float64)
+        return (x - self.mean) @ self.components.T
+
+    def inverse_transform(self, scores: np.ndarray) -> np.ndarray:
+        """Map component scores back to the original feature space."""
+        scores = np.asarray(scores, dtype=np.float64)
+        return scores @ self.components + self.mean
+
+    @property
+    def n_components(self) -> int:
+        return self.components.shape[0]
+
+
+def pca(x: np.ndarray, n_components: Optional[int] = None, *,
+        backend: Backend = "sequential", workers: int = 4) -> PCAResult:
+    """Principal component analysis via the AtA-built covariance matrix.
+
+    Parameters
+    ----------
+    x:
+        Data matrix ``(m observations, n features)``.
+    n_components:
+        Number of leading components to keep (all by default).
+
+    Notes
+    -----
+    The covariance route squares the condition number compared to an SVD of
+    the centred data; it is the standard choice when ``n`` is modest and the
+    covariance matrix is needed anyway — exactly the regime where a fast
+    ``A^T A`` kernel pays off.
+    """
+    validate_matrix(x, "X")
+    m, n = x.shape
+    keep = n if n_components is None else int(n_components)
+    if not 1 <= keep <= n:
+        raise ShapeError(f"n_components must be in [1, {n}], got {n_components}")
+
+    mean = np.asarray(x, dtype=np.float64).mean(axis=0)
+    cov = covariance_matrix(x, backend=backend, workers=workers).astype(np.float64)
+    eigvals, eigvecs = scipy.linalg.eigh(cov)
+    order = np.argsort(eigvals)[::-1]
+    eigvals = np.clip(eigvals[order], 0.0, None)
+    eigvecs = eigvecs[:, order]
+
+    total = float(eigvals.sum()) or 1.0
+    return PCAResult(
+        components=eigvecs[:, :keep].T,
+        explained_variance=eigvals[:keep],
+        explained_variance_ratio=eigvals[:keep] / total,
+        mean=mean,
+    )

@@ -1,0 +1,35 @@
+"""Baseline algorithms the paper compares against (Section 5)."""
+
+from .caps import CapsStats, caps_multiply
+from .cosma import CosmaStats, cosma_grid, cosma_multiply
+from .mkl_like import (
+    dgemm,
+    dsyrk,
+    mkl_gemm_t,
+    mkl_syrk,
+    mkl_thread_efficiency,
+    sgemm,
+    ssyrk,
+)
+from .naive import naive_aat, naive_ata, naive_gemm_t
+from .scalapack import PdsyrkStats, pdsyrk
+
+__all__ = [
+    "CapsStats",
+    "caps_multiply",
+    "CosmaStats",
+    "cosma_grid",
+    "cosma_multiply",
+    "dgemm",
+    "dsyrk",
+    "mkl_gemm_t",
+    "mkl_syrk",
+    "mkl_thread_efficiency",
+    "sgemm",
+    "ssyrk",
+    "naive_aat",
+    "naive_ata",
+    "naive_gemm_t",
+    "PdsyrkStats",
+    "pdsyrk",
+]

@@ -1,0 +1,201 @@
+"""CAPS — Communication-Avoiding Parallel Strassen (distributed baseline).
+
+The paper compares AtA-D against CAPS (Ballard et al., SPAA'12), a
+distributed Strassen algorithm for *square* general products ``C = A B``
+that interleaves **BFS steps** (the seven Strassen sub-products are handed
+to seven disjoint process groups, trading extra memory for less
+communication) with **DFS steps** (all processes cooperate on one
+sub-product at a time).
+
+This module reproduces the BFS structure on the simulated MPI layer:
+
+* while a process group has at least seven members, the group leader forms
+  the seven Strassen operand pairs and ships one pair to the leader of each
+  of seven sub-groups (a BFS step — this is where CAPS pays communication);
+* a group with fewer than seven members executes its product locally on the
+  leader with the sequential Strassen of :mod:`repro.core.strassen`
+  (the DFS/local phase);
+* results travel back up and the leader combines the seven products into
+  the output quadrants.
+
+As in the original, only square inputs are supported (the paper notes CAPS
+cannot run its rectangular 60K×5K experiment for the same reason — CARMA
+would be needed, which they could not test either).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..blas.kernels import validate_matrix
+from ..cache.model import CacheModel, default_cache_model
+from ..core.partition import split_dim
+from ..core.strassen import fast_strassen
+from ..errors import ShapeError
+from ..distributed.simmpi import CommStats, Communicator, run_spmd
+
+__all__ = ["caps_multiply", "CapsStats"]
+
+
+@dataclasses.dataclass
+class CapsStats:
+    """Traffic statistics of one CAPS run."""
+
+    comm: CommStats
+    processes: int
+    bfs_steps: int
+
+    @property
+    def total_messages(self) -> int:
+        return self.comm.total_messages
+
+    @property
+    def total_bytes(self) -> int:
+        return self.comm.total_bytes
+
+
+def _split_group(group: List[int], parts: int) -> List[List[int]]:
+    """Split a rank group into ``parts`` contiguous, non-empty sub-groups
+    (the first groups get the extra ranks)."""
+    base, extra = divmod(len(group), parts)
+    out, start = [], 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        out.append(group[start:start + size])
+        start += size
+    return [g for g in out if g]
+
+
+def _strassen_pairs(a: np.ndarray, b: np.ndarray
+                    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """The seven (left, right) operand pairs of one Strassen step for the
+    *untransposed* product ``A B`` (square operands, ceil/floor split)."""
+    n = a.shape[0]
+    h, _ = split_dim(n)
+    a11, a12, a21, a22 = a[:h, :h], a[:h, h:], a[h:, :h], a[h:, h:]
+    b11, b12, b21, b22 = b[:h, :h], b[:h, h:], b[h:, :h], b[h:, h:]
+
+    def padded(x: np.ndarray) -> np.ndarray:
+        if x.shape == (h, h):
+            return x
+        out = np.zeros((h, h), dtype=x.dtype)
+        out[:x.shape[0], :x.shape[1]] = x
+        return out
+
+    a11, a12, a21, a22 = map(padded, (a11, a12, a21, a22))
+    b11, b12, b21, b22 = map(padded, (b11, b12, b21, b22))
+    return [
+        (a11 + a22, b11 + b22),   # M1
+        (a21 + a22, b11),         # M2
+        (a11, b12 - b22),         # M3
+        (a22, b21 - b11),         # M4
+        (a11 + a12, b22),         # M5
+        (a21 - a11, b11 + b12),   # M6
+        (a12 - a22, b21 + b22),   # M7
+    ]
+
+
+def _combine(products: List[np.ndarray], n: int, dtype) -> np.ndarray:
+    """Assemble the Strassen output quadrants from the seven products."""
+    h, _ = split_dim(n)
+    m1, m2, m3, m4, m5, m6, m7 = products
+    c = np.zeros((n, n), dtype=dtype)
+    c11 = m1 + m4 - m5 + m7
+    c12 = m3 + m5
+    c21 = m2 + m4
+    c22 = m1 - m2 + m3 + m6
+    c[:h, :h] = c11[:h, :h]
+    c[:h, h:] = c12[:h, :n - h]
+    c[h:, :h] = c21[:n - h, :h]
+    c[h:, h:] = c22[:n - h, :n - h]
+    return c
+
+
+def _local_multiply(a: np.ndarray, b: np.ndarray, cache: CacheModel) -> np.ndarray:
+    """Sequential Strassen product ``A B`` (via the A^T B kernel on A^T)."""
+    at = np.ascontiguousarray(a.T)
+    c = np.zeros((a.shape[0], b.shape[1]), dtype=np.result_type(a, b))
+    fast_strassen(at, b, c, 1.0, cache=cache)
+    return c
+
+
+def _caps_recursive(comm: Communicator, group: List[int],
+                    a: Optional[np.ndarray], b: Optional[np.ndarray],
+                    cache: CacheModel, depth: int) -> Optional[np.ndarray]:
+    """Executed by every rank in ``group``; operands valid on the leader."""
+    lead = group[0]
+    if len(group) < 7 or (a is not None and a.shape[0] <= 2):
+        if comm.rank == lead and a is not None:
+            return _local_multiply(a, b, cache)
+        return None
+
+    subgroups = _split_group(group, 7)
+    my_subgroup = next(g for g in subgroups if comm.rank in g)
+    sub_lead = my_subgroup[0]
+    sub_index = subgroups.index(my_subgroup)
+
+    # BFS step: the leader forms the seven operand pairs and ships them.
+    operand: Optional[Tuple[np.ndarray, np.ndarray]] = None
+    if comm.rank == lead:
+        pairs = _strassen_pairs(a, b)
+        for idx, sub in enumerate(subgroups):
+            if sub[0] == lead:
+                operand = pairs[idx]
+            else:
+                comm.send(pairs[idx], sub[0], tag=10_000 + depth * 100 + idx)
+    if comm.rank == sub_lead and operand is None:
+        operand = comm.recv(lead, tag=10_000 + depth * 100 + sub_index)
+
+    sub_a = operand[0] if (comm.rank == sub_lead and operand is not None) else None
+    sub_b = operand[1] if (comm.rank == sub_lead and operand is not None) else None
+    product = _caps_recursive(comm, my_subgroup, sub_a, sub_b, cache, depth + 1)
+
+    # Collect the seven products on the group leader and combine.
+    if comm.rank == sub_lead and sub_lead != lead:
+        comm.send(product, lead, tag=20_000 + depth * 100 + sub_index)
+    if comm.rank == lead:
+        products: List[Optional[np.ndarray]] = [None] * 7
+        for idx, sub in enumerate(subgroups):
+            if sub[0] == lead:
+                products[idx] = product
+            else:
+                products[idx] = comm.recv(sub[0], tag=20_000 + depth * 100 + idx)
+        return _combine(products, a.shape[0], a.dtype)
+    return None
+
+
+def caps_multiply(a: np.ndarray, b: np.ndarray, processes: int = 7, *,
+                  cache: Optional[CacheModel] = None,
+                  return_stats: bool = False,
+                  timeout: float = 120.0,
+                  ) -> Union[np.ndarray, Tuple[np.ndarray, CapsStats]]:
+    """Square general product ``C = A B`` with the CAPS-style parallel
+    Strassen on ``processes`` simulated ranks."""
+    validate_matrix(a, "A")
+    validate_matrix(b, "B")
+    if a.shape[0] != a.shape[1] or b.shape[0] != b.shape[1] or a.shape != b.shape:
+        raise ShapeError(f"CAPS requires equal square operands, got {a.shape} and {b.shape}")
+    if processes < 1:
+        raise ShapeError(f"processes must be >= 1, got {processes}")
+
+    model = cache if cache is not None else default_cache_model(a.dtype)
+    bfs_steps = 0
+    p = processes
+    while p >= 7:
+        bfs_steps += 1
+        p //= 7
+
+    def program(comm: Communicator) -> Optional[np.ndarray]:
+        group = list(range(processes))
+        local_a = a if comm.rank == 0 else None
+        local_b = b if comm.rank == 0 else None
+        return _caps_recursive(comm, group, local_a, local_b, model, depth=0)
+
+    results, stats = run_spmd(processes, program, timeout=timeout)
+    c = results[0]
+    if return_stats:
+        return c, CapsStats(comm=stats, processes=processes, bfs_steps=bfs_steps)
+    return c

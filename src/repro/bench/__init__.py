@@ -1,0 +1,41 @@
+"""Benchmark harness: workloads, experiment registry, figure reproductions."""
+
+from .harness import Experiment, TimedRun, register, registry, run_experiment, time_callable
+from .reporting import ExperimentTable, format_table
+from .workloads import (
+    DEFAULT_SCALE,
+    FIG3_SIZES,
+    FIG4_SIZES,
+    FIG5_CORES,
+    FIG5_MATRICES,
+    FIG6_MATRICES,
+    FIG6_PROCESSES,
+    MeasuredScale,
+    TABLE1_SIZES,
+    random_matrix,
+    random_spd_factor,
+    tall_matrix,
+)
+
+__all__ = [
+    "Experiment",
+    "TimedRun",
+    "register",
+    "registry",
+    "run_experiment",
+    "time_callable",
+    "ExperimentTable",
+    "format_table",
+    "DEFAULT_SCALE",
+    "FIG3_SIZES",
+    "FIG4_SIZES",
+    "FIG5_CORES",
+    "FIG5_MATRICES",
+    "FIG6_MATRICES",
+    "FIG6_PROCESSES",
+    "MeasuredScale",
+    "TABLE1_SIZES",
+    "random_matrix",
+    "random_spd_factor",
+    "tall_matrix",
+]

@@ -1,0 +1,76 @@
+"""Command-line interface: ``repro-bench`` / ``python -m repro.bench.cli``.
+
+Regenerates the paper's figures and tables as text tables (and optional CSV
+files).  Examples::
+
+    repro-bench --list
+    repro-bench fig3
+    repro-bench fig5 fig6 --csv-dir results/
+    repro-bench all
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .harness import registry
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Reproduce the evaluation figures/tables of the AtA paper (ICPP 2021).",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment names (fig3, fig4, fig5, fig6, table1, "
+                             "ablation_*) or 'all'")
+    parser.add_argument("--list", action="store_true", help="list available experiments")
+    parser.add_argument("--csv-dir", default=None,
+                        help="directory to write one CSV per produced table")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    experiments = registry()
+
+    if args.list or not args.experiments:
+        print("Available experiments:")
+        for name, exp in sorted(experiments.items()):
+            print(f"  {name:26s} {exp.description}  [{exp.paper_reference}]")
+        return 0
+
+    names = list(args.experiments)
+    if names == ["all"]:
+        names = sorted(experiments)
+
+    unknown = [n for n in names if n not in experiments]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(sorted(experiments))}", file=sys.stderr)
+        return 2
+
+    if args.csv_dir:
+        os.makedirs(args.csv_dir, exist_ok=True)
+
+    for name in names:
+        exp = experiments[name]
+        print(f"\n### {name} — {exp.description}  [{exp.paper_reference}]\n")
+        for table in exp.run():
+            print(table.to_text())
+            print()
+            if args.csv_dir:
+                path = os.path.join(args.csv_dir, f"{table.name}.csv")
+                table.save_csv(path)
+                print(f"(written {path})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

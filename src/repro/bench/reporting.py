@@ -1,0 +1,93 @@
+"""Plain-text and CSV reporting of experiment results.
+
+The paper reports its evaluation as figures (time / effective GFLOPs /
+percentage-of-peak versus size or process count) and one table.  The
+harness regenerates the underlying *series*; this module renders them as
+aligned text tables (the console equivalent of each figure) and CSV files
+that can be plotted with any external tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["ExperimentTable", "format_table"]
+
+
+def _format_cell(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: Optional[str] = None) -> str:
+    """Render ``rows`` as an aligned, pipe-separated text table."""
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+@dataclasses.dataclass
+class ExperimentTable:
+    """A named table of experiment rows (one per figure / table panel)."""
+
+    name: str
+    description: str
+    headers: List[str]
+    rows: List[List[Any]] = dataclasses.field(default_factory=list)
+    notes: List[str] = dataclasses.field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} values but table {self.name!r} has "
+                f"{len(self.headers)} columns")
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, header: str) -> List[Any]:
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+    def to_text(self) -> str:
+        body = format_table(self.headers, self.rows, title=f"{self.name}: {self.description}")
+        if self.notes:
+            body += "\n" + "\n".join(f"note: {n}" for n in self.notes)
+        return body
+
+    def to_csv(self) -> str:
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(self.headers)
+        writer.writerows(self.rows)
+        return buf.getvalue()
+
+    def save_csv(self, path: str) -> None:
+        with open(path, "w", newline="") as fh:
+            fh.write(self.to_csv())
+
+    def as_records(self) -> List[Dict[str, Any]]:
+        return [dict(zip(self.headers, row)) for row in self.rows]

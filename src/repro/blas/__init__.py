@@ -1,0 +1,61 @@
+"""BLAS substrate: instrumented kernels, blocked baselines, packed storage.
+
+This sub-package plays the role Intel MKL plays in the paper: it provides
+the dense kernels the recursive algorithms bottom out into (``syrk``,
+``gemm_t``, ``axpy``), the iterative blocked routines used as vendor-BLAS
+comparators, and the packed lower-triangular encoding used to compress
+communication of symmetric blocks.
+"""
+
+from .counters import CounterSet, GLOBAL_COUNTERS, counting, record
+from .kernels import (
+    add_into,
+    axpy,
+    gemm,
+    gemm_flops,
+    gemm_t,
+    scale,
+    symmetrize_from_lower,
+    syrk,
+    syrk_flops,
+    tril_inplace,
+    validate_matrix,
+)
+from .blocked import blocked_gemm_t, blocked_syrk, choose_block_size
+from .packed import (
+    matrix_order_from_packed_length,
+    pack_lower,
+    pack_lower_into,
+    packed_index,
+    packed_length,
+    unpack_lower,
+    unpack_lower_into,
+)
+
+__all__ = [
+    "CounterSet",
+    "GLOBAL_COUNTERS",
+    "counting",
+    "record",
+    "add_into",
+    "axpy",
+    "gemm",
+    "gemm_flops",
+    "gemm_t",
+    "scale",
+    "symmetrize_from_lower",
+    "syrk",
+    "syrk_flops",
+    "tril_inplace",
+    "validate_matrix",
+    "blocked_gemm_t",
+    "blocked_syrk",
+    "choose_block_size",
+    "matrix_order_from_packed_length",
+    "pack_lower",
+    "pack_lower_into",
+    "packed_index",
+    "packed_length",
+    "unpack_lower",
+    "unpack_lower_into",
+]

@@ -1,0 +1,197 @@
+"""Flop / byte / call accounting for the BLAS substrate.
+
+The paper's evaluation compares algorithms by *effective GFLOPs*
+(Eq. 9) and, for the distributed experiments, by communicated words and
+messages (Prop. 4.2).  On the reproduction machine absolute wall-clock
+numbers are not comparable with the paper's cluster, so the library counts
+the work every kernel performs and the performance model
+(:mod:`repro.perfmodel`) converts those counts into modeled time.
+
+A :class:`CounterSet` accumulates, per *category* (e.g. ``"syrk"``,
+``"gemm"``, ``"axpy"``, ``"send"``), the number of calls, floating point
+operations, and bytes moved.  Counter sets can be nested: the kernels
+always record into the *active* set (a thread-local stack), so a caller can
+wrap any region of code with :func:`counting` and obtain an isolated
+measurement without disturbing an outer measurement — both receive the
+events.
+
+Example
+-------
+>>> from repro.blas.counters import counting
+>>> with counting() as c:
+...     some_kernel(...)
+>>> c.total_flops
+12345
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import threading
+from typing import Dict, Iterator, Optional
+
+
+@dataclasses.dataclass
+class Counter:
+    """Accumulated cost of one category of operation."""
+
+    calls: int = 0
+    flops: int = 0
+    bytes: int = 0
+
+    def add(self, flops: int = 0, bytes: int = 0, calls: int = 1) -> None:
+        self.calls += calls
+        self.flops += flops
+        self.bytes += bytes
+
+    def merge(self, other: "Counter") -> None:
+        self.calls += other.calls
+        self.flops += other.flops
+        self.bytes += other.bytes
+
+    def copy(self) -> "Counter":
+        return Counter(self.calls, self.flops, self.bytes)
+
+
+class CounterSet:
+    """A dictionary of named :class:`Counter` objects.
+
+    Thread-safe for concurrent recording (a single lock guards updates);
+    recording is cheap relative to the matrix kernels being counted.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._lock = threading.Lock()
+
+    # -- recording -------------------------------------------------------
+    def record(self, category: str, flops: int = 0, bytes: int = 0, calls: int = 1) -> None:
+        """Add ``flops``/``bytes``/``calls`` to the counter for ``category``."""
+        with self._lock:
+            counter = self._counters.get(category)
+            if counter is None:
+                counter = self._counters[category] = Counter()
+            counter.add(flops=flops, bytes=bytes, calls=calls)
+
+    def merge(self, other: "CounterSet") -> None:
+        """Fold the contents of ``other`` into this set."""
+        with self._lock:
+            for name, counter in other.items():
+                mine = self._counters.get(name)
+                if mine is None:
+                    self._counters[name] = counter.copy()
+                else:
+                    mine.merge(counter)
+
+    # -- inspection ------------------------------------------------------
+    def __getitem__(self, category: str) -> Counter:
+        return self._counters.get(category, Counter())
+
+    def __contains__(self, category: str) -> bool:
+        return category in self._counters
+
+    def items(self):
+        return list(self._counters.items())
+
+    def categories(self):
+        return sorted(self._counters)
+
+    @property
+    def total_flops(self) -> int:
+        return sum(c.flops for c in self._counters.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(c.bytes for c in self._counters.values())
+
+    @property
+    def total_calls(self) -> int:
+        return sum(c.calls for c in self._counters.values())
+
+    def flops_for(self, *categories: str) -> int:
+        """Total flops across the given categories."""
+        return sum(self[c].flops for c in categories)
+
+    def as_dict(self) -> Dict[str, Dict[str, int]]:
+        """Return a plain-dict snapshot (useful for reporting / JSON)."""
+        return {
+            name: {"calls": c.calls, "flops": c.flops, "bytes": c.bytes}
+            for name, c in self._counters.items()
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"{name}: {c.calls} calls / {c.flops} flops" for name, c in sorted(self._counters.items())
+        )
+        return f"CounterSet({parts})"
+
+
+class _ActiveStack(threading.local):
+    """Thread-local stack of active counter sets."""
+
+    def __init__(self) -> None:
+        self.stack: list[CounterSet] = []
+
+
+_ACTIVE = _ActiveStack()
+
+#: A process-wide counter set that always receives events (useful for
+#: coarse "how much work did this test session do" introspection).
+GLOBAL_COUNTERS = CounterSet()
+
+
+def active_counters() -> list[CounterSet]:
+    """Return the list of counter sets currently receiving events."""
+    return list(getattr(_ACTIVE, "stack", []))
+
+
+def record(category: str, flops: int = 0, bytes: int = 0, calls: int = 1) -> None:
+    """Record an event into every active counter set and the global set.
+
+    This is the single entry point used by the kernel layer and by the
+    simulated MPI communicator.
+    """
+    GLOBAL_COUNTERS.record(category, flops=flops, bytes=bytes, calls=calls)
+    for counters in getattr(_ACTIVE, "stack", ()):
+        counters.record(category, flops=flops, bytes=bytes, calls=calls)
+
+
+@contextlib.contextmanager
+def counting(counters: Optional[CounterSet] = None) -> Iterator[CounterSet]:
+    """Context manager activating a :class:`CounterSet` for the duration.
+
+    Parameters
+    ----------
+    counters:
+        The set to activate.  A fresh set is created when omitted.
+
+    Yields
+    ------
+    CounterSet
+        The activated set, populated once the block exits.
+    """
+    if counters is None:
+        counters = CounterSet()
+    if not hasattr(_ACTIVE, "stack"):
+        _ACTIVE.stack = []
+    _ACTIVE.stack.append(counters)
+    try:
+        yield counters
+    finally:
+        _ACTIVE.stack.remove(counters)
+
+
+def push(counters: CounterSet) -> None:
+    """Explicitly push a counter set (used by the simulated MPI ranks,
+    whose lifetimes do not nest lexically)."""
+    if not hasattr(_ACTIVE, "stack"):
+        _ACTIVE.stack = []
+    _ACTIVE.stack.append(counters)
+
+
+def pop(counters: CounterSet) -> None:
+    """Pop a counter set previously installed with :func:`push`."""
+    stack = getattr(_ACTIVE, "stack", [])
+    if counters in stack:
+        stack.remove(counters)

@@ -1,0 +1,150 @@
+"""Packed lower-triangular storage.
+
+Section 4.3.1 of the paper: *"In order to optimize the communication and to
+reduce the exchanged data volume, we encode the sub-matrices resulting from
+A^T A operations as packed lower triangular matrices."*
+
+A symmetric ``n x n`` block is transmitted as the ``n (n + 1) / 2`` entries
+of its lower triangle laid out row by row (the standard BLAS/LAPACK "packed"
+layout, 'L' variant, row-major flavour).  The distributed algorithm
+(:mod:`repro.distributed.ata_distributed`) packs symmetric partial results
+before sending them to the parent process and unpacks them at the receiver,
+halving the bandwidth of the retrieval phase for those blocks — exactly the
+saving accounted for in Prop. 4.2.
+
+The functions here are pure numpy, allocation-explicit, and round-trip
+exactly (see the hypothesis property tests in
+``tests/test_blas_packed.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from .kernels import validate_matrix
+
+__all__ = [
+    "packed_length",
+    "matrix_order_from_packed_length",
+    "pack_lower",
+    "unpack_lower",
+    "unpack_lower_into",
+    "pack_lower_into",
+    "packed_index",
+]
+
+
+def packed_length(n: int) -> int:
+    """Number of entries in the packed lower triangle of an ``n x n`` matrix."""
+    if n < 0:
+        raise ShapeError(f"matrix order must be non-negative, got {n}")
+    return n * (n + 1) // 2
+
+
+def matrix_order_from_packed_length(length: int) -> int:
+    """Inverse of :func:`packed_length`.
+
+    Raises :class:`ShapeError` when ``length`` is not a triangular number.
+    """
+    if length < 0:
+        raise ShapeError(f"packed length must be non-negative, got {length}")
+    # n such that n(n+1)/2 == length  =>  n = (-1 + sqrt(1 + 8 length)) / 2
+    n = int((np.sqrt(8.0 * length + 1.0) - 1.0) / 2.0 + 0.5)
+    if packed_length(n) != length:
+        raise ShapeError(f"{length} is not a valid packed lower-triangular length")
+    return n
+
+
+def packed_index(i: int, j: int) -> int:
+    """Index of element ``(i, j)`` (``i >= j``) in row-major packed storage."""
+    if j > i:
+        raise ShapeError(f"packed_index requires i >= j, got ({i}, {j})")
+    return i * (i + 1) // 2 + j
+
+
+def pack_lower(c: np.ndarray) -> np.ndarray:
+    """Pack the lower triangle of square matrix ``c`` into a 1-D array.
+
+    The strict upper triangle of ``c`` is ignored, so the function is safe
+    to call on matrices whose upper half holds garbage (as produced by the
+    AtA kernels, which only write ``low(C)``).
+    """
+    validate_matrix(c, "C")
+    n, m = c.shape
+    if n != m:
+        raise ShapeError(f"pack_lower expects a square matrix, got {c.shape}")
+    rows, cols = np.tril_indices(n)
+    return np.ascontiguousarray(c[rows, cols])
+
+
+def pack_lower_into(c: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Pack ``low(c)`` into the pre-allocated 1-D buffer ``out``."""
+    validate_matrix(c, "C")
+    n, m = c.shape
+    if n != m:
+        raise ShapeError(f"pack_lower_into expects a square matrix, got {c.shape}")
+    need = packed_length(n)
+    if out.ndim != 1 or out.shape[0] < need:
+        raise ShapeError(f"output buffer must be 1-D with at least {need} entries, got {out.shape}")
+    rows, cols = np.tril_indices(n)
+    out[:need] = c[rows, cols]
+    return out[:need]
+
+
+def unpack_lower(packed: np.ndarray, n: int | None = None, *, symmetric: bool = False,
+                 dtype=None) -> np.ndarray:
+    """Expand a packed lower triangle back into a full ``n x n`` matrix.
+
+    Parameters
+    ----------
+    packed:
+        1-D array of length ``n (n + 1) / 2``.
+    n:
+        Matrix order; inferred from the packed length when omitted.
+    symmetric:
+        When True the strict upper triangle is mirrored from the lower one;
+        when False (default) it is left as zeros, matching the layout the
+        AtA algorithms maintain internally.
+    """
+    packed = np.asarray(packed)
+    if packed.ndim != 1:
+        raise ShapeError(f"packed buffer must be 1-D, got shape {packed.shape}")
+    if n is None:
+        n = matrix_order_from_packed_length(packed.shape[0])
+    elif packed.shape[0] < packed_length(n):
+        raise ShapeError(
+            f"packed buffer of length {packed.shape[0]} too short for order {n}"
+        )
+    out = np.zeros((n, n), dtype=dtype if dtype is not None else packed.dtype)
+    return unpack_lower_into(packed, out, symmetric=symmetric)
+
+
+def unpack_lower_into(packed: np.ndarray, out: np.ndarray, *, symmetric: bool = False,
+                      accumulate: bool = False) -> np.ndarray:
+    """Unpack into a pre-allocated square matrix ``out``.
+
+    Parameters
+    ----------
+    accumulate:
+        When True the unpacked values are *added* to ``out`` instead of
+        overwriting it — this is what the AtA-D parent processes do when
+        combining the two symmetric partial results of a diagonal block
+        (``C11 = A11^T A11 + A21^T A21``).
+    """
+    packed = np.asarray(packed)
+    n, m = out.shape
+    if n != m:
+        raise ShapeError(f"output must be square, got {out.shape}")
+    need = packed_length(n)
+    if packed.shape[0] < need:
+        raise ShapeError(f"packed buffer of length {packed.shape[0]} too short for order {n}")
+    rows, cols = np.tril_indices(n)
+    if accumulate:
+        out[rows, cols] += packed[:need]
+    else:
+        out[rows, cols] = packed[:need]
+    if symmetric:
+        iu = np.triu_indices(n, k=1)
+        out[iu] = out.T[iu]
+    return out

@@ -1,0 +1,31 @@
+"""Ideal-cache model and cache-complexity analysis (Section 3.4)."""
+
+from .model import (
+    CacheHierarchy,
+    CacheLevel,
+    CacheModel,
+    XEON_E5_2630V3_HIERARCHY,
+    default_cache_model,
+)
+from .complexity import (
+    LOG2_7,
+    ata_cache_bounds,
+    ata_cache_recurrence,
+    classical_cache_bound,
+    strassen_cache_bound,
+    strassen_cache_recurrence,
+)
+
+__all__ = [
+    "CacheHierarchy",
+    "CacheLevel",
+    "CacheModel",
+    "XEON_E5_2630V3_HIERARCHY",
+    "default_cache_model",
+    "LOG2_7",
+    "ata_cache_bounds",
+    "ata_cache_recurrence",
+    "classical_cache_bound",
+    "strassen_cache_bound",
+    "strassen_cache_recurrence",
+]

@@ -1,0 +1,96 @@
+"""Analytic cache-complexity formulas (Proposition 3.1).
+
+The paper proves that AtA has the same ideal-cache complexity as Strassen:
+
+.. math::
+
+    C_S(n; M, b) = \\Theta\\!\\left(1 + \\frac{n^2}{b}
+                   + \\frac{n^{\\log_2 7}}{b \\sqrt{M}}\\right)
+
+(Frigo et al., "Cache-oblivious algorithms", FOCS'99), and that
+
+.. math::
+
+    C_S(n/2; M, b) \\;\\le\\; C_{AtA}(n; M, b) \\;\\le\\; C_S(n; M, b).
+
+This module evaluates those bounds, the classical-multiplication analogue,
+and the exact recurrences — both as closed-ish forms and as explicit
+recursions that mirror the inductive proof, which the test suite checks
+against each other.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+
+from .model import CacheModel
+
+__all__ = [
+    "LOG2_7",
+    "strassen_cache_bound",
+    "classical_cache_bound",
+    "ata_cache_bounds",
+    "strassen_cache_recurrence",
+    "ata_cache_recurrence",
+]
+
+#: The Strassen exponent, log2(7) ≈ 2.807.
+LOG2_7 = math.log2(7.0)
+
+
+def strassen_cache_bound(n: int, model: CacheModel) -> float:
+    """Evaluate Θ(1 + n²/b + n^{log2 7} / (b √M)) for Strassen (up to the
+    hidden constant, taken as 1)."""
+    m, b = model.capacity_words, model.line_words
+    return 1.0 + n * n / b + n ** LOG2_7 / (b * math.sqrt(m))
+
+
+def classical_cache_bound(n: int, model: CacheModel) -> float:
+    """Cache complexity of the classical blocked multiplication,
+    Θ(1 + n²/b + n³ / (b √M))."""
+    m, b = model.capacity_words, model.line_words
+    return 1.0 + n * n / b + n ** 3 / (b * math.sqrt(m))
+
+
+def ata_cache_bounds(n: int, model: CacheModel) -> tuple[float, float]:
+    """Lower/upper sandwich for AtA from Prop. 3.1:
+    ``C_S(n/2) <= C_AtA(n) <= C_S(n)``."""
+    return strassen_cache_bound(max(1, n // 2), model), strassen_cache_bound(n, model)
+
+
+@functools.lru_cache(maxsize=None)
+def _strassen_rec(n: int, capacity: int, line: int) -> int:
+    """Exact miss-count recurrence for Strassen on an n×n problem.
+
+    Base case: once the working set (three n×n operands) fits in cache the
+    misses are the cold misses of streaming it in: 3 n²/b.
+    Recursive case: 7 recursive sub-products plus 18 additions scanning
+    (n/2)² blocks three times each.
+    """
+    if 3 * n * n <= capacity or n <= 1:
+        return -(-3 * n * n // line)
+    half = -(-n // 2)
+    adds = 18 * (-(-3 * half * half // line))
+    return 7 * _strassen_rec(half, capacity, line) + adds
+
+
+def strassen_cache_recurrence(n: int, model: CacheModel) -> int:
+    """Exact-count version of the Strassen cache recurrence."""
+    return _strassen_rec(int(n), model.capacity_words, model.line_words)
+
+
+@functools.lru_cache(maxsize=None)
+def _ata_rec(n: int, capacity: int, line: int) -> int:
+    """Exact miss-count recurrence for AtA (Eq. of Prop. 3.1 proof):
+    ``C_AtA(n) = 4 C_AtA(n/2) + 2 C_S(n/2) + sums``."""
+    if n * n <= capacity or n <= 1:
+        return -(-n * n // line)
+    half = -(-n // 2)
+    sums = 3 * (-(-half * half // line))
+    return 4 * _ata_rec(half, capacity, line) + 2 * _strassen_rec(half, capacity, line) + sums
+
+
+def ata_cache_recurrence(n: int, model: CacheModel) -> int:
+    """Exact-count version of the AtA cache recurrence."""
+    return _ata_rec(int(n), model.capacity_words, model.line_words)

@@ -1,0 +1,159 @@
+"""Global configuration for the :mod:`repro` library.
+
+The paper's algorithms are *cache oblivious*: they recurse until the
+sub-problem "fits in cache" and then call a BLAS kernel (``?syrk`` or
+``?gemm``).  The only tunable is therefore the base-case threshold, which
+this module exposes together with a handful of library-wide defaults
+(default floating point dtype, RNG seeding, whether kernels keep flop /
+byte counters).
+
+Configuration is held in a module-level :class:`Config` instance,
+:data:`CONFIG`.  Code should *read* configuration through
+:func:`get_config` and *modify* it either directly (for long-lived,
+process-wide changes) or through the :func:`configured` context manager
+(for scoped changes, e.g. inside tests).
+
+Example
+-------
+>>> from repro.config import configured, get_config
+>>> with configured(base_case_elements=256):
+...     assert get_config().base_case_elements == 256
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import os
+from typing import Any, Iterator
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+#: Default number of matrix *elements* below which the recursion stops and a
+#: BLAS kernel is invoked.  The paper uses "fits in cache"; 32 KiB of L1
+#: data cache holds 4096 doubles, and the paper's base case compares the
+#: *product* of the sub-matrix dimensions against the cache size, so the
+#: default mirrors that: m*n <= 4096.
+DEFAULT_BASE_CASE_ELEMENTS = 4096
+
+#: Default dtype for workloads and workspaces when the caller does not
+#: specify one.
+DEFAULT_DTYPE = np.float64
+
+#: Default seed used by the workload generators in :mod:`repro.bench`.
+DEFAULT_SEED = 0x5EED
+
+
+@dataclasses.dataclass
+class Config:
+    """Library-wide tunables.
+
+    Attributes
+    ----------
+    base_case_elements:
+        Sub-problems with ``m * n`` (for A^T A) or ``m * n + m * k`` (for
+        A^T B) at most this many elements are solved by a direct BLAS call
+        instead of recursing.  Mirrors the cache-size test of Algorithm 1 /
+        Algorithm 2 in the paper.
+    default_dtype:
+        dtype used when callers do not specify one explicitly.
+    count_flops:
+        When True the BLAS substrate records floating point operation and
+        byte-traffic counts into the active
+        :class:`repro.blas.counters.CounterSet`.  Counting costs a few
+        percent of runtime and is enabled by default because the
+        performance model and several benchmarks rely on it.
+    strict_finite:
+        When True, top-level entry points validate that inputs contain no
+        NaN/Inf values.  Disabled by default (the check is O(mn)).
+    seed:
+        Default seed for workload generation.
+    max_recursion_depth:
+        Safety valve against pathological configurations (e.g. a base case
+        of 0 elements).  The recursion depth of a well-formed call is
+        bounded by ``ceil(log2(max(m, n)))``; this limit is far above that.
+    """
+
+    base_case_elements: int = DEFAULT_BASE_CASE_ELEMENTS
+    default_dtype: Any = DEFAULT_DTYPE
+    count_flops: bool = True
+    strict_finite: bool = False
+    seed: int = DEFAULT_SEED
+    max_recursion_depth: int = 64
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` if any field is out of range."""
+        if self.base_case_elements < 1:
+            raise ConfigurationError(
+                f"base_case_elements must be >= 1, got {self.base_case_elements}"
+            )
+        if self.max_recursion_depth < 1:
+            raise ConfigurationError(
+                f"max_recursion_depth must be >= 1, got {self.max_recursion_depth}"
+            )
+        dt = np.dtype(self.default_dtype)
+        if dt.kind not in ("f", "c"):
+            raise ConfigurationError(
+                f"default_dtype must be a floating or complex dtype, got {dt}"
+            )
+
+    def replace(self, **changes: Any) -> "Config":
+        """Return a copy of this configuration with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+
+def _config_from_env() -> Config:
+    """Build the initial configuration, honouring ``REPRO_*`` env vars.
+
+    Recognised variables:
+
+    ``REPRO_BASE_CASE``     integer, base-case element count.
+    ``REPRO_COUNT_FLOPS``   "0"/"1", toggle instrumentation.
+    ``REPRO_SEED``          integer, default workload seed.
+    """
+    kwargs: dict[str, Any] = {}
+    if "REPRO_BASE_CASE" in os.environ:
+        kwargs["base_case_elements"] = int(os.environ["REPRO_BASE_CASE"])
+    if "REPRO_COUNT_FLOPS" in os.environ:
+        kwargs["count_flops"] = os.environ["REPRO_COUNT_FLOPS"] not in ("0", "false", "")
+    if "REPRO_SEED" in os.environ:
+        kwargs["seed"] = int(os.environ["REPRO_SEED"])
+    return Config(**kwargs)
+
+
+#: The process-wide configuration instance.
+CONFIG: Config = _config_from_env()
+
+
+def get_config() -> Config:
+    """Return the active :class:`Config` instance."""
+    return CONFIG
+
+
+def set_config(config: Config) -> Config:
+    """Replace the process-wide configuration; returns the previous one."""
+    global CONFIG
+    config.validate()
+    previous, CONFIG = CONFIG, config
+    return previous
+
+
+@contextlib.contextmanager
+def configured(**changes: Any) -> Iterator[Config]:
+    """Context manager temporarily overriding configuration fields.
+
+    >>> with configured(base_case_elements=64) as cfg:
+    ...     ...  # recursion now bottoms out at 64 elements
+    """
+    previous = get_config()
+    try:
+        current = previous.replace(**changes)
+        set_config(current)
+        yield current
+    finally:
+        set_config(previous)

@@ -1,0 +1,69 @@
+"""Core algorithms: AtA (Algorithm 1), FastStrassen, RecursiveGEMM."""
+
+from .ata import aat, ata, ata_full
+from .complexity import (
+    LOG2_7,
+    ata_flops,
+    ata_multiplications,
+    ata_multiplications_closed,
+    ata_to_strassen_ratio,
+    classical_gemm_multiplications,
+    classical_syrk_multiplications,
+    effective_flops,
+    strassen_flops,
+    strassen_multiplications,
+    strassen_multiplications_closed,
+)
+from .partition import (
+    Block,
+    block_of,
+    horizontal_tiles,
+    quadrant_shapes,
+    quadrants,
+    split_dim,
+    vertical_tiles,
+)
+from .recursive_gemm import RECURSIVE_GEMM_SPLIT, recursive_gemm
+from .strassen import STRASSEN_PRODUCTS, fast_strassen, strassen_atb, strassen_schedule
+from .workspace import (
+    Arena,
+    NaiveWorkspace,
+    StrassenWorkspace,
+    paper_space_bound,
+    workspace_requirement,
+)
+
+__all__ = [
+    "aat",
+    "ata",
+    "ata_full",
+    "LOG2_7",
+    "ata_flops",
+    "ata_multiplications",
+    "ata_multiplications_closed",
+    "ata_to_strassen_ratio",
+    "classical_gemm_multiplications",
+    "classical_syrk_multiplications",
+    "effective_flops",
+    "strassen_flops",
+    "strassen_multiplications",
+    "strassen_multiplications_closed",
+    "Block",
+    "block_of",
+    "horizontal_tiles",
+    "quadrant_shapes",
+    "quadrants",
+    "split_dim",
+    "vertical_tiles",
+    "RECURSIVE_GEMM_SPLIT",
+    "recursive_gemm",
+    "STRASSEN_PRODUCTS",
+    "fast_strassen",
+    "strassen_atb",
+    "strassen_schedule",
+    "Arena",
+    "NaiveWorkspace",
+    "StrassenWorkspace",
+    "paper_space_bound",
+    "workspace_requirement",
+]

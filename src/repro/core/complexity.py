@@ -1,0 +1,160 @@
+"""Operation-count analysis of AtA and Strassen (Section 3.2, Eq. 3).
+
+The paper's central complexity claims are:
+
+* Strassen performs ``n^{log2 7}`` scalar multiplications on an ``n x n``
+  problem (with 18 block additions per step), so its leading-order cost is
+  ``T_S(n) ≈ 7 n^{log2 7}`` flops;
+* AtA satisfies the recurrence ``T(n) = 4 T(n/2) + 2 T_S(n/2) + 3 (n/2)^2``
+  and therefore costs about two thirds of Strassen —
+  ``(2/3) n^{log2 7} + (1/3) n^2`` multiplications;
+* classical ``A^T A`` (syrk) needs ``n^2 (n + 1) / 2`` multiplications (the
+  paper quotes ``n^2 (n+1)`` flops counting additions).
+
+This module provides both the closed forms and the *exact* recurrences for
+arbitrary base-case sizes, so the test-suite can check the implementation's
+measured flop counters against them, and the ablation benchmark can
+regenerate the "2/3" headline number.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from typing import Callable, Optional
+
+from ..cache.model import CacheModel, default_cache_model
+from ..core.partition import split_dim
+
+__all__ = [
+    "LOG2_7",
+    "strassen_multiplications_closed",
+    "ata_multiplications_closed",
+    "classical_syrk_multiplications",
+    "classical_gemm_multiplications",
+    "strassen_multiplications",
+    "ata_multiplications",
+    "strassen_flops",
+    "ata_flops",
+    "ata_to_strassen_ratio",
+    "effective_flops",
+]
+
+#: log2(7) ≈ 2.8074 — the Strassen exponent.
+LOG2_7 = math.log2(7.0)
+
+
+# ---------------------------------------------------------------------------
+# closed forms (leading order, as quoted in the paper)
+# ---------------------------------------------------------------------------
+
+def strassen_multiplications_closed(n: float) -> float:
+    """Leading-order multiplication count of Strassen: ``n^{log2 7}``."""
+    return float(n) ** LOG2_7
+
+
+def ata_multiplications_closed(n: float) -> float:
+    """Leading-order multiplication count of AtA:
+    ``(2/3) n^{log2 7} + (1/3) n^2`` (Section 1 / Section 3.2)."""
+    return (2.0 / 3.0) * float(n) ** LOG2_7 + (1.0 / 3.0) * float(n) ** 2
+
+
+def classical_syrk_multiplications(m: int, n: int) -> int:
+    """Multiplications of classical ``A^T A`` computing one triangle:
+    ``m * n (n + 1) / 2``."""
+    return m * n * (n + 1) // 2
+
+
+def classical_gemm_multiplications(m: int, n: int, k: int) -> int:
+    """Multiplications of classical ``A^T B``: ``m n k``."""
+    return m * n * k
+
+
+# ---------------------------------------------------------------------------
+# exact recurrences, honouring the base case
+# ---------------------------------------------------------------------------
+
+def _default_gemm_base(model: CacheModel) -> Callable[[int, int, int], bool]:
+    return model.fits_gemm
+
+
+@functools.lru_cache(maxsize=None)
+def _strassen_mults(m: int, n: int, k: int, capacity: int) -> int:
+    """Exact scalar multiplications of the Strassen recursion on an
+    ``(m, n, k)`` problem with base case ``m*n + m*k <= capacity``
+    (base-case products are classical: ``m n k`` multiplications)."""
+    if m == 0 or n == 0 or k == 0:
+        return 0
+    if m * n + m * k <= capacity or (m <= 1 and n <= 1 and k <= 1):
+        return m * n * k
+    m1, _ = split_dim(m)
+    n1, _ = split_dim(n)
+    k1, _ = split_dim(k)
+    return 7 * _strassen_mults(m1, n1, k1, capacity)
+
+
+@functools.lru_cache(maxsize=None)
+def _ata_mults(m: int, n: int, capacity: int) -> int:
+    """Exact scalar multiplications of AtA with base case
+    ``m*n <= capacity`` (base-case syrk: ``m n (n+1) / 2``)."""
+    if m == 0 or n == 0:
+        return 0
+    if m * n <= capacity or (m <= 1 and n <= 1):
+        return m * n * (n + 1) // 2
+    m1, m2 = split_dim(m)
+    n1, n2 = split_dim(n)
+    total = (_ata_mults(m1, n1, capacity) + _ata_mults(m2, n1, capacity)
+             + _ata_mults(m1, n2, capacity) + _ata_mults(m2, n2, capacity))
+    total += _strassen_mults(m1, n2, n1, capacity)
+    total += _strassen_mults(m2, n2, n1, capacity)
+    return total
+
+
+def strassen_multiplications(m: int, n: int, k: int, *,
+                             cache: Optional[CacheModel] = None) -> int:
+    """Exact multiplication count of :func:`repro.core.strassen.fast_strassen`.
+
+    The count is an upper bound for odd shapes (the recurrence charges the
+    ceil-rounded sub-problem for all seven products, whereas the
+    implementation's prefix trick can make some sub-products slightly
+    smaller); for power-of-two shapes it is exact, which is what the test
+    suite verifies against the measured flop counters.
+    """
+    model = cache if cache is not None else default_cache_model()
+    return _strassen_mults(int(m), int(n), int(k), model.capacity_words)
+
+
+def ata_multiplications(m: int, n: int, *, cache: Optional[CacheModel] = None) -> int:
+    """Exact multiplication count of :func:`repro.core.ata.ata` (same caveat
+    on odd shapes as :func:`strassen_multiplications`)."""
+    model = cache if cache is not None else default_cache_model()
+    return _ata_mults(int(m), int(n), model.capacity_words)
+
+
+def strassen_flops(m: int, n: int, k: int, **kwargs) -> int:
+    """Approximate flop count of FastStrassen (2 flops per multiplication;
+    block additions are lower order and ignored, as in the paper)."""
+    return 2 * strassen_multiplications(m, n, k, **kwargs)
+
+
+def ata_flops(m: int, n: int, **kwargs) -> int:
+    """Approximate flop count of AtA (2 flops per multiplication)."""
+    return 2 * ata_multiplications(m, n, **kwargs)
+
+
+def ata_to_strassen_ratio(n: int, *, cache: Optional[CacheModel] = None) -> float:
+    """Measured ratio ``T_AtA(n) / T_Strassen(n)`` for a square ``n x n``
+    input.  Converges to 2/3 as ``n`` grows (Eq. 3)."""
+    s = strassen_multiplications(n, n, n, cache=cache)
+    a = ata_multiplications(n, n, cache=cache)
+    return a / s if s else float("nan")
+
+
+def effective_flops(n: int, r: int = 1) -> float:
+    """Numerator of the *effective GFLOPs* metric (Eq. 9): ``r * n^3``.
+
+    ``r = 1`` for algorithms specialised to A^T A, ``r = 2`` for general
+    matrix multiplication.  Dividing by elapsed seconds and 1e9 gives the
+    effective GFLOPs reported throughout Section 5.
+    """
+    return float(r) * float(n) ** 3

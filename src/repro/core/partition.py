@@ -1,0 +1,206 @@
+"""Matrix partitioning helpers (Eq. 1 of the paper).
+
+At every recursive step the algorithms split a matrix into four quadrants
+
+::
+
+            n1      n2
+        ┌────────┬───────┐
+    m1  │  A11   │  A12  │
+        ├────────┼───────┤
+    m2  │  A21   │  A22  │
+        └────────┴───────┘
+
+with ``m1 = ceil(m/2)``, ``m2 = floor(m/2)`` (and likewise for columns).
+Rounding *up* for the leading block is what allows the recursion to handle
+odd sizes without any peeling or padding: the trailing blocks are at most
+one row/column smaller and the discordant-shape additions are handled by
+:func:`repro.blas.kernels.add_into`.
+
+All functions return **views**, never copies, so that the recursion only
+manipulates pointers into the caller's storage — the Python analogue of the
+pointer initialisation in line 6 of Algorithm 1.
+
+The module also provides the vertical / horizontal tilings of Fig. 2 used
+by the shared-memory scheduler, and a :class:`Block` record describing a
+sub-matrix by offsets (the representation stored inside scheduler tasks,
+which must be communicable without holding array references).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+
+__all__ = [
+    "split_dim",
+    "quadrants",
+    "quadrant_shapes",
+    "vertical_tiles",
+    "horizontal_tiles",
+    "Block",
+    "block_of",
+]
+
+
+def split_dim(extent: int) -> Tuple[int, int]:
+    """Split ``extent`` into ``(ceil(extent/2), floor(extent/2))``.
+
+    >>> split_dim(7)
+    (4, 3)
+    >>> split_dim(8)
+    (4, 4)
+    """
+    if extent < 0:
+        raise ShapeError(f"dimension must be non-negative, got {extent}")
+    half_up = (extent + 1) // 2
+    return half_up, extent - half_up
+
+
+def quadrants(a: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Return the four quadrant views ``(A11, A12, A21, A22)`` of ``a``.
+
+    The split follows Eq. (1): the leading blocks take the ceil halves.
+    Trailing quadrants may be empty (zero rows/columns) when the
+    corresponding dimension is 1; callers guard against recursing into
+    empty blocks.
+    """
+    if a.ndim != 2:
+        raise ShapeError(f"quadrants expects a 2-D array, got shape {a.shape}")
+    m, n = a.shape
+    m1, _ = split_dim(m)
+    n1, _ = split_dim(n)
+    return (
+        a[:m1, :n1],
+        a[:m1, n1:],
+        a[m1:, :n1],
+        a[m1:, n1:],
+    )
+
+
+def quadrant_shapes(m: int, n: int) -> Tuple[Tuple[int, int], ...]:
+    """Shapes of the four quadrants of an ``m x n`` matrix, in the order
+    ``(A11, A12, A21, A22)``."""
+    m1, m2 = split_dim(m)
+    n1, n2 = split_dim(n)
+    return ((m1, n1), (m1, n2), (m2, n1), (m2, n2))
+
+
+def vertical_tiles(a: np.ndarray, count: int) -> List[np.ndarray]:
+    """Split ``a`` into ``count`` vertical strips (column blocks), Fig. 2.
+
+    Strips are as equal as possible; the leading strips take the extra
+    columns.  Views, never copies.
+    """
+    if count < 1:
+        raise ShapeError(f"tile count must be >= 1, got {count}")
+    n = a.shape[1]
+    bounds = _tile_bounds(n, count)
+    return [a[:, lo:hi] for lo, hi in bounds]
+
+
+def horizontal_tiles(a: np.ndarray, count: int) -> List[np.ndarray]:
+    """Split ``a`` into ``count`` horizontal strips (row blocks), Fig. 2."""
+    if count < 1:
+        raise ShapeError(f"tile count must be >= 1, got {count}")
+    m = a.shape[0]
+    bounds = _tile_bounds(m, count)
+    return [a[lo:hi, :] for lo, hi in bounds]
+
+
+def _tile_bounds(extent: int, count: int) -> List[Tuple[int, int]]:
+    """Balanced 1-D tiling: the first ``extent % count`` tiles get one extra."""
+    base, extra = divmod(extent, count)
+    bounds = []
+    start = 0
+    for i in range(count):
+        size = base + (1 if i < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+@dataclasses.dataclass(frozen=True)
+class Block:
+    """A rectangular sub-matrix described by offsets into its parent.
+
+    ``Block`` is the array-free description stored inside scheduler tasks
+    (the ``X.offset`` / ``X.q`` fields of Section 4.1.1) so that the same
+    task tree can be used by the shared-memory algorithm (which resolves
+    blocks to views of a common array) and by the distributed algorithm
+    (which ships the block's *contents* to another rank).
+    """
+
+    row: int
+    col: int
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.row < 0 or self.col < 0 or self.rows < 0 or self.cols < 0:
+            raise ShapeError(f"negative block geometry: {self}")
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.rows, self.cols)
+
+    @property
+    def size(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def row_end(self) -> int:
+        return self.row + self.rows
+
+    @property
+    def col_end(self) -> int:
+        return self.col + self.cols
+
+    def view(self, a: np.ndarray) -> np.ndarray:
+        """Resolve this block to a view of ``a`` (bounds-checked)."""
+        if self.row_end > a.shape[0] or self.col_end > a.shape[1]:
+            raise ShapeError(f"block {self} does not fit in array of shape {a.shape}")
+        return a[self.row:self.row_end, self.col:self.col_end]
+
+    def shift(self, drow: int, dcol: int) -> "Block":
+        """Translate the block by ``(drow, dcol)`` (used when composing a
+        child block expressed relative to a parent block)."""
+        return Block(self.row + drow, self.col + dcol, self.rows, self.cols)
+
+    def quadrant(self, which: str) -> "Block":
+        """Return the sub-block corresponding to quadrant ``which`` of this
+        block (one of ``"11"``, ``"12"``, ``"21"``, ``"22"``)."""
+        r1, r2 = split_dim(self.rows)
+        c1, c2 = split_dim(self.cols)
+        if which == "11":
+            return Block(self.row, self.col, r1, c1)
+        if which == "12":
+            return Block(self.row, self.col + c1, r1, c2)
+        if which == "21":
+            return Block(self.row + r1, self.col, r2, c1)
+        if which == "22":
+            return Block(self.row + r1, self.col + c1, r2, c2)
+        raise ShapeError(f"unknown quadrant {which!r}")
+
+    def vertical_slice(self, index: int, count: int) -> "Block":
+        """The ``index``-th of ``count`` vertical strips of this block."""
+        bounds = _tile_bounds(self.cols, count)
+        lo, hi = bounds[index]
+        return Block(self.row, self.col + lo, self.rows, hi - lo)
+
+    def horizontal_slice(self, index: int, count: int) -> "Block":
+        """The ``index``-th of ``count`` horizontal strips of this block."""
+        bounds = _tile_bounds(self.rows, count)
+        lo, hi = bounds[index]
+        return Block(self.row + lo, self.col, hi - lo, self.cols)
+
+
+def block_of(a: np.ndarray) -> Block:
+    """The block covering all of ``a`` (offset 0, full extent)."""
+    if a.ndim != 2:
+        raise ShapeError(f"block_of expects a 2-D array, got shape {a.shape}")
+    return Block(0, 0, a.shape[0], a.shape[1])

@@ -1,0 +1,31 @@
+"""Distributed-memory substrate (simulated MPI) and the AtA-D algorithm."""
+
+from .ata_distributed import DistributedRunStats, ata_distributed
+from .costs import (
+    bandwidth_words,
+    computation_cost,
+    distribution_bandwidth_words,
+    latency_messages,
+    retrieval_bandwidth_words,
+)
+from .network import LOCAL_SIMULATED, TERASTAT, ClusterTopology, NetworkModel
+from .simmpi import ANY_SOURCE, ANY_TAG, CommStats, Communicator, run_spmd
+
+__all__ = [
+    "DistributedRunStats",
+    "ata_distributed",
+    "bandwidth_words",
+    "computation_cost",
+    "distribution_bandwidth_words",
+    "latency_messages",
+    "retrieval_bandwidth_words",
+    "LOCAL_SIMULATED",
+    "TERASTAT",
+    "ClusterTopology",
+    "NetworkModel",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "CommStats",
+    "Communicator",
+    "run_spmd",
+]

@@ -1,0 +1,281 @@
+"""AtA-D — the distributed-memory parallel algorithm (Algorithm 4, §4.3).
+
+AtA-D follows a *distribute–compute–retrieve* paradigm:
+
+1. **Distribution.**  The input matrix ``A`` initially lives only on the
+   root process ``p0``.  Walking the task tree level by level, every parent
+   process sends to each of its children exactly the sub-blocks of ``A``
+   (and, for A^T B tasks, of the second operand — also a block of ``A``)
+   that the child's subtree needs.  Messages shrink geometrically with the
+   level, which is what bounds the distribution bandwidth in Prop. 4.2.
+
+2. **Compute.**  Each leaf owner runs its task locally and independently —
+   ``AtA``/``syrk`` for A^T A leaves, ``FastStrassen``/``gemm`` for A^T B
+   leaves — with **no communication at compute time** (Section 4.3.2).
+
+3. **Retrieval.**  Partial results travel back up the tree: every process
+   sends its (possibly aggregated) block to its parent, which accumulates
+   the contributions of all its children into its own block.  Blocks that
+   are symmetric A^T A results are sent as *packed lower triangles*
+   (Section 4.3.1), halving their wire size.  At the root the full
+   lower-triangular ``C = A^T A`` emerges.
+
+The communicator is the simulated MPI layer of
+:mod:`repro.distributed.simmpi`; its traffic counters are returned so the
+benchmarks can compare them against Prop. 4.2 and convert them into modeled
+time with the α–β network model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..blas.kernels import validate_matrix
+from ..blas.packed import pack_lower, unpack_lower
+from ..cache.model import CacheModel, default_cache_model
+from ..core.ata import ata
+from ..core.partition import Block
+from ..core.recursive_gemm import recursive_gemm
+from ..core.strassen import fast_strassen
+from ..errors import CommunicatorError, ShapeError
+from ..scheduler.task import ComputationType, TreeNode
+from ..scheduler.tree import TaskTree, build_task_tree
+from .simmpi import CommStats, Communicator, run_spmd
+
+__all__ = ["ata_distributed", "DistributedRunStats"]
+
+#: Tag offset separating distribution-phase from retrieval-phase messages.
+_RETRIEVE_TAG_OFFSET = 1_000_000
+
+
+@dataclasses.dataclass
+class DistributedRunStats:
+    """Everything observed during one AtA-D run (used by the harness)."""
+
+    comm: CommStats
+    tree: TaskTree
+    wall_time: float
+    processes: int
+
+    @property
+    def total_messages(self) -> int:
+        return self.comm.total_messages
+
+    @property
+    def total_bytes(self) -> int:
+        return self.comm.total_bytes
+
+    @property
+    def root_messages(self) -> int:
+        """Messages on the root's critical path (Prop. 4.2 latency term)."""
+        return self.comm.messages_on_rank(self.tree.root.owner)
+
+    @property
+    def root_bytes(self) -> int:
+        """Bytes on the root's critical path (Prop. 4.2 bandwidth term)."""
+        return self.comm.bytes_on_rank(self.tree.root.owner)
+
+    @property
+    def max_rank_flops(self) -> int:
+        return self.comm.max_rank_flops()
+
+
+# ---------------------------------------------------------------------------
+# the per-rank SPMD program
+# ---------------------------------------------------------------------------
+
+def _bfs_order(tree: TaskTree) -> List[TreeNode]:
+    order: List[TreeNode] = []
+    frontier = [tree.root]
+    while frontier:
+        nxt: List[TreeNode] = []
+        for node in frontier:
+            order.append(node)
+            nxt.extend(node.children)
+        frontier = nxt
+    return order
+
+
+def _relative_slice(block: Block, parent_block: Block, parent_array: np.ndarray) -> np.ndarray:
+    """View of ``block`` inside ``parent_array`` (which holds ``parent_block``)."""
+    r0 = block.row - parent_block.row
+    c0 = block.col - parent_block.col
+    if r0 < 0 or c0 < 0 or r0 + block.rows > parent_block.rows or c0 + block.cols > parent_block.cols:
+        raise ShapeError(f"block {block} is not contained in parent block {parent_block}")
+    return parent_array[r0:r0 + block.rows, c0:c0 + block.cols]
+
+
+def _operand_from_parent(block: Block, parent: TreeNode,
+                         parent_data: Tuple[np.ndarray, Optional[np.ndarray]]) -> np.ndarray:
+    """Locate ``block`` inside whichever of the parent's operands contains it."""
+    parent_a, parent_b = parent_data
+
+    def contains(outer: Block) -> bool:
+        return (outer.row <= block.row and outer.col <= block.col
+                and block.row_end <= outer.row_end and block.col_end <= outer.col_end)
+
+    if contains(parent.a):
+        return _relative_slice(block, parent.a, parent_a)
+    if parent.b is not None and parent_b is not None and contains(parent.b):
+        return _relative_slice(block, parent.b, parent_b)
+    raise ShapeError(f"block {block} is not covered by parent node {parent.node_id} operands")
+
+
+def _ata_d_program(comm: Communicator, tree: TaskTree, a_root: Optional[np.ndarray],
+                   alpha: float, cache: CacheModel, use_strassen: bool,
+                   dtype: np.dtype) -> Optional[np.ndarray]:
+    rank = comm.rank
+    order = _bfs_order(tree)
+    node_data: Dict[int, Tuple[np.ndarray, Optional[np.ndarray]]] = {}
+    results: Dict[int, np.ndarray] = {}
+
+    root = tree.root
+    if rank == root.owner:
+        if a_root is None:
+            raise CommunicatorError("root rank did not receive the input matrix")
+        node_data[root.node_id] = (a_root, None)
+
+    # ---- phase 1: distribution (top-down, level by level) -----------------
+    for node in order:
+        if node.parent_id is None:
+            continue
+        parent = tree.nodes[node.parent_id]
+        if rank == parent.owner:
+            parent_data = node_data[parent.node_id]
+            child_a = _operand_from_parent(node.a, parent, parent_data)
+            child_b = None
+            if node.b is not None:
+                child_b = _operand_from_parent(node.b, parent, parent_data)
+            if node.owner == rank:
+                node_data[node.node_id] = (child_a, child_b)
+            else:
+                payload = (np.ascontiguousarray(child_a),
+                           None if child_b is None else np.ascontiguousarray(child_b))
+                comm.send(payload, node.owner, tag=node.node_id)
+        elif rank == node.owner:
+            node_data[node.node_id] = comm.recv(parent.owner, tag=node.node_id)
+
+    # ---- phase 2: local computation (no communication) --------------------
+    for node in order:
+        if not node.is_leaf or node.owner != rank:
+            continue
+        a_arr, b_arr = node_data[node.node_id]
+        out = np.zeros(node.c.shape, dtype=dtype)
+        if node.kind is ComputationType.ATA:
+            ata(np.ascontiguousarray(a_arr, dtype=dtype), out, alpha, cache=cache)
+        else:
+            a_contig = np.ascontiguousarray(a_arr, dtype=dtype)
+            b_contig = np.ascontiguousarray(b_arr, dtype=dtype)
+            if use_strassen:
+                fast_strassen(a_contig, b_contig, out, alpha, cache=cache)
+            else:
+                recursive_gemm(a_contig, b_contig, out, alpha, cache=cache)
+        results[node.node_id] = out
+
+    # ---- phase 3: retrieval (bottom-up) ------------------------------------
+    for node in reversed(order):
+        if rank == node.owner and not node.is_leaf:
+            agg = np.zeros(node.c.shape, dtype=dtype)
+            for child in node.children:
+                if child.owner == rank:
+                    child_res = results[child.node_id]
+                else:
+                    payload = comm.recv(child.owner, tag=_RETRIEVE_TAG_OFFSET + child.node_id)
+                    if child.kind is ComputationType.ATA:
+                        child_res = unpack_lower(payload, child.c.rows, dtype=dtype)
+                    else:
+                        child_res = payload
+                r0 = child.c.row - node.c.row
+                c0 = child.c.col - node.c.col
+                agg[r0:r0 + child.c.rows, c0:c0 + child.c.cols] += child_res
+            results[node.node_id] = agg
+
+        if rank == node.owner and node.parent_id is not None:
+            parent = tree.nodes[node.parent_id]
+            if parent.owner != rank:
+                block = results[node.node_id]
+                if node.kind is ComputationType.ATA and node.c.rows == node.c.cols:
+                    comm.send(pack_lower(block), parent.owner,
+                              tag=_RETRIEVE_TAG_OFFSET + node.node_id)
+                else:
+                    comm.send(np.ascontiguousarray(block), parent.owner,
+                              tag=_RETRIEVE_TAG_OFFSET + node.node_id)
+
+    if rank == root.owner:
+        return results[root.node_id]
+    return None
+
+
+# ---------------------------------------------------------------------------
+# public entry point
+# ---------------------------------------------------------------------------
+
+def ata_distributed(a: np.ndarray, processes: int = 4, alpha: float = 1.0, *,
+                    cache: Optional[CacheModel] = None,
+                    tree: Optional[TaskTree] = None,
+                    use_strassen: bool = True,
+                    return_stats: bool = False,
+                    timeout: float = 120.0,
+                    ) -> Union[np.ndarray, Tuple[np.ndarray, DistributedRunStats]]:
+    """Lower-triangular ``C = alpha * A^T A`` computed by AtA-D on
+    ``processes`` simulated MPI ranks.
+
+    Parameters
+    ----------
+    a:
+        Input matrix of shape ``(m, n)``, initially owned by the root rank
+        only (the distribute–compute–retrieve paradigm of Section 4.3).
+    processes:
+        Number of MPI ranks ``P``.
+    alpha:
+        Scaling of the product.
+    cache:
+        Ideal cache model for the per-rank local recursions.
+    tree:
+        Optional pre-built distributed task tree (must match ``a`` and
+        ``processes``).
+    use_strassen:
+        Use FastStrassen (default) or RecursiveGEMM for A^T B leaves.
+    return_stats:
+        When True, return ``(C, DistributedRunStats)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        The ``n x n`` result with its lower triangle holding ``alpha A^T A``
+        (strict upper triangle is zero), as assembled on the root rank.
+    """
+    validate_matrix(a, "A")
+    m, n = a.shape
+    if processes < 1:
+        raise ShapeError(f"processes must be >= 1, got {processes}")
+
+    if tree is None:
+        tree = build_task_tree(m, n, processes, mode="distributed")
+    elif tree.mode != "distributed" or tree.m != m or tree.n != n or tree.processes != processes:
+        raise ShapeError("supplied task tree does not match the problem "
+                         f"(tree is {tree.mode} {tree.m}x{tree.n} for {tree.processes} ranks)")
+
+    model = cache if cache is not None else default_cache_model(a.dtype)
+    dtype = np.dtype(a.dtype)
+
+    def program(comm: Communicator) -> Optional[np.ndarray]:
+        a_local = a if comm.rank == tree.root.owner else None
+        return _ata_d_program(comm, tree, a_local, alpha, model, use_strassen, dtype)
+
+    start = time.perf_counter()
+    results, stats = run_spmd(processes, program, timeout=timeout)
+    wall = time.perf_counter() - start
+
+    c = results[tree.root.owner]
+    if c is None:  # pragma: no cover - defensive
+        raise CommunicatorError("root rank produced no result")
+
+    if return_stats:
+        return c, DistributedRunStats(comm=stats, tree=tree, wall_time=wall,
+                                      processes=processes)
+    return c

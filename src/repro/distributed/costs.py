@@ -1,0 +1,86 @@
+"""Analytic computational and communication costs of AtA-D (Props. 4.1, 4.2).
+
+Proposition 4.1 (computation): with the load-balancing parameter α = 1/2,
+the per-process computational cost of AtA-D on an ``n x n`` input with
+``P`` processes is
+
+    C(n, P) = O( (n / 2^{ℓ(P)})² · n / 2^{ℓ(P) - 1} )
+
+i.e. the cost of the largest leaf-level A^T B product.
+
+Proposition 4.2 (communication): along the critical path (the root process
+``p0``),
+
+    latency      L(n, P)  = O( 2 · [ 7 (ℓ(P) - 1) + 5 ] )
+    bandwidth    BW(n, P) ≤ 6 (n/2)² + n (n + 2) / 2
+                            + (7/6) n² (1 - 1/4^{ℓ(P) - 2})
+
+expressed in transferred *words* (matrix elements).  These formulas are
+evaluated here so the test-suite and the ablation benchmark can compare
+them with the message/byte counters actually recorded by the simulated MPI
+layer during an AtA-D run.
+"""
+
+from __future__ import annotations
+
+from ..scheduler.levels import parallel_levels_distributed
+
+__all__ = [
+    "computation_cost",
+    "latency_messages",
+    "bandwidth_words",
+    "distribution_bandwidth_words",
+    "retrieval_bandwidth_words",
+    "modeled_word_bytes",
+]
+
+
+def computation_cost(n: int, processes: int) -> float:
+    """Prop. 4.1: classical-flop cost of the heaviest leaf, α = 1/2."""
+    levels = parallel_levels_distributed(processes)
+    leaf_n = n / (2.0 ** levels)
+    leaf_m = n / (2.0 ** max(levels - 1, 0))
+    return leaf_n * leaf_n * leaf_m
+
+
+def latency_messages(n: int, processes: int) -> int:
+    """Prop. 4.2 latency term: messages on the root's critical path,
+    ``2 [7 (ℓ(P) - 1) + 5]`` (distribution plus retrieval)."""
+    levels = parallel_levels_distributed(processes)
+    return 2 * (7 * max(levels - 1, 0) + 5)
+
+
+def distribution_bandwidth_words(n: int, processes: int) -> float:
+    """Words sent by the root during the distribution phase:
+    ``5 (n/2)² + (7/12) n² (1 - 1/4^{ℓ-2})`` (proof of Prop. 4.2)."""
+    levels = parallel_levels_distributed(processes)
+    geo = _geometric_tail(levels)
+    return 5.0 * (n / 2.0) ** 2 + (7.0 / 12.0) * n * n * geo
+
+
+def retrieval_bandwidth_words(n: int, processes: int) -> float:
+    """Words received by the root during result retrieval:
+    ``(n/2)² + n(n+2)/2 + (7/12) n² (1 - 1/4^{ℓ-2})``."""
+    levels = parallel_levels_distributed(processes)
+    geo = _geometric_tail(levels)
+    return (n / 2.0) ** 2 + n * (n + 2.0) / 2.0 + (7.0 / 12.0) * n * n * geo
+
+
+def bandwidth_words(n: int, processes: int) -> float:
+    """Prop. 4.2 bandwidth bound: total words on the root's critical path,
+    ``6 (n/2)² + n (n+2)/2 + (7/6) n² (1 - 1/4^{ℓ-2})``."""
+    return distribution_bandwidth_words(n, processes) + retrieval_bandwidth_words(n, processes)
+
+
+def _geometric_tail(levels: int) -> float:
+    """``1 - 1/4^{ℓ - 2}`` clamped to be non-negative (it is zero or
+    negative for ℓ <= 2, where the sum over levels 2..ℓ is empty)."""
+    if levels <= 2:
+        return 0.0
+    return 1.0 - 1.0 / (4.0 ** (levels - 2))
+
+
+def modeled_word_bytes(dtype_itemsize: int, words: float) -> float:
+    """Convert a word count from the propositions into bytes for the α–β
+    network model."""
+    return float(words) * float(dtype_itemsize)

@@ -1,0 +1,138 @@
+"""Network and cluster cost model (α–β model, TeraStat topology).
+
+The distributed experiments of the paper run on *TeraStat*, a cluster of 12
+nodes with 2 × 8-core Intel Xeon E5-2630 v3 processors (2.4 GHz) and 4 GB
+of RAM per core, connected by a commodity high-speed network.  Absolute
+network parameters are not reported, so this module models communication
+with the standard α–β (latency–bandwidth) model used by the papers the
+authors cite for their communication analysis ([1], [26]):
+
+    time(messages, bytes) = α · messages + bytes / β
+
+with defaults representative of a QDR InfiniBand cluster of that
+generation (α ≈ 2 µs, β ≈ 4 GB/s).  The model converts the message and
+byte counters collected by the simulated MPI layer into modeled
+communication seconds; the performance model adds the modeled compute time
+to obtain the end-to-end numbers of Fig. 6 and Table 1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = ["NetworkModel", "ClusterTopology", "TERASTAT", "LOCAL_SIMULATED"]
+
+
+@dataclasses.dataclass(frozen=True)
+class NetworkModel:
+    """The α–β point-to-point communication cost model.
+
+    Attributes
+    ----------
+    latency_s:
+        Per-message fixed cost α in seconds.
+    bandwidth_bytes_per_s:
+        Sustained point-to-point bandwidth β in bytes/second.
+    """
+
+    latency_s: float = 2.0e-6
+    bandwidth_bytes_per_s: float = 4.0e9
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ConfigurationError(f"latency must be non-negative, got {self.latency_s}")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError(
+                f"bandwidth must be positive, got {self.bandwidth_bytes_per_s}")
+
+    def time(self, messages: int, nbytes: int) -> float:
+        """Modeled seconds to transfer ``messages`` messages totalling
+        ``nbytes`` bytes over one link, serially."""
+        return self.latency_s * float(messages) + float(nbytes) / self.bandwidth_bytes_per_s
+
+    def message_time(self, nbytes: int) -> float:
+        """Modeled seconds for a single message of ``nbytes`` bytes."""
+        return self.time(1, nbytes)
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterTopology:
+    """A homogeneous cluster: nodes × sockets × cores, plus its network.
+
+    The topology decides which communications are intra-node (cheap,
+    modeled with the shared-memory network parameters) and which cross the
+    interconnect, when the performance model is asked to map ranks onto
+    nodes round-robin or block-wise.
+    """
+
+    name: str
+    nodes: int
+    sockets_per_node: int
+    cores_per_socket: int
+    ghz: float
+    ram_per_core_gb: float
+    network: NetworkModel = NetworkModel()
+    intra_node_network: NetworkModel = NetworkModel(latency_s=5.0e-7,
+                                                    bandwidth_bytes_per_s=20.0e9)
+
+    def __post_init__(self) -> None:
+        if min(self.nodes, self.sockets_per_node, self.cores_per_socket) < 1:
+            raise ConfigurationError("topology extents must all be >= 1")
+
+    @property
+    def cores_per_node(self) -> int:
+        return self.sockets_per_node * self.cores_per_socket
+
+    @property
+    def total_cores(self) -> int:
+        return self.nodes * self.cores_per_node
+
+    def node_of_rank(self, rank: int, *, ranks_per_node: int | None = None) -> int:
+        """Node index hosting ``rank`` under block placement."""
+        per_node = ranks_per_node if ranks_per_node else self.cores_per_node
+        return rank // per_node
+
+    def link_for(self, src: int, dst: int, *, ranks_per_node: int | None = None) -> NetworkModel:
+        """The network model governing a message from ``src`` to ``dst``."""
+        if self.node_of_rank(src, ranks_per_node=ranks_per_node) == \
+                self.node_of_rank(dst, ranks_per_node=ranks_per_node):
+            return self.intra_node_network
+        return self.network
+
+    def pair_time(self, nbytes_by_pair: Dict[Tuple[int, int], int],
+                  *, ranks_per_node: int | None = None) -> float:
+        """Modeled time of a set of point-to-point transfers, assuming the
+        transfers of distinct pairs overlap perfectly (the maximum over
+        pairs) — a lower bound matching the paper's parallel-communication
+        scheme during distribution and retrieval."""
+        worst = 0.0
+        for (src, dst), nbytes in nbytes_by_pair.items():
+            model = self.link_for(src, dst, ranks_per_node=ranks_per_node)
+            worst = max(worst, model.message_time(nbytes))
+        return worst
+
+
+#: The paper's cluster: 12 nodes × (2 × 8-core Xeon E5-2630 v3 @ 2.4 GHz),
+#: 4 GB RAM per core.
+TERASTAT = ClusterTopology(
+    name="TeraStat",
+    nodes=12,
+    sockets_per_node=2,
+    cores_per_socket=8,
+    ghz=2.4,
+    ram_per_core_gb=4.0,
+)
+
+#: A single-node "cluster" describing the reproduction host; used when the
+#: benchmarks are asked for measured rather than modeled numbers.
+LOCAL_SIMULATED = ClusterTopology(
+    name="local-simulated",
+    nodes=1,
+    sockets_per_node=1,
+    cores_per_socket=1,
+    ghz=2.0,
+    ram_per_core_gb=4.0,
+)

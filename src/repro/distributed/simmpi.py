@@ -1,0 +1,342 @@
+"""A simulated MPI layer (the distributed-memory substrate).
+
+The paper's AtA-D runs on a cluster through MPI.  This reproduction runs in
+a single Python process, so this module provides an in-process,
+thread-backed message-passing layer with the subset of MPI semantics the
+algorithms and baselines need:
+
+* SPMD launch (:func:`run_spmd`): every rank runs the same program function
+  concurrently on its own thread;
+* blocking point-to-point ``send`` / ``recv`` with source and tag matching
+  (unbounded buffering on the receiver side, so ``send`` never deadlocks —
+  the "eager" protocol);
+* the collectives used by the baselines: ``bcast``, ``scatter``,
+  ``gather``, ``allgather``, ``reduce``, ``allreduce``, ``barrier``;
+* per-rank traffic accounting (message and byte counters, per-peer and
+  total) that the performance model converts into modeled communication
+  time with an α–β network model, and that the tests compare against the
+  analytic bounds of Prop. 4.2.
+
+numpy arrays are transferred without copies being charged to compute (the
+receiver gets a copy so that rank-local mutation cannot alias another
+rank's buffer, as in real distributed memory).  Arbitrary picklable Python
+objects are also supported (their pickled size is what gets counted),
+mirroring mpi4py's lowercase-method convention.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+import queue
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..blas import counters as blas_counters
+from ..errors import CommunicatorError
+
+__all__ = ["CommStats", "Communicator", "run_spmd", "ANY_SOURCE", "ANY_TAG"]
+
+#: Wildcard source / tag values (match-anything), mirroring MPI.
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: Default number of seconds a blocking receive waits before concluding the
+#: program has deadlocked.  Kept finite so a buggy algorithm fails a test
+#: instead of hanging the suite.
+DEFAULT_TIMEOUT = 120.0
+
+
+def _payload_bytes(obj: Any) -> int:
+    """Number of bytes a message payload would occupy on the wire."""
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:  # pragma: no cover - unpicklable payloads
+        return 0
+
+
+def _copy_payload(obj: Any) -> Any:
+    """Copy a payload so sender and receiver never alias memory."""
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    return obj
+
+
+@dataclasses.dataclass
+class CommStats:
+    """Aggregated traffic statistics of one SPMD run."""
+
+    size: int
+    sent_messages: List[int]
+    sent_bytes: List[int]
+    received_messages: List[int]
+    received_bytes: List[int]
+    per_pair_bytes: Dict[Tuple[int, int], int]
+    per_rank_flops: List[int]
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.sent_messages)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.sent_bytes)
+
+    def messages_on_rank(self, rank: int) -> int:
+        """Messages on ``rank``'s critical path (sent plus received), the
+        quantity bounded by the latency term of Prop. 4.2."""
+        return self.sent_messages[rank] + self.received_messages[rank]
+
+    def bytes_on_rank(self, rank: int) -> int:
+        return self.sent_bytes[rank] + self.received_bytes[rank]
+
+    def max_rank_flops(self) -> int:
+        return max(self.per_rank_flops) if self.per_rank_flops else 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "size": self.size,
+            "total_messages": self.total_messages,
+            "total_bytes": self.total_bytes,
+            "sent_messages": list(self.sent_messages),
+            "sent_bytes": list(self.sent_bytes),
+            "received_messages": list(self.received_messages),
+            "received_bytes": list(self.received_bytes),
+            "per_rank_flops": list(self.per_rank_flops),
+        }
+
+
+class _World:
+    """Shared state of one SPMD execution (mailboxes, counters, barrier)."""
+
+    def __init__(self, size: int, timeout: float) -> None:
+        self.size = size
+        self.timeout = timeout
+        self.mailboxes: List["queue.Queue[Tuple[int, int, Any, int]]"] = [
+            queue.Queue() for _ in range(size)
+        ]
+        self.lock = threading.Lock()
+        self.sent_messages = [0] * size
+        self.sent_bytes = [0] * size
+        self.received_messages = [0] * size
+        self.received_bytes = [0] * size
+        self.per_pair_bytes: Dict[Tuple[int, int], int] = {}
+        self.per_rank_counters = [blas_counters.CounterSet() for _ in range(size)]
+        self.barrier = threading.Barrier(size)
+        self.abort = threading.Event()
+
+    def stats(self) -> CommStats:
+        return CommStats(
+            size=self.size,
+            sent_messages=list(self.sent_messages),
+            sent_bytes=list(self.sent_bytes),
+            received_messages=list(self.received_messages),
+            received_bytes=list(self.received_bytes),
+            per_pair_bytes=dict(self.per_pair_bytes),
+            per_rank_flops=[c.total_flops for c in self.per_rank_counters],
+        )
+
+
+class Communicator:
+    """The per-rank handle handed to an SPMD program.
+
+    Provides the MPI-like API (``rank``, ``size``, ``send``, ``recv``,
+    collectives) plus traffic accounting.  Each rank has exactly one
+    communicator instance, used only from its own thread.
+    """
+
+    def __init__(self, world: _World, rank: int) -> None:
+        self._world = world
+        self.rank = rank
+        self.size = world.size
+        # Messages that were popped from the mailbox while looking for a
+        # specific (source, tag) and must be re-delivered later.
+        self._stash: List[Tuple[int, int, Any, int]] = []
+
+    # -- point to point -----------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Send ``obj`` to rank ``dest`` (eager, never blocks)."""
+        if not (0 <= dest < self.size):
+            raise CommunicatorError(f"destination rank {dest} out of range 0..{self.size - 1}")
+        if dest == self.rank:
+            # self-sends are legal (and used by collectives); they bypass
+            # the traffic counters like an in-memory copy would.
+            self._world.mailboxes[dest].put((self.rank, tag, _copy_payload(obj), 0))
+            return
+        nbytes = _payload_bytes(obj)
+        with self._world.lock:
+            self._world.sent_messages[self.rank] += 1
+            self._world.sent_bytes[self.rank] += nbytes
+            self._world.received_messages[dest] += 1
+            self._world.received_bytes[dest] += nbytes
+            key = (self.rank, dest)
+            self._world.per_pair_bytes[key] = self._world.per_pair_bytes.get(key, 0) + nbytes
+        blas_counters.record("send", bytes=nbytes)
+        self._world.mailboxes[dest].put((self.rank, tag, _copy_payload(obj), nbytes))
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Blocking receive matching ``source`` and ``tag`` (wildcards allowed)."""
+        # first look in the stash of already-popped, unmatched messages
+        for idx, (src, msg_tag, payload, _nbytes) in enumerate(self._stash):
+            if _matches(src, msg_tag, source, tag):
+                self._stash.pop(idx)
+                return payload
+        deadline = self._world.timeout
+        while True:
+            if self._world.abort.is_set():
+                raise CommunicatorError(f"rank {self.rank}: aborted because another rank failed")
+            try:
+                src, msg_tag, payload, _nbytes = self._world.mailboxes[self.rank].get(timeout=min(deadline, 0.5))
+            except queue.Empty:
+                deadline -= 0.5
+                if deadline <= 0:
+                    raise CommunicatorError(
+                        f"rank {self.rank}: receive from source={source} tag={tag} timed out "
+                        f"after {self._world.timeout}s (likely deadlock)"
+                    ) from None
+                continue
+            if _matches(src, msg_tag, source, tag):
+                return payload
+            self._stash.append((src, msg_tag, payload, _nbytes))
+
+    def sendrecv(self, obj: Any, dest: int, source: int, send_tag: int = 0,
+                 recv_tag: int = ANY_TAG) -> Any:
+        """Combined send and receive (used by the SUMMA baseline)."""
+        self.send(obj, dest, send_tag)
+        return self.recv(source, recv_tag)
+
+    # -- collectives ---------------------------------------------------------
+    def barrier(self) -> None:
+        """Synchronise all ranks."""
+        self._world.barrier.wait(timeout=self._world.timeout)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root`` to every rank."""
+        tag = _COLLECTIVE_TAGS["bcast"]
+        if self.rank == root:
+            for dest in range(self.size):
+                if dest != root:
+                    self.send(obj, dest, tag)
+            return _copy_payload(obj)
+        return self.recv(root, tag)
+
+    def scatter(self, chunks: Optional[Sequence[Any]], root: int = 0) -> Any:
+        """Scatter one chunk to each rank from ``root``."""
+        tag = _COLLECTIVE_TAGS["scatter"]
+        if self.rank == root:
+            if chunks is None or len(chunks) != self.size:
+                raise CommunicatorError(
+                    f"scatter at root needs exactly {self.size} chunks"
+                )
+            for dest, chunk in enumerate(chunks):
+                if dest != root:
+                    self.send(chunk, dest, tag)
+            return _copy_payload(chunks[root])
+        return self.recv(root, tag)
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        """Gather one object from every rank at ``root``."""
+        tag = _COLLECTIVE_TAGS["gather"]
+        if self.rank == root:
+            out: List[Any] = [None] * self.size
+            out[root] = _copy_payload(obj)
+            for _ in range(self.size - 1):
+                # accept in any order; senders prepend their rank
+                src_rank, payload = self.recv(ANY_SOURCE, tag)
+                out[src_rank] = payload
+            return out
+        self.send((self.rank, obj), root, tag)
+        return None
+
+    def allgather(self, obj: Any) -> List[Any]:
+        """Gather at rank 0 then broadcast the list to everyone."""
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def reduce(self, value: Any, op: Callable[[Any, Any], Any] = None, root: int = 0) -> Any:
+        """Reduce values from all ranks at ``root`` (default op: addition)."""
+        op = op if op is not None else _add
+        gathered = self.gather(value, root=root)
+        if self.rank != root:
+            return None
+        acc = gathered[0]
+        for item in gathered[1:]:
+            acc = op(acc, item)
+        return acc
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any] = None) -> Any:
+        """Reduce then broadcast the result to every rank."""
+        reduced = self.reduce(value, op=op, root=0)
+        return self.bcast(reduced, root=0)
+
+
+def _add(a: Any, b: Any) -> Any:
+    return a + b
+
+
+def _matches(src: int, msg_tag: int, want_src: int, want_tag: int) -> bool:
+    return ((want_src == ANY_SOURCE or src == want_src)
+            and (want_tag == ANY_TAG or msg_tag == want_tag))
+
+
+_COLLECTIVE_TAGS = {"bcast": -101, "scatter": -102, "gather": -103}
+
+
+def run_spmd(size: int, program: Callable[..., Any], *args: Any,
+             timeout: float = DEFAULT_TIMEOUT, **kwargs: Any
+             ) -> Tuple[List[Any], CommStats]:
+    """Run ``program(comm, *args, **kwargs)`` on ``size`` simulated ranks.
+
+    Every rank executes on its own thread with its own
+    :class:`Communicator`.  Flop/byte counters recorded by the BLAS kernels
+    during a rank's execution are attributed to that rank.
+
+    Returns
+    -------
+    (results, stats):
+        ``results[r]`` is the program's return value on rank ``r``;
+        ``stats`` aggregates the traffic of the whole run.
+
+    Raises
+    ------
+    CommunicatorError
+        If any rank raised an exception (the first failure is re-raised
+        with its rank identified) or a receive timed out.
+    """
+    if size < 1:
+        raise CommunicatorError(f"world size must be >= 1, got {size}")
+    world = _World(size, timeout)
+    results: List[Any] = [None] * size
+    errors: List[Optional[BaseException]] = [None] * size
+
+    def runner(rank: int) -> None:
+        comm = Communicator(world, rank)
+        blas_counters.push(world.per_rank_counters[rank])
+        try:
+            results[rank] = program(comm, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - reported to the caller
+            errors[rank] = exc
+            world.abort.set()
+        finally:
+            blas_counters.pop(world.per_rank_counters[rank])
+
+    if size == 1:
+        runner(0)
+    else:
+        threads = [threading.Thread(target=runner, args=(rank,), name=f"simmpi-rank-{rank}")
+                   for rank in range(size)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    for rank, exc in enumerate(errors):
+        if exc is not None:
+            raise CommunicatorError(f"rank {rank} failed: {exc!r}") from exc
+    return results, world.stats()

@@ -1,0 +1,61 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError`, so that
+callers can catch library-specific failures without masking programming
+errors (``TypeError``, ``KeyError``…) coming from user code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all exceptions raised by the :mod:`repro` library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """Raised when matrix operands have incompatible or invalid shapes."""
+
+
+class DTypeError(ReproError, TypeError):
+    """Raised when matrix operands have unsupported or mismatched dtypes."""
+
+
+class LayoutError(ReproError, ValueError):
+    """Raised when an array does not satisfy a required memory layout.
+
+    The recursive kernels operate on views of the caller's arrays; some
+    entry points require C-contiguous (row-major) storage in order for the
+    quadrant views of Eq. (1) of the paper to be cheap, strided views.
+    """
+
+
+class WorkspaceError(ReproError, RuntimeError):
+    """Raised when a pre-allocated Strassen workspace is too small.
+
+    See Section 3.3 of the paper: ``FastStrassen`` pre-allocates the three
+    scratch matrices ``M``, ``P`` and ``Q`` once; the recursion carves
+    sub-views out of them.  If a caller supplies an explicitly-sized
+    workspace that cannot accommodate the recursion this error is raised
+    instead of silently reallocating.
+    """
+
+
+class SchedulerError(ReproError, RuntimeError):
+    """Raised when a task tree cannot be built or assigned consistently."""
+
+
+class CommunicatorError(ReproError, RuntimeError):
+    """Raised by the simulated MPI layer (:mod:`repro.distributed.simmpi`).
+
+    Typical causes: messages addressed to ranks outside the communicator,
+    mismatched collective participation, or use of a communicator after it
+    has been shut down.
+    """
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Raised when a configuration value is out of its legal range."""
+
+
+class BenchmarkError(ReproError, RuntimeError):
+    """Raised by the benchmark harness when an experiment is ill-defined."""

@@ -1,0 +1,20 @@
+"""Shared-memory parallel substrate and the AtA-S algorithm (Section 4.2)."""
+
+from .ata_shared import ata_shared, make_task_callable
+from .executor import (
+    ExecutionReport,
+    SerialExecutor,
+    SimulatedCoreExecutor,
+    ThreadPoolExecutorBackend,
+    get_executor,
+)
+
+__all__ = [
+    "ata_shared",
+    "make_task_callable",
+    "ExecutionReport",
+    "SerialExecutor",
+    "SimulatedCoreExecutor",
+    "ThreadPoolExecutorBackend",
+    "get_executor",
+]

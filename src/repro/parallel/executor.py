@@ -1,0 +1,163 @@
+"""Execution backends for the shared-memory algorithm.
+
+The paper's AtA-S runs its leaf tasks on OpenMP threads.  In this
+reproduction three interchangeable backends are provided:
+
+``SerialExecutor``
+    Runs tasks one after another in the calling thread.  Deterministic,
+    always available; the default for correctness tests.
+
+``ThreadPoolExecutorBackend``
+    Runs tasks on a :class:`concurrent.futures.ThreadPoolExecutor`.  The
+    numpy kernels at the base of the recursion release the GIL while inside
+    BLAS, so genuine overlap occurs for large matrices; for small ones the
+    GIL serialises the Python-level recursion (this is the "GIL kills task
+    parallelism" caveat documented in DESIGN.md).
+
+``SimulatedCoreExecutor``
+    Runs tasks serially but *accounts* their cost per simulated core: each
+    task is charged to the worker that owns it and the backend reports the
+    per-worker busy time (both measured wall-clock and counted flops).  The
+    performance model uses these per-core timelines to produce the modeled
+    parallel execution time of Fig. 5 — the critical-path (maximum) over
+    workers — without needing 16 physical cores.
+
+All backends consume ``(worker, callable)`` pairs and return a
+:class:`ExecutionReport`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..blas.counters import CounterSet, counting
+
+__all__ = [
+    "ExecutionReport",
+    "SerialExecutor",
+    "ThreadPoolExecutorBackend",
+    "SimulatedCoreExecutor",
+    "get_executor",
+]
+
+WorkItem = Tuple[int, Callable[[], None]]
+
+
+@dataclasses.dataclass
+class ExecutionReport:
+    """What an executor observed while running a batch of tasks.
+
+    Attributes
+    ----------
+    wall_time:
+        Elapsed wall-clock seconds for the whole batch.
+    per_worker_time:
+        Seconds of task execution attributed to each worker.  For real
+        thread pools this is measured inside each task; for the simulated
+        backend it is the serial measurement attributed to the owning
+        worker.
+    per_worker_counters:
+        Flop/byte counters attributed to each worker.
+    critical_path_time:
+        ``max(per_worker_time.values())`` — the modeled parallel makespan
+        under perfect overlap (what a collision-free schedule achieves).
+    """
+
+    wall_time: float = 0.0
+    per_worker_time: Dict[int, float] = dataclasses.field(default_factory=dict)
+    per_worker_counters: Dict[int, CounterSet] = dataclasses.field(default_factory=dict)
+    tasks_run: int = 0
+
+    @property
+    def critical_path_time(self) -> float:
+        if not self.per_worker_time:
+            return 0.0
+        return max(self.per_worker_time.values())
+
+    @property
+    def total_busy_time(self) -> float:
+        return sum(self.per_worker_time.values())
+
+    def worker_flops(self, worker: int) -> int:
+        counters = self.per_worker_counters.get(worker)
+        return counters.total_flops if counters is not None else 0
+
+    @property
+    def total_flops(self) -> int:
+        return sum(c.total_flops for c in self.per_worker_counters.values())
+
+
+class _BaseExecutor:
+    def _run_one(self, worker: int, fn: Callable[[], None], report: ExecutionReport) -> None:
+        counters = report.per_worker_counters.setdefault(worker, CounterSet())
+        start = time.perf_counter()
+        with counting(counters):
+            fn()
+        elapsed = time.perf_counter() - start
+        report.per_worker_time[worker] = report.per_worker_time.get(worker, 0.0) + elapsed
+        report.tasks_run += 1
+
+
+class SerialExecutor(_BaseExecutor):
+    """Run every task in the calling thread, in submission order."""
+
+    def run(self, items: Sequence[WorkItem]) -> ExecutionReport:
+        report = ExecutionReport()
+        start = time.perf_counter()
+        for worker, fn in items:
+            self._run_one(worker, fn, report)
+        report.wall_time = time.perf_counter() - start
+        return report
+
+
+class SimulatedCoreExecutor(SerialExecutor):
+    """Identical execution to :class:`SerialExecutor`; the distinction is
+    semantic — callers use it when they intend to read the per-worker
+    timelines as simulated cores rather than real ones."""
+
+
+class ThreadPoolExecutorBackend(_BaseExecutor):
+    """Run tasks on a thread pool with ``max_workers`` threads.
+
+    Tasks owned by the same worker index are serialised with respect to
+    each other (they are submitted as one chained job), preserving the
+    paper's model where each thread executes its own task list.
+    """
+
+    def __init__(self, max_workers: int) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+
+    def run(self, items: Sequence[WorkItem]) -> ExecutionReport:
+        report = ExecutionReport()
+        by_worker: Dict[int, List[Callable[[], None]]] = {}
+        for worker, fn in items:
+            by_worker.setdefault(worker, []).append(fn)
+
+        def run_worker(worker: int, fns: List[Callable[[], None]]) -> None:
+            for fn in fns:
+                self._run_one(worker, fn, report)
+
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = [pool.submit(run_worker, worker, fns)
+                       for worker, fns in by_worker.items()]
+            for fut in futures:
+                fut.result()
+        report.wall_time = time.perf_counter() - start
+        return report
+
+
+def get_executor(name: str, workers: int = 1):
+    """Factory: ``"serial"``, ``"threads"`` or ``"simulated"``."""
+    if name == "serial":
+        return SerialExecutor()
+    if name == "threads":
+        return ThreadPoolExecutorBackend(max_workers=workers)
+    if name == "simulated":
+        return SimulatedCoreExecutor()
+    raise ValueError(f"unknown executor {name!r}; expected 'serial', 'threads' or 'simulated'")

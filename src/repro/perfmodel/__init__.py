@@ -1,0 +1,49 @@
+"""Performance model: machine specs, modeled timing, paper metrics."""
+
+from .machine import LOCAL_HOST, MachineSpec, XEON_E5_2630V3
+from .metrics import (
+    ata_model_flops,
+    effective_gflops,
+    effective_gflops_rect,
+    percent_of_peak,
+    speedup,
+)
+from .timing import (
+    ModeledTime,
+    communication_time,
+    compute_time,
+    model_distributed_ata,
+    model_distributed_caps,
+    model_distributed_cosma,
+    model_distributed_pdsyrk,
+    model_sequential_ata,
+    model_sequential_gemm,
+    model_sequential_strassen,
+    model_sequential_syrk,
+    model_shared_ata,
+    model_shared_syrk,
+)
+
+__all__ = [
+    "LOCAL_HOST",
+    "MachineSpec",
+    "XEON_E5_2630V3",
+    "ata_model_flops",
+    "effective_gflops",
+    "effective_gflops_rect",
+    "percent_of_peak",
+    "speedup",
+    "ModeledTime",
+    "communication_time",
+    "compute_time",
+    "model_distributed_ata",
+    "model_distributed_caps",
+    "model_distributed_cosma",
+    "model_distributed_pdsyrk",
+    "model_sequential_ata",
+    "model_sequential_gemm",
+    "model_sequential_strassen",
+    "model_sequential_syrk",
+    "model_shared_ata",
+    "model_shared_syrk",
+]

@@ -1,0 +1,120 @@
+"""Machine descriptions for the performance model.
+
+The paper reports wall-clock seconds and effective GFLOPs measured on
+TeraStat nodes (Intel Xeon E5-2630 v3, Haswell-EP: 8 cores per socket,
+2.4 GHz, AVX2 + FMA → 16 double-precision flops per cycle per core).  The
+reproduction host is a single-core container, so the benchmark harness
+reports *two* numbers for every experiment:
+
+* the **measured** time of the scaled-down run on the local host, and
+* the **modeled** time on the paper's hardware, obtained by pricing the
+  counted flops / bytes / messages with the :class:`MachineSpec` below.
+
+A :class:`MachineSpec` deliberately stays simple: peak floating point rate
+per core (with an efficiency factor representing how close a tuned dense
+kernel gets to peak), sustained memory bandwidth, and the owning cluster
+topology for network costs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..distributed.network import TERASTAT, ClusterTopology
+from ..errors import ConfigurationError
+
+__all__ = ["MachineSpec", "XEON_E5_2630V3", "LOCAL_HOST"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineSpec:
+    """A node-level performance description.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    ghz:
+        Core clock in GHz.
+    flops_per_cycle:
+        Peak floating point operations per cycle per core for the precision
+        of interest (16 for FP64 FMA+AVX2 Haswell, 32 for FP32).
+    cores:
+        Physical cores per node.
+    dense_efficiency:
+        Fraction of peak a well-tuned dense kernel (vendor BLAS) sustains.
+    stream_bandwidth_gbs:
+        Sustained memory bandwidth per node, GB/s.
+    topology:
+        Cluster the node belongs to (provides network parameters).
+    """
+
+    name: str
+    ghz: float
+    flops_per_cycle: int
+    cores: int
+    dense_efficiency: float = 0.85
+    stream_bandwidth_gbs: float = 50.0
+    topology: ClusterTopology = TERASTAT
+
+    def __post_init__(self) -> None:
+        if self.ghz <= 0 or self.flops_per_cycle <= 0 or self.cores <= 0:
+            raise ConfigurationError("machine rates must be positive")
+        if not (0.0 < self.dense_efficiency <= 1.0):
+            raise ConfigurationError(
+                f"dense_efficiency must be in (0, 1], got {self.dense_efficiency}")
+
+    # -- rates ---------------------------------------------------------------
+    @property
+    def peak_gflops_per_core(self) -> float:
+        """Theoretical peak GFLOP/s of one core."""
+        return self.ghz * self.flops_per_cycle
+
+    @property
+    def peak_gflops_per_node(self) -> float:
+        return self.peak_gflops_per_core * self.cores
+
+    def sustained_flops_per_second(self, cores: int = 1) -> float:
+        """Sustained flop rate (flops/s) of ``cores`` cores of this machine.
+
+        ``cores`` may exceed :attr:`cores` when the caller models a
+        multi-socket node or a whole-node rank (Table 1's hybrid setup);
+        the rate simply scales linearly, leaving saturation effects to the
+        caller's efficiency argument.
+        """
+        cores = max(1, cores)
+        return self.peak_gflops_per_core * 1e9 * self.dense_efficiency * cores
+
+    def for_dtype(self, dtype) -> "MachineSpec":
+        """Return a spec whose peak reflects ``dtype`` (FP32 doubles the
+        per-cycle throughput relative to FP64 on the paper's hardware)."""
+        itemsize = np.dtype(dtype).itemsize
+        if itemsize >= 8:
+            return self
+        return dataclasses.replace(self, flops_per_cycle=self.flops_per_cycle * 2)
+
+
+#: The paper's compute node: Xeon E5-2630 v3 (Haswell-EP), 8 cores/socket,
+#: 2.4 GHz, AVX2 + FMA → 16 FP64 flops/cycle/core.
+XEON_E5_2630V3 = MachineSpec(
+    name="Intel Xeon E5-2630 v3 (TeraStat node, one socket)",
+    ghz=2.4,
+    flops_per_cycle=16,
+    cores=8,
+    dense_efficiency=0.85,
+    stream_bandwidth_gbs=59.0,
+    topology=TERASTAT,
+)
+
+#: A conservative description of the reproduction host (used when the
+#: harness is asked for modeled numbers about itself).
+LOCAL_HOST = MachineSpec(
+    name="reproduction container (single core)",
+    ghz=2.0,
+    flops_per_cycle=16,
+    cores=1,
+    dense_efficiency=0.6,
+    stream_bandwidth_gbs=10.0,
+)

@@ -1,0 +1,73 @@
+"""Evaluation metrics of Section 5.2 of the paper.
+
+* **Effective GFLOPs** (Eq. 9)::
+
+      effective GFLOPs = r * n^3 / (execution time in seconds * 1e9)
+
+  with ``r = 1`` for algorithms specialised to the A^T A product and
+  ``r = 2`` for general matrix-multiplication algorithms.  For classical
+  algorithms this is the true flop rate; for fast (Strassen-based)
+  algorithms it expresses performance *relative to* a classical algorithm,
+  which is what makes cross-algorithm comparisons fair.
+
+* **Percentage of theoretical peak** (Fig. 6, right column): effective
+  GFLOPs divided by the aggregate theoretical peak of the processes in
+  use.  For AtA-D the paper uses the AtA complexity (Eq. 3) rather than
+  ``r n^3`` as the numerator; :func:`percent_of_peak` accepts an explicit
+  flop numerator for that case.
+
+* **Speed-up** (Table 1): ratio of shared-memory to distributed-memory
+  execution time.
+"""
+
+from __future__ import annotations
+
+from ..core.complexity import ata_multiplications_closed
+from ..errors import BenchmarkError
+from .machine import MachineSpec
+
+__all__ = [
+    "effective_gflops",
+    "effective_gflops_rect",
+    "percent_of_peak",
+    "ata_model_flops",
+    "speedup",
+]
+
+
+def effective_gflops(n: int, seconds: float, r: int = 1) -> float:
+    """Eq. 9 for a square ``n x n`` problem."""
+    if seconds <= 0:
+        raise BenchmarkError(f"execution time must be positive, got {seconds}")
+    return r * float(n) ** 3 / (seconds * 1e9)
+
+
+def effective_gflops_rect(m: int, n: int, seconds: float, r: int = 1) -> float:
+    """Eq. 9 generalised to a rectangular ``m x n`` input: the classical
+    A^T A product performs ``m n^2`` multiply-adds, so the numerator is
+    ``r m n^2`` (this reduces to ``r n^3`` for square inputs)."""
+    if seconds <= 0:
+        raise BenchmarkError(f"execution time must be positive, got {seconds}")
+    return r * float(m) * float(n) ** 2 / (seconds * 1e9)
+
+
+def ata_model_flops(n: int) -> float:
+    """Flop numerator the paper uses for AtA-D's percentage-of-peak:
+    the AtA complexity of Eq. 3 (2 flops per multiplication)."""
+    return 2.0 * ata_multiplications_closed(n)
+
+
+def percent_of_peak(gflops: float, machine: MachineSpec, cores: int) -> float:
+    """Share (0..1) of the theoretical peak of ``cores`` cores that a
+    measured/modeled ``gflops`` rate represents."""
+    if cores < 1:
+        raise BenchmarkError(f"cores must be >= 1, got {cores}")
+    peak = machine.peak_gflops_per_core * cores
+    return gflops / peak if peak > 0 else 0.0
+
+
+def speedup(baseline_seconds: float, improved_seconds: float) -> float:
+    """Plain ratio ``T_baseline / T_improved`` (Table 1 uses SM over DM)."""
+    if improved_seconds <= 0:
+        raise BenchmarkError(f"times must be positive, got {improved_seconds}")
+    return baseline_seconds / improved_seconds

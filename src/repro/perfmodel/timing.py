@@ -1,0 +1,280 @@
+"""Modeled execution time: converting counted work into paper-scale seconds.
+
+The reproduction host cannot run the paper's 30K-60K matrices nor its 16-96
+cores, so the benchmark harness reproduces the *shape* of every figure in
+two complementary ways:
+
+1. **Measured** — run the real algorithms on geometrically scaled-down
+   matrices and report wall-clock seconds (this validates the code paths
+   and relative ordering at laptop scale);
+2. **Modeled** — evaluate the algorithms' exact operation counts (from
+   :mod:`repro.core.complexity` or from the flop counters of an actual
+   scaled run) and communication counters (from the simulated MPI layer or
+   the closed forms of Prop. 4.2), and convert them into seconds on the
+   paper's hardware with the :class:`~repro.perfmodel.machine.MachineSpec`
+   and α–β network model.  This is what lets the harness print a table
+   whose rows span the paper's original sizes.
+
+The modeled laws are deliberately first-order: compute = flops / sustained
+rate; memory = bytes / stream bandwidth (taken as overlapping with compute,
+so only the max counts); communication = α·messages + bytes/β along the
+critical path.  The goal is faithful *relative* behaviour (who wins, where
+curves cross), not absolute seconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..cache.model import CacheModel
+from ..core.complexity import (
+    ata_multiplications,
+    ata_multiplications_closed,
+    classical_syrk_multiplications,
+    strassen_multiplications,
+    strassen_multiplications_closed,
+)
+from ..distributed import costs as dcosts
+from ..distributed.network import NetworkModel
+from ..errors import BenchmarkError
+from ..scheduler.levels import parallel_levels_distributed, parallel_levels_shared
+from ..baselines.mkl_like import mkl_thread_efficiency
+from .machine import MachineSpec, XEON_E5_2630V3
+
+#: Base case the performance model assumes for the recursive algorithms:
+#: a block small enough to live in the 20 MiB last-level cache of the
+#: paper's socket (2.5M double-precision words).  The paper's "fits in the
+#: cache" base case bottoms out at a comparable size; using it (rather than
+#: recursing to 1x1) is what keeps the modeled Strassen/AtA advantage at
+#: the moderate, realistic level the measured figures show.
+MODEL_CACHE = CacheModel(capacity_words=2_500_000, line_words=8)
+
+__all__ = [
+    "MODEL_CACHE",
+    "ModeledTime",
+    "compute_time",
+    "communication_time",
+    "model_sequential_ata",
+    "model_sequential_strassen",
+    "model_sequential_syrk",
+    "model_sequential_gemm",
+    "model_shared_ata",
+    "model_shared_syrk",
+    "model_distributed_ata",
+    "model_distributed_pdsyrk",
+    "model_distributed_caps",
+    "model_distributed_cosma",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ModeledTime:
+    """A modeled execution broken into compute and communication seconds."""
+
+    compute_seconds: float
+    communication_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compute_seconds + self.communication_seconds
+
+
+# ---------------------------------------------------------------------------
+# primitives
+# ---------------------------------------------------------------------------
+
+def compute_time(flops: float, machine: MachineSpec, cores: int = 1,
+                 efficiency: Optional[float] = None) -> float:
+    """Seconds to execute ``flops`` floating point operations on ``cores``
+    cores of ``machine`` (optionally overriding the efficiency factor)."""
+    if flops < 0:
+        raise BenchmarkError(f"flops must be non-negative, got {flops}")
+    rate = machine.sustained_flops_per_second(cores)
+    if efficiency is not None:
+        rate = rate / machine.dense_efficiency * efficiency
+    return flops / rate if rate > 0 else float("inf")
+
+
+def communication_time(messages: float, nbytes: float, network: NetworkModel) -> float:
+    """α–β time of ``messages`` messages totalling ``nbytes`` bytes."""
+    return network.time(int(messages), int(nbytes))
+
+
+# ---------------------------------------------------------------------------
+# sequential models (Fig. 3 and Fig. 4)
+# ---------------------------------------------------------------------------
+
+def _ata_model_mults(m: int, n: int) -> float:
+    """Exact AtA multiplication count with the modelling base case."""
+    return float(ata_multiplications(m, n, cache=MODEL_CACHE))
+
+
+def _strassen_model_mults(m: int, n: int, k: int) -> float:
+    """Exact Strassen multiplication count with the modelling base case."""
+    return float(strassen_multiplications(m, n, k, cache=MODEL_CACHE))
+
+
+def model_sequential_ata(n: int, machine: MachineSpec = XEON_E5_2630V3, *,
+                         m: Optional[int] = None) -> ModeledTime:
+    """Modeled single-core time of sequential AtA on an ``m x n`` input."""
+    m = n if m is None else m
+    mults = _ata_model_mults(m, n)
+    return ModeledTime(compute_seconds=compute_time(2.0 * mults, machine, cores=1))
+
+
+def model_sequential_strassen(n: int, machine: MachineSpec = XEON_E5_2630V3) -> ModeledTime:
+    """Modeled single-core time of FastStrassen on square ``n x n`` operands."""
+    mults = _strassen_model_mults(n, n, n)
+    return ModeledTime(compute_seconds=compute_time(2.0 * mults, machine, cores=1))
+
+
+def model_sequential_syrk(n: int, machine: MachineSpec = XEON_E5_2630V3, *,
+                          m: Optional[int] = None) -> ModeledTime:
+    """Modeled single-core time of the classical (MKL-like) ``dsyrk``."""
+    m = n if m is None else m
+    mults = classical_syrk_multiplications(m, n)
+    return ModeledTime(compute_seconds=compute_time(2.0 * mults, machine, cores=1))
+
+
+def model_sequential_gemm(n: int, machine: MachineSpec = XEON_E5_2630V3) -> ModeledTime:
+    """Modeled single-core time of the classical (MKL-like) ``dgemm``."""
+    return ModeledTime(compute_seconds=compute_time(2.0 * float(n) ** 3, machine, cores=1))
+
+
+# ---------------------------------------------------------------------------
+# shared-memory models (Fig. 5)
+# ---------------------------------------------------------------------------
+
+def _effective_parallelism(threads: int, cores: int, *, ht_yield: float = 0.85) -> float:
+    """Concurrent throughput (in core-equivalents) of ``threads`` threads on
+    ``cores`` physical cores with two-way hyper-threading.
+
+    The paper's Fig. 5 setup always launches 16 threads and varies the
+    available cores; it observes that "8 cores are enough to reach the
+    16-thread plateau" once hyper-threading is enabled.  This law captures
+    exactly that: full yield up to the physical core count, ``ht_yield``
+    for the hyper-threaded share beyond it.
+    """
+    physical = min(threads, cores)
+    hyper = max(0, min(threads, 2 * cores) - cores)
+    return physical + ht_yield * hyper
+
+
+def model_shared_ata(n: int, cores: int, machine: MachineSpec = XEON_E5_2630V3, *,
+                     m: Optional[int] = None, threads: int = 16) -> ModeledTime:
+    """Modeled time of AtA-S on ``cores`` cores (Eq. 8).
+
+    The per-leaf work shrinks by a factor of 4 at every complete parallel
+    level of the task tree (Eq. 8); the critical path can however never be
+    shorter than total work divided by the concurrent throughput actually
+    available, so the modeled fraction is the larger of ``4^{-ℓ}`` and
+    ``1 / effective parallelism``.  Threads beyond the physical cores only
+    contribute the hyper-threading margin, which produces the plateau
+    beyond 8 cores that the paper observes.
+    """
+    m = n if m is None else m
+    total_flops = 2.0 * _ata_model_mults(m, n)
+    levels = parallel_levels_shared(max(1, threads))
+    parallelism = _effective_parallelism(threads, cores)
+    critical_fraction = max(4.0 ** (-levels), 1.0 / parallelism)
+    return ModeledTime(compute_seconds=compute_time(total_flops * critical_fraction,
+                                                    machine, cores=1))
+
+
+def model_shared_syrk(n: int, cores: int, machine: MachineSpec = XEON_E5_2630V3, *,
+                      m: Optional[int] = None, threads: int = 16) -> ModeledTime:
+    """Modeled time of multi-threaded MKL-like ``ssyrk`` on ``cores`` cores
+    (16-thread setup, hyper-threading plateau as in Fig. 5)."""
+    m = n if m is None else m
+    flops = 2.0 * classical_syrk_multiplications(m, n)
+    parallelism = _effective_parallelism(threads, cores)
+    eff = mkl_thread_efficiency(threads, physical_cores=max(1, cores))
+    return ModeledTime(compute_seconds=compute_time(flops / parallelism, machine, cores=1,
+                                                    efficiency=machine.dense_efficiency
+                                                    * max(eff, 0.8)))
+
+
+# ---------------------------------------------------------------------------
+# distributed models (Fig. 6, Table 1)
+# ---------------------------------------------------------------------------
+
+def model_distributed_ata(n: int, processes: int,
+                          machine: MachineSpec = XEON_E5_2630V3, *,
+                          itemsize: int = 8, cores_per_process: int = 1) -> ModeledTime:
+    """Modeled AtA-D time: Prop. 4.1 compute + Prop. 4.2 communication.
+
+    ``cores_per_process`` models the hybrid configuration of Table 1, where
+    every distributed process runs AtA-S / multi-threaded gemm on a whole
+    16-core node.
+
+    The critical-path leaf (Prop. 4.1) is the A^T B product of an
+    ``n/2^{ℓ-1} x n/2^ℓ`` block by an ``n/2^{ℓ-1} x n/2^ℓ`` block; its cost
+    is counted exactly with the Strassen recurrence (the leaf owner runs
+    FastStrassen locally), which keeps this model consistent with the
+    shared-memory and sequential ones.
+    """
+    levels = parallel_levels_distributed(max(1, processes))
+    leaf_m = max(1, int(round(n / 2 ** max(levels - 1, 0))))
+    leaf_n = max(1, int(round(n / 2 ** levels)))
+    flops = 2.0 * _strassen_model_mults(leaf_m, leaf_n, leaf_n)
+    comp = compute_time(flops, machine, cores=cores_per_process)
+    messages = dcosts.latency_messages(n, processes)
+    words = dcosts.bandwidth_words(n, processes)
+    comm = communication_time(messages, words * itemsize, machine.topology.network)
+    return ModeledTime(compute_seconds=comp, communication_seconds=comm)
+
+
+def model_distributed_caps(n: int, processes: int,
+                           machine: MachineSpec = XEON_E5_2630V3, *,
+                           itemsize: int = 8) -> ModeledTime:
+    """Modeled CAPS (parallel Strassen for a square general product):
+    Strassen flops divided over the ranks, plus one BFS redistribution of
+    the seven operand pairs per Strassen level that is parallelised."""
+    bfs_steps = 0
+    p = max(1, processes)
+    while p >= 7:
+        bfs_steps += 1
+        p //= 7
+    flops = 2.0 * _strassen_model_mults(n, n, n) / max(1, 7 ** bfs_steps)
+    comp = compute_time(flops, machine, cores=1)
+    # each BFS step ships seven (n/2^step)^2 operand pairs from the leader
+    words = 0.0
+    for step in range(bfs_steps):
+        half = n / (2.0 ** (step + 1))
+        words += 2.0 * 7.0 * half * half
+    comm = communication_time(14 * bfs_steps, words * itemsize, machine.topology.network)
+    return ModeledTime(compute_seconds=comp, communication_seconds=comm)
+
+
+def model_distributed_cosma(n: int, processes: int,
+                            machine: MachineSpec = XEON_E5_2630V3, *,
+                            k: Optional[int] = None, m: Optional[int] = None,
+                            itemsize: int = 8) -> ModeledTime:
+    """Modeled COSMA for ``C = A^T B``: classical flops divided over the
+    ranks plus the communication-optimal per-process volume
+    ``2 (n k m / P)^{2/3}`` (the parallel I/O lower bound it attains)."""
+    k = n if k is None else k
+    m = n if m is None else m
+    flops = 2.0 * float(n) * k * m / max(1, processes)
+    comp = compute_time(flops, machine, cores=1)
+    volume_words = 2.0 * (float(n) * k * m / max(1, processes)) ** (2.0 / 3.0)
+    comm = communication_time(2 * max(1, processes) ** 0.5,
+                              volume_words * itemsize, machine.topology.network)
+    return ModeledTime(compute_seconds=comp, communication_seconds=comm)
+
+
+def model_distributed_pdsyrk(n: int, processes: int,
+                             machine: MachineSpec = XEON_E5_2630V3, *,
+                             itemsize: int = 8) -> ModeledTime:
+    """Modeled ScaLAPACK-style pdsyrk: classical flops spread over the
+    process grid plus panel distribution / block retrieval traffic."""
+    flops = 2.0 * classical_syrk_multiplications(n, n) / max(1, processes)
+    comp = compute_time(flops, machine, cores=1)
+    pr = max(1, int(processes ** 0.5))
+    panel_words = 2.0 * n * (n / pr)          # two panels per process
+    result_words = float(n) * n / processes    # one block back
+    messages = 2 * processes
+    comm = communication_time(messages, (panel_words + result_words) * itemsize,
+                              machine.topology.network)
+    return ModeledTime(compute_seconds=comp, communication_seconds=comm)

@@ -1,0 +1,31 @@
+"""Task-tree scheduler (Section 4.1): tasks, levels, tiling, tree builder."""
+
+from .levels import (
+    DEFAULT_ALPHA,
+    complete_level_process_counts,
+    leaf_problem_fraction,
+    load_balance_alpha,
+    parallel_levels_distributed,
+    parallel_levels_shared,
+)
+from .task import ComputationType, Task, TreeNode
+from .tiling import dims_create, split_ata_blocks, tile_ata_rows, tile_atb
+from .tree import TaskTree, build_task_tree
+
+__all__ = [
+    "DEFAULT_ALPHA",
+    "complete_level_process_counts",
+    "leaf_problem_fraction",
+    "load_balance_alpha",
+    "parallel_levels_distributed",
+    "parallel_levels_shared",
+    "ComputationType",
+    "Task",
+    "TreeNode",
+    "dims_create",
+    "split_ata_blocks",
+    "tile_ata_rows",
+    "tile_atb",
+    "TaskTree",
+    "build_task_tree",
+]

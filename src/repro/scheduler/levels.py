@@ -1,0 +1,130 @@
+"""Parallel-level formulas and load balancing (Sections 4.1.2 and 4.2.2).
+
+The number of *parallel levels* ``ℓ(P)`` — how many times the task tree can
+split the problem before running out of processes — governs the step-wise
+speed-up the paper observes: the computational cost of a leaf shrinks by a
+factor of 4 per complete level (Eq. 8), but ℓ grows only logarithmically
+and in discrete jumps.
+
+Two closed forms are given in the paper:
+
+* Eq. (5), distributed tree (6-way A^T A nodes / 8-way A^T B nodes)::
+
+      ℓ(P=1) = 0,   ℓ(2 ≤ P ≤ 6) = 1,
+      ℓ(P > 6) = 1 + k + sign( (P/4) mod 8^max{k,1} ),
+      k = max{ k ∈ N : (P/4) / 8^k >= 1 }
+
+* Eq. (6), shared-memory tree (3-way A^T A nodes / 4-way A^T B nodes)::
+
+      ℓ(P=1) = 0,   ℓ(P=2,3) = 1,
+      ℓ(P > 3) = 1 + k + sign( (P/2) mod 4^max{k,1} ),
+      k = max{ k ∈ N : (P/2) / 4^k >= 1 }
+
+together with the load-balancing parameter α = 1/2 (half of the processes
+work on the off-diagonal A^T B block, because its classical cost is twice
+that of each diagonal A^T A block).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import SchedulerError
+
+__all__ = [
+    "DEFAULT_ALPHA",
+    "load_balance_alpha",
+    "parallel_levels_distributed",
+    "parallel_levels_shared",
+    "complete_level_process_counts",
+    "leaf_problem_fraction",
+]
+
+#: The paper's load-balancing parameter: the fraction of processes devoted
+#: to general A^T B multiplications at every split.
+DEFAULT_ALPHA = 0.5
+
+
+def load_balance_alpha(ata_weight: float = 1.0, atb_weight: float = 2.0) -> float:
+    """Derive α from the relative cost of A^T B versus A^T A work.
+
+    Section 4.1.2: the tree performs twice as many multiplications for the
+    A^T B part as for the A^T A part, and balance requires
+    ``4 T / ((1-α) P) = 2 · 2 T / (α P)``, i.e. α = 1/2 for the default
+    weights.  The generalised form is ``α = 2 w_atb / (4 w_ata + 2 w_atb)``
+    — exposed so the ablation benchmarks can explore unbalanced choices.
+    """
+    if ata_weight <= 0 or atb_weight <= 0:
+        raise SchedulerError("weights must be positive")
+    return 2.0 * atb_weight / (4.0 * ata_weight + 2.0 * atb_weight)
+
+
+def _sign(x: int) -> int:
+    """The paper's sign function: 0 for x == 0, 1 for x > 0."""
+    if x < 0:
+        raise SchedulerError(f"sign() argument must be non-negative, got {x}")
+    return 0 if x == 0 else 1
+
+
+def parallel_levels_distributed(processes: int) -> int:
+    """ℓ(P) for the distributed task tree — Eq. (5)."""
+    p = int(processes)
+    if p < 1:
+        raise SchedulerError(f"process count must be >= 1, got {processes}")
+    if p == 1:
+        return 0
+    if p <= 6:
+        return 1
+    quarter = p // 4
+    # k = max{k : (P/4)/8^k >= 1}; for P > 6, quarter >= 1 so k >= 0.
+    k = _largest_power_exponent(quarter, 8)
+    return 1 + k + _sign(quarter % (8 ** max(k, 1)))
+
+
+def parallel_levels_shared(threads: int) -> int:
+    """ℓ(P) for the shared-memory task tree — Eq. (6)."""
+    p = int(threads)
+    if p < 1:
+        raise SchedulerError(f"thread count must be >= 1, got {threads}")
+    if p == 1:
+        return 0
+    if p <= 3:
+        return 1
+    half = p // 2
+    k = _largest_power_exponent(half, 4)
+    return 1 + k + _sign(half % (4 ** max(k, 1)))
+
+
+def _largest_power_exponent(value: int, base: int) -> int:
+    """max{k in N : value / base^k >= 1} for value >= 1."""
+    if value < 1:
+        return 0
+    k = 0
+    while value // (base ** (k + 1)) >= 1:
+        k += 1
+    return k
+
+
+def complete_level_process_counts(max_levels: int, *, shared: bool = False) -> list[int]:
+    """Process counts at which the task tree completes a new level.
+
+    For the distributed tree a level is complete when A^T A leaves come in
+    bunches of 6 and A^T B leaves in bunches of 8 (Section 4.1.2): the
+    sequence is ``P = 4·8^k`` A^T B processes plus matching A^T A
+    processes; for the shared tree the analogous sequence is ``P = 2·4^k``
+    doubled.  These are the P values at which the paper's step-wise
+    speed-up curves jump, used by the benchmark harness to annotate plots.
+    """
+    counts = []
+    for k in range(max_levels):
+        if shared:
+            counts.append(2 * (4 ** k) * 2)
+        else:
+            counts.append(4 * (8 ** k) * 2)
+    return counts
+
+
+def leaf_problem_fraction(processes: int, *, shared: bool = False) -> float:
+    """The factor ``4^{-ℓ(P)}`` by which the per-leaf cost shrinks (Eq. 8)."""
+    levels = parallel_levels_shared(processes) if shared else parallel_levels_distributed(processes)
+    return 4.0 ** (-levels)

@@ -1,0 +1,154 @@
+"""Task and task-tree node records (Section 4.1.1 of the paper).
+
+Both parallel algorithms (AtA-S and AtA-D) are driven by a *task tree*
+``T``: a truncated expansion of the recursion tree of ``AtANaive`` whose
+leaves describe the matrix sub-products assigned to parallel workers and
+whose inner nodes (used only by the distributed algorithm) describe the
+data-distribution and result-retrieval duties of parent processes.
+
+A leaf task carries exactly the information items (1)-(3) listed in
+Section 4.1.1:
+
+1. ``kind`` — which computation the owner must perform (A^T A or A^T B);
+2. the offsets and sizes of the sub-matrices of ``A`` (and ``B``) it reads
+   and of the block of ``C`` it produces, as :class:`~repro.core.partition.Block`
+   records (array-free, so the same task can be shipped across the
+   simulated network);
+3. ``parent`` — the rank that distributes its input and collects its
+   output (AtA-D only).
+
+Tasks never hold numpy arrays: the shared-memory executor resolves blocks
+against the caller's arrays, while the distributed algorithm materialises
+and ships the block contents.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Optional, Tuple
+
+from ..core.partition import Block
+
+__all__ = ["ComputationType", "Task", "TreeNode"]
+
+
+class ComputationType(enum.Enum):
+    """The two computation kinds a task may request (Section 4.1.1, item 1)."""
+
+    ATA = "ata"    #: lower-triangular ``C += A^T A``
+    ATB = "atb"    #: general ``C += A^T B``
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclasses.dataclass
+class Task:
+    """A unit of computation assigned to one worker.
+
+    Attributes
+    ----------
+    kind:
+        :class:`ComputationType` of the work.
+    a, b, c:
+        Blocks of the global operands.  ``b`` is ``None`` for A^T A tasks
+        (the operand is ``a`` itself).
+    owner:
+        Rank / thread index that must execute the task.
+    node_id:
+        Identifier of the tree node this task belongs to.
+    parent_rank:
+        Rank that distributes the inputs of this task and collects its
+        result (meaningful for the distributed algorithm; equal to
+        ``owner`` when the owner is its own parent).
+    accumulate:
+        True when the produced block must be *added* to the destination
+        rather than stored (partial A^T A results of sibling tasks that
+        target the same diagonal block).
+    """
+
+    kind: ComputationType
+    a: Block
+    c: Block
+    b: Optional[Block] = None
+    owner: int = 0
+    node_id: int = -1
+    parent_rank: int = 0
+    accumulate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind is ComputationType.ATB and self.b is None:
+            raise ValueError("ATB tasks require a B block")
+        if self.kind is ComputationType.ATA and self.b is not None:
+            raise ValueError("ATA tasks must not carry a B block")
+
+    @property
+    def output_shape(self) -> Tuple[int, int]:
+        return self.c.shape
+
+    @property
+    def flops(self) -> int:
+        """Classical flop estimate of the task (used for load accounting)."""
+        if self.kind is ComputationType.ATA:
+            m, n = self.a.shape
+            return m * n * (n + 1)
+        m, n = self.a.shape
+        _, k = self.b.shape  # type: ignore[union-attr]
+        return 2 * m * n * k
+
+    def describe(self) -> str:
+        """Human-readable one-liner used by the examples and reports."""
+        if self.kind is ComputationType.ATA:
+            return (f"rank {self.owner}: C[{self.c.row}:{self.c.row_end},"
+                    f"{self.c.col}:{self.c.col_end}] += A^T A on A block {self.a.shape}")
+        return (f"rank {self.owner}: C[{self.c.row}:{self.c.row_end},"
+                f"{self.c.col}:{self.c.col_end}] += A^T B on blocks "
+                f"{self.a.shape} x {self.b.shape}")  # type: ignore[union-attr]
+
+
+@dataclasses.dataclass
+class TreeNode:
+    """A node of the task tree ``T``.
+
+    Inner nodes describe distribution / retrieval duties (AtA-D); leaf
+    nodes hold exactly one :class:`Task`.
+    """
+
+    node_id: int
+    kind: ComputationType
+    a: Block
+    c: Block
+    b: Optional[Block] = None
+    owner: int = 0
+    parent_id: Optional[int] = None
+    children: List["TreeNode"] = dataclasses.field(default_factory=list)
+    task: Optional[Task] = None
+    level: int = 0
+    ranks: Tuple[int, ...] = (0,)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def leaves(self) -> List["TreeNode"]:
+        """All leaf descendants of this node, left to right."""
+        if self.is_leaf:
+            return [self]
+        out: List[TreeNode] = []
+        for child in self.children:
+            out.extend(child.leaves())
+        return out
+
+    def descendants(self) -> List["TreeNode"]:
+        """All nodes of the subtree rooted here (pre-order)."""
+        out = [self]
+        for child in self.children:
+            out.extend(child.descendants())
+        return out
+
+    def depth(self) -> int:
+        """Height of the subtree rooted at this node (leaf -> 0)."""
+        if self.is_leaf:
+            return 0
+        return 1 + max(child.depth() for child in self.children)

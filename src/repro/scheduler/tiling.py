@@ -1,0 +1,139 @@
+"""Leaf-level tiling of tasks (Fig. 2 of the paper).
+
+When the number of workers available to a node of the task tree is smaller
+than the node's natural fan-out (8 recursive calls for an A^T B node, 6 for
+an A^T A node in the distributed tree), the paper does not expand the node;
+instead the workers *tile* the node's operands:
+
+* an A^T B task ``C += A^T B`` is tiled over the **columns** of ``A`` and
+  ``B`` — worker ``(i, j)`` of a ``pr x pc`` grid computes
+  ``C[i-th column block of A, j-th column block of B]`` — so every worker
+  produces a disjoint block of ``C`` and no reduction is needed
+  (Eq. 7: ``C_{i,j} = A_{*,i}^T B_{*,j}``);
+* an A^T A task tiled among workers in the *distributed* tree splits ``A``
+  into **horizontal** strips — each worker computes a full lower-triangular
+  partial product over its strip of rows and the parent sums the partials
+  (this is the only tiling that keeps each worker's task an A^T A product);
+* an A^T A task tiled among workers in the *shared* tree must keep writes
+  disjoint, so it is split into the three blocks of Eq. (2)
+  (``C11``, ``C22`` — A^T A — and ``C21`` — A^T B) which are then dealt to
+  the workers weighted by their classical cost.
+
+The grid factorisation mirrors ``MPI_Dims_create``: the most-square
+factorisation of the worker count.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.partition import Block, split_dim
+from ..errors import SchedulerError
+from .task import ComputationType
+
+__all__ = ["dims_create", "tile_atb", "tile_ata_rows", "split_ata_blocks"]
+
+
+def dims_create(processes: int) -> Tuple[int, int]:
+    """Most-square 2-D factorisation of ``processes`` (rows, cols).
+
+    Mirrors ``MPI_Dims_create(P, 2, ...)``: the factor pair ``(pr, pc)``
+    with ``pr * pc == P``, ``pr >= pc`` and ``pr - pc`` minimal.
+
+    >>> dims_create(16)
+    (4, 4)
+    >>> dims_create(6)
+    (3, 2)
+    >>> dims_create(7)
+    (7, 1)
+    """
+    p = int(processes)
+    if p < 1:
+        raise SchedulerError(f"process count must be >= 1, got {processes}")
+    best = (p, 1)
+    for cols in range(1, int(p ** 0.5) + 1):
+        if p % cols == 0:
+            best = (p // cols, cols)
+    return best
+
+
+def _strip_bounds(extent: int, count: int) -> List[Tuple[int, int]]:
+    base, extra = divmod(extent, count)
+    bounds, start = [], 0
+    for i in range(count):
+        size = base + (1 if i < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def tile_atb(a: Block, b: Block, c: Block, workers: int
+             ) -> List[Tuple[Block, Block, Block]]:
+    """Tile an A^T B task among ``workers`` workers (Fig. 2 / Eq. 7).
+
+    Returns one ``(a_tile, b_tile, c_tile)`` triple per worker; the
+    ``c_tile`` blocks partition ``c`` disjointly.  Workers whose tile would
+    be empty (more workers than columns) receive an empty block — callers
+    may skip those.
+    """
+    if workers < 1:
+        raise SchedulerError(f"workers must be >= 1, got {workers}")
+    pr, pc = dims_create(workers)
+    # rows of C come from columns of A; cols of C from columns of B.
+    if a.cols < pr or b.cols < pc:
+        # Degenerate operands: fall back to a 1-D split of the larger side.
+        if a.cols >= b.cols:
+            pr, pc = min(workers, max(1, a.cols)), 1
+        else:
+            pr, pc = 1, min(workers, max(1, b.cols))
+    row_bounds = _strip_bounds(a.cols, pr)
+    col_bounds = _strip_bounds(b.cols, pc)
+    tiles: List[Tuple[Block, Block, Block]] = []
+    for i in range(pr):
+        a_lo, a_hi = row_bounds[i]
+        a_tile = Block(a.row, a.col + a_lo, a.rows, a_hi - a_lo)
+        for j in range(pc):
+            b_lo, b_hi = col_bounds[j]
+            b_tile = Block(b.row, b.col + b_lo, b.rows, b_hi - b_lo)
+            c_tile = Block(c.row + a_lo, c.col + b_lo, a_hi - a_lo, b_hi - b_lo)
+            tiles.append((a_tile, b_tile, c_tile))
+    return tiles
+
+
+def tile_ata_rows(a: Block, c: Block, workers: int) -> List[Tuple[Block, Block]]:
+    """Tile an A^T A task into ``workers`` horizontal strips of ``A``.
+
+    Every strip contributes a full partial product to the same ``c`` block
+    (``C = Σ_i A_i^T A_i``); the caller is responsible for summing the
+    partial results (the AtA-D parent does this during retrieval).
+    """
+    if workers < 1:
+        raise SchedulerError(f"workers must be >= 1, got {workers}")
+    workers = min(workers, max(1, a.rows))
+    bounds = _strip_bounds(a.rows, workers)
+    return [
+        (Block(a.row + lo, a.col, hi - lo, a.cols), c)
+        for lo, hi in bounds
+    ]
+
+
+def split_ata_blocks(a: Block, c: Block) -> List[Tuple[ComputationType, Block, Block | None, Block]]:
+    """Split an A^T A task into the three blocks of Eq. (2) for the shared
+    tree: ``(kind, a_block, b_block, c_block)`` triples for C11, C22, C21.
+
+    The split is over the *columns* of ``A`` only, so sibling tasks write
+    disjoint blocks of ``C`` — the collision-freedom property of AtA-S.
+    """
+    n1, n2 = split_dim(a.cols)
+    a1 = Block(a.row, a.col, a.rows, n1)
+    a2 = Block(a.row, a.col + n1, a.rows, n2)
+    c11 = Block(c.row, c.col, n1, n1)
+    c22 = Block(c.row + n1, c.col + n1, n2, n2)
+    c21 = Block(c.row + n1, c.col, n2, n1)
+    out: List[Tuple[ComputationType, Block, Block | None, Block]] = [
+        (ComputationType.ATA, a1, None, c11),
+    ]
+    if n2:
+        out.append((ComputationType.ATA, a2, None, c22))
+        out.append((ComputationType.ATB, a2, a1, c21))
+    return out

@@ -1,0 +1,358 @@
+"""Task-tree construction (Section 4.1 of the paper).
+
+The task tree ``T`` is the truncated recursion tree of ``AtANaive``
+(Algorithm 1 with ``RecursiveGEMM`` in place of Strassen) expanded
+breadth-first until every available worker owns at least one leaf.  The
+expansion rules differ between the two parallel algorithms:
+
+* **distributed tree** (AtA-D): an A^T A node fans out into the 6 children
+  of Algorithm 1 (four A^T A quadrant products plus the two A^T B products
+  of ``C21``); an A^T B node fans out into the 8 children of
+  ``RecursiveGEMM``.  Following the load-balancing analysis of
+  Section 4.1.2 (α = 1/2), half of a node's workers go to the A^T B
+  children and half to the A^T A children.
+
+* **shared-memory tree** (AtA-S): to guarantee collision-free writes, an
+  A^T A node fans out into the 3 blocks of Eq. (2) (``C11``, ``C22``,
+  ``C21``) obtained by splitting only the *columns* of ``A``, and an A^T B
+  node fans out into the 4 output blocks of Eq. (7) (Fig. 2) — every leaf
+  therefore writes a block of ``C`` disjoint from every other leaf's.
+
+When a node has fewer workers than children, the node is not expanded;
+its workers tile it at leaf level (see :mod:`repro.scheduler.tiling`),
+exactly as in the Fig. 1 example where four processes tile an A^T B task
+instead of performing its eight recursive calls.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Literal, Optional, Sequence, Tuple
+
+from ..core.partition import Block, split_dim
+from ..errors import SchedulerError
+from .levels import parallel_levels_distributed, parallel_levels_shared
+from .task import ComputationType, Task, TreeNode
+from .tiling import split_ata_blocks, tile_ata_rows, tile_atb
+
+__all__ = ["TaskTree", "build_task_tree"]
+
+Mode = Literal["shared", "distributed"]
+
+#: Relative classical cost of an A^T B child versus an A^T A child of the
+#: same size: the general product costs twice the triangular one, which is
+#: what makes α = 1/2 the balanced choice (Section 4.1.2).
+_ATB_WEIGHT = 2.0
+_ATA_WEIGHT = 1.0
+
+
+@dataclasses.dataclass
+class TaskTree:
+    """The task tree plus convenient views over its leaves."""
+
+    root: TreeNode
+    processes: int
+    mode: Mode
+    m: int
+    n: int
+    nodes: Dict[int, TreeNode] = dataclasses.field(default_factory=dict)
+
+    # -- views -------------------------------------------------------------
+    def leaves(self) -> List[TreeNode]:
+        return self.root.leaves()
+
+    def tasks(self) -> List[Task]:
+        return [leaf.task for leaf in self.leaves() if leaf.task is not None]
+
+    def tasks_for(self, rank: int) -> List[Task]:
+        """All leaf tasks owned by ``rank`` (a worker may own several when
+        the worker count does not divide the fan-out evenly)."""
+        return [t for t in self.tasks() if t.owner == rank]
+
+    def owners(self) -> List[int]:
+        return sorted({t.owner for t in self.tasks()})
+
+    def node(self, node_id: int) -> TreeNode:
+        return self.nodes[node_id]
+
+    def children_of(self, node_id: int) -> List[TreeNode]:
+        return self.nodes[node_id].children
+
+    @property
+    def levels(self) -> int:
+        """The analytic ℓ(P) of Eq. (5)/(6) for this tree's worker count."""
+        if self.mode == "shared":
+            return parallel_levels_shared(self.processes)
+        return parallel_levels_distributed(self.processes)
+
+    @property
+    def depth(self) -> int:
+        """Actual height of the constructed tree."""
+        return self.root.depth()
+
+    # -- invariants ----------------------------------------------------------
+    def output_blocks_disjoint(self) -> bool:
+        """True when no two leaf tasks write overlapping blocks of ``C``.
+
+        This is the "embarrassingly parallel / no memory collisions"
+        property of AtA-S (Section 4.2); the distributed tree does not need
+        it because every rank accumulates into its own local buffer.
+        """
+        blocks = [t.c for t in self.tasks()]
+        for i in range(len(blocks)):
+            for j in range(i + 1, len(blocks)):
+                if _blocks_overlap(blocks[i], blocks[j]):
+                    return False
+        return True
+
+    def covers_lower_triangle(self) -> bool:
+        """True when the union of leaf output blocks covers every entry of
+        the lower triangle of the n x n result (diagonal included)."""
+        covered = [[False] * self.n for _ in range(self.n)]
+        for t in self.tasks():
+            for r in range(t.c.row, t.c.row_end):
+                for c in range(t.c.col, t.c.col_end):
+                    if r < self.n and c < self.n:
+                        covered[r][c] = True
+        return all(covered[r][c] for r in range(self.n) for c in range(r + 1))
+
+    def load_per_rank(self) -> Dict[int, int]:
+        """Classical-flop estimate of each rank's assigned work."""
+        loads: Dict[int, int] = {rank: 0 for rank in range(self.processes)}
+        for t in self.tasks():
+            loads[t.owner] = loads.get(t.owner, 0) + t.flops
+        return loads
+
+
+def _blocks_overlap(a: Block, b: Block) -> bool:
+    return not (a.row_end <= b.row or b.row_end <= a.row
+                or a.col_end <= b.col or b.col_end <= a.col)
+
+
+# ---------------------------------------------------------------------------
+# construction
+# ---------------------------------------------------------------------------
+
+class _Builder:
+    def __init__(self, mode: Mode) -> None:
+        self.mode = mode
+        self.nodes: Dict[int, TreeNode] = {}
+        self._next_id = 0
+
+    def new_node(self, **kwargs) -> TreeNode:
+        node = TreeNode(node_id=self._next_id, **kwargs)
+        self.nodes[self._next_id] = node
+        self._next_id += 1
+        return node
+
+    # -- child specifications ------------------------------------------------
+    def _ata_children_specs(self, node: TreeNode) -> List[Tuple[ComputationType, Block, Optional[Block], Block, float]]:
+        a, c = node.a, node.c
+        if self.mode == "shared":
+            return [(kind, ab, bb, cb, _ATB_WEIGHT if kind is ComputationType.ATB else _ATA_WEIGHT)
+                    for kind, ab, bb, cb in split_ata_blocks(a, c)]
+        # distributed: the six children of Algorithm 1 (AtANaive flavour)
+        a11, a12 = a.quadrant("11"), a.quadrant("12")
+        a21, a22 = a.quadrant("21"), a.quadrant("22")
+        n1, n2 = split_dim(a.cols)
+        c11 = Block(c.row, c.col, n1, n1)
+        c22 = Block(c.row + n1, c.col + n1, n2, n2)
+        c21 = Block(c.row + n1, c.col, n2, n1)
+        specs: List[Tuple[ComputationType, Block, Optional[Block], Block, float]] = [
+            (ComputationType.ATA, a11, None, c11, _ATA_WEIGHT),
+        ]
+        if a21.rows:
+            specs.append((ComputationType.ATA, a21, None, c11, _ATA_WEIGHT))
+        if n2:
+            specs.append((ComputationType.ATA, a12, None, c22, _ATA_WEIGHT))
+            if a22.rows:
+                specs.append((ComputationType.ATA, a22, None, c22, _ATA_WEIGHT))
+            specs.append((ComputationType.ATB, a12, a11, c21, _ATB_WEIGHT))
+            if a22.rows:
+                specs.append((ComputationType.ATB, a22, a21, c21, _ATB_WEIGHT))
+        return specs
+
+    def _atb_children_specs(self, node: TreeNode) -> List[Tuple[ComputationType, Block, Optional[Block], Block, float]]:
+        a, b, c = node.a, node.b, node.c
+        assert b is not None
+        specs: List[Tuple[ComputationType, Block, Optional[Block], Block, float]] = []
+        if self.mode == "shared":
+            # Eq. (7): 2x2 tiling of C over the columns of A and B.
+            for a_tile, b_tile, c_tile in tile_atb(a, b, c, 4):
+                if c_tile.size:
+                    specs.append((ComputationType.ATB, a_tile, b_tile, c_tile, 1.0))
+            return specs
+        # distributed: the eight children of RecursiveGEMM (Algorithm 2).
+        n_halves = split_dim(a.cols)
+        k_halves = split_dim(b.cols)
+        m_halves = split_dim(a.rows)
+        for i in (0, 1):
+            for j in (0, 1):
+                for l in (0, 1):
+                    if n_halves[i] == 0 or k_halves[j] == 0 or m_halves[l] == 0:
+                        continue
+                    a_blk = Block(a.row + (m_halves[0] if l else 0),
+                                  a.col + (n_halves[0] if i else 0),
+                                  m_halves[l], n_halves[i])
+                    b_blk = Block(b.row + (m_halves[0] if l else 0),
+                                  b.col + (k_halves[0] if j else 0),
+                                  m_halves[l], k_halves[j])
+                    c_blk = Block(c.row + (n_halves[0] if i else 0),
+                                  c.col + (k_halves[0] if j else 0),
+                                  n_halves[i], k_halves[j])
+                    specs.append((ComputationType.ATB, a_blk, b_blk, c_blk, 1.0))
+        return specs
+
+    # -- worker apportionment --------------------------------------------------
+    @staticmethod
+    def _apportion(ranks: Sequence[int], weights: Sequence[float]) -> List[List[int]]:
+        """Split ``ranks`` contiguously among children proportionally to
+        ``weights`` giving every child at least one rank.  Requires
+        ``len(ranks) >= len(weights)``."""
+        p, n = len(ranks), len(weights)
+        if p < n:
+            raise SchedulerError("apportion requires at least one rank per child")
+        total = float(sum(weights))
+        counts = [1] * n
+        remaining = p - n
+        if remaining:
+            quotas = [remaining * w / total for w in weights]
+            floors = [int(q) for q in quotas]
+            leftover = remaining - sum(floors)
+            order = sorted(range(n), key=lambda i: quotas[i] - floors[i], reverse=True)
+            for idx in range(n):
+                counts[idx] += floors[idx]
+            for idx in order[:leftover]:
+                counts[idx] += 1
+        out, start = [], 0
+        for cnt in counts:
+            out.append(list(ranks[start:start + cnt]))
+            start += cnt
+        return out
+
+    # -- recursion ---------------------------------------------------------------
+    def expand(self, node: TreeNode, ranks: Sequence[int], level: int) -> None:
+        node.ranks = tuple(ranks)
+        node.owner = ranks[0]
+        node.level = level
+        p = len(ranks)
+        if p == 1 or node.a.size == 0:
+            self._make_leaf(node, ranks[0])
+            return
+
+        specs = (self._ata_children_specs(node) if node.kind is ComputationType.ATA
+                 else self._atb_children_specs(node))
+        specs = [s for s in specs if s[3].size > 0]
+        if not specs:
+            self._make_leaf(node, ranks[0])
+            return
+
+        # Degenerate blocks (single row/column) can produce a lone child with
+        # exactly the parent's geometry; expanding it would recurse forever.
+        # The problem is then too small for the workers assigned to it: make
+        # it a leaf on the first rank and let the surplus workers idle.
+        if (len(specs) == 1 and specs[0][0] is node.kind
+                and specs[0][1].shape == node.a.shape
+                and specs[0][3].shape == node.c.shape):
+            self._make_leaf(node, ranks[0])
+            return
+
+        if p < len(specs):
+            self._tile_leaf_level(node, ranks, specs, level)
+            return
+
+        allocations = self._apportion(ranks, [s[4] for s in specs])
+        for (kind, a_blk, b_blk, c_blk, _w), child_ranks in zip(specs, allocations):
+            child = self.new_node(kind=kind, a=a_blk, b=b_blk, c=c_blk,
+                                  parent_id=node.node_id)
+            node.children.append(child)
+            self.expand(child, child_ranks, level + 1)
+
+    def _tile_leaf_level(self, node: TreeNode, ranks: Sequence[int],
+                         specs, level: int) -> None:
+        """Handle a node whose worker count is below its natural fan-out."""
+        p = len(ranks)
+        if node.kind is ComputationType.ATB:
+            tiles = tile_atb(node.a, node.b, node.c, p)
+            for rank, (a_t, b_t, c_t) in zip(ranks, tiles):
+                if c_t.size == 0:
+                    continue
+                child = self.new_node(kind=ComputationType.ATB, a=a_t, b=b_t, c=c_t,
+                                      parent_id=node.node_id)
+                node.children.append(child)
+                child.level = level + 1
+                child.ranks = (rank,)
+                self._make_leaf(child, rank)
+            return
+        # A^T A node
+        if self.mode == "distributed":
+            strips = tile_ata_rows(node.a, node.c, p)
+            for rank, (a_t, c_t) in zip(ranks, strips):
+                if a_t.size == 0:
+                    continue
+                child = self.new_node(kind=ComputationType.ATA, a=a_t, b=None, c=c_t,
+                                      parent_id=node.node_id)
+                node.children.append(child)
+                child.level = level + 1
+                child.ranks = (rank,)
+                self._make_leaf(child, rank, accumulate=True)
+            return
+        # shared memory: deal the three Eq. (2) blocks to the workers,
+        # heaviest block first, always to the least-loaded worker — writes
+        # stay disjoint because the blocks themselves are disjoint.
+        loads = {rank: 0.0 for rank in ranks}
+        blocks = sorted(specs, key=lambda s: s[4] * s[3].size, reverse=True)
+        for kind, a_blk, b_blk, c_blk, weight in blocks:
+            rank = min(loads, key=loads.get)
+            loads[rank] += weight * c_blk.size
+            child = self.new_node(kind=kind, a=a_blk, b=b_blk, c=c_blk,
+                                  parent_id=node.node_id)
+            node.children.append(child)
+            child.level = level + 1
+            child.ranks = (rank,)
+            self._make_leaf(child, rank)
+
+    def _make_leaf(self, node: TreeNode, rank: int, *, accumulate: bool = False) -> None:
+        node.owner = rank
+        node.ranks = (rank,)
+        parent_rank = rank
+        if node.parent_id is not None:
+            parent_rank = self.nodes[node.parent_id].owner
+        node.task = Task(kind=node.kind, a=node.a, b=node.b, c=node.c,
+                         owner=rank, node_id=node.node_id,
+                         parent_rank=parent_rank,
+                         accumulate=accumulate or self.mode == "distributed")
+
+
+def build_task_tree(m: int, n: int, processes: int, mode: Mode = "shared") -> TaskTree:
+    """Build the task tree for an ``m x n`` input and ``processes`` workers.
+
+    Parameters
+    ----------
+    m, n:
+        Shape of the input matrix ``A`` (the result ``C`` is ``n x n``).
+    processes:
+        Number of workers (threads for the shared tree, MPI ranks for the
+        distributed tree).
+    mode:
+        ``"shared"`` (AtA-S, Section 4.2) or ``"distributed"``
+        (AtA-D, Section 4.3).
+
+    Returns
+    -------
+    TaskTree
+    """
+    if m < 1 or n < 1:
+        raise SchedulerError(f"matrix dimensions must be positive, got ({m}, {n})")
+    if processes < 1:
+        raise SchedulerError(f"process count must be >= 1, got {processes}")
+    if mode not in ("shared", "distributed"):
+        raise SchedulerError(f"unknown mode {mode!r}")
+
+    builder = _Builder(mode)
+    root = builder.new_node(kind=ComputationType.ATA,
+                            a=Block(0, 0, m, n), b=None,
+                            c=Block(0, 0, n, n))
+    builder.expand(root, list(range(processes)), level=0)
+    return TaskTree(root=root, processes=processes, mode=mode, m=m, n=n,
+                    nodes=builder.nodes)

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite.
+
+Most algorithm tests shrink the cache-oblivious base case (to 64 elements)
+so the recursive code paths are exercised even on the small matrices tests
+can afford; the ``small_base_case`` fixture installs and removes that
+configuration around each test that requests it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import configured
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG, fresh per test."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def small_base_case():
+    """Shrink the recursion base case so small matrices still recurse."""
+    with configured(base_case_elements=64) as cfg:
+        yield cfg
+
+
+@pytest.fixture
+def tiny_base_case():
+    """Shrink the base case to the minimum that still terminates quickly."""
+    with configured(base_case_elements=8) as cfg:
+        yield cfg
+
+
+def random_matrix(rng: np.random.Generator, m: int, n: int, dtype=np.float64) -> np.ndarray:
+    """Convenience used throughout the test modules."""
+    return rng.standard_normal((m, n)).astype(dtype, copy=False)

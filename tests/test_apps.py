@@ -1,0 +1,233 @@
+"""Tests for the application layer (least squares, Gram-Schmidt, SVD, heat kernel)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.gram_schmidt import (
+    modified_gram_schmidt,
+    orthogonality_defect,
+    project_onto_columns,
+    reorthogonalize,
+)
+from repro.apps.heat_kernel import (
+    diffuse,
+    grid_laplacian,
+    heat_kernel,
+    heat_kernel_signature,
+    laplacian_from_edges,
+    path_laplacian,
+    spectral_decomposition,
+)
+from repro.apps.least_squares import gram_matrix, solve_normal_equations
+from repro.apps.svd import low_rank_approximation, singular_values, svd_via_ata
+from repro.errors import ShapeError
+
+
+class TestLeastSquares:
+    def test_recovers_exact_solution(self, rng):
+        a = rng.standard_normal((60, 8))
+        x_true = rng.standard_normal(8)
+        b = a @ x_true
+        result = solve_normal_equations(a, b)
+        assert np.allclose(result.x, x_true, atol=1e-8)
+        assert result.residual_norm < 1e-8
+
+    def test_overdetermined_matches_lstsq(self, rng):
+        a = rng.standard_normal((80, 10))
+        b = rng.standard_normal(80)
+        result = solve_normal_equations(a, b)
+        reference = np.linalg.lstsq(a, b, rcond=None)[0]
+        assert np.allclose(result.x, reference, atol=1e-6)
+
+    def test_multiple_right_hand_sides(self, rng):
+        a = rng.standard_normal((40, 6))
+        b = rng.standard_normal((40, 3))
+        result = solve_normal_equations(a, b)
+        assert result.x.shape == (6, 3)
+        assert np.allclose(result.x, np.linalg.lstsq(a, b, rcond=None)[0], atol=1e-6)
+
+    @pytest.mark.parametrize("backend,workers", [("sequential", 1), ("shared", 4),
+                                                 ("distributed", 4)])
+    def test_backends_agree(self, rng, small_base_case, backend, workers):
+        a = rng.standard_normal((50, 12))
+        b = rng.standard_normal(50)
+        result = solve_normal_equations(a, b, backend=backend, workers=workers)
+        reference = np.linalg.lstsq(a, b, rcond=None)[0]
+        assert np.allclose(result.x, reference, atol=1e-6)
+        assert result.backend == backend
+
+    def test_regularization_handles_rank_deficiency(self, rng):
+        base = rng.standard_normal((30, 3))
+        a = np.hstack([base, base])            # rank 3, 6 columns
+        b = rng.standard_normal(30)
+        result = solve_normal_equations(a, b, regularization=1e-6)
+        assert np.isfinite(result.x).all()
+
+    def test_gram_matrix_symmetric_and_regularized(self, rng):
+        a = rng.standard_normal((20, 7))
+        g = gram_matrix(a, regularization=2.0)
+        assert np.allclose(g, g.T)
+        assert np.allclose(np.diag(g), np.diag(a.T @ a) + 2.0)
+
+    def test_rhs_shape_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            solve_normal_equations(rng.standard_normal((10, 3)), np.zeros(9))
+
+    def test_unknown_backend(self, rng):
+        with pytest.raises(ShapeError):
+            gram_matrix(rng.standard_normal((5, 3)), backend="quantum")
+
+
+class TestGramSchmidt:
+    def test_qr_reconstruction(self, rng):
+        a = rng.standard_normal((30, 8))
+        q, r = modified_gram_schmidt(a)
+        assert q.shape == (30, 8)
+        assert np.allclose(q @ r, a, atol=1e-8)
+
+    def test_q_orthonormal(self, rng):
+        a = rng.standard_normal((25, 10))
+        q, _ = modified_gram_schmidt(a)
+        assert np.allclose(q.T @ q, np.eye(10), atol=1e-8)
+
+    def test_rank_deficient_columns_dropped(self, rng):
+        base = rng.standard_normal((20, 4))
+        a = np.hstack([base, base[:, :2]])
+        q, _ = modified_gram_schmidt(a)
+        assert q.shape[1] == 4
+
+    def test_orthogonality_defect_zero_for_orthonormal(self, rng):
+        q, _ = np.linalg.qr(rng.standard_normal((20, 6)))
+        assert orthogonality_defect(q) < 1e-10
+
+    def test_orthogonality_defect_positive_for_skewed(self, rng):
+        a = rng.standard_normal((20, 6))
+        assert orthogonality_defect(a) > 1e-3
+
+    def test_projection_idempotent_and_in_range(self, rng):
+        a = rng.standard_normal((30, 5))
+        x = rng.standard_normal(30)
+        p1 = project_onto_columns(a, x)
+        p2 = project_onto_columns(a, p1)
+        assert np.allclose(p1, p2, atol=1e-8)
+        # projection of something already in range(A) is itself
+        y = a @ rng.standard_normal(5)
+        assert np.allclose(project_onto_columns(a, y), y, atol=1e-8)
+
+    def test_reorthogonalize_improves_defect(self, rng):
+        q, _ = np.linalg.qr(rng.standard_normal((40, 10)))
+        noisy = q + 1e-4 * rng.standard_normal(q.shape)
+        refined = reorthogonalize(noisy)
+        assert orthogonality_defect(refined) < orthogonality_defect(noisy)
+
+
+class TestSVD:
+    def test_singular_values_match_numpy(self, rng):
+        a = rng.standard_normal((30, 12))
+        ours = singular_values(a)
+        reference = np.linalg.svd(a, compute_uv=False)
+        assert np.allclose(ours, reference, atol=1e-6)
+
+    def test_full_reconstruction(self, rng):
+        a = rng.standard_normal((25, 10))
+        decomposition = svd_via_ata(a)
+        assert np.allclose(decomposition.reconstruct(), a, atol=1e-6)
+
+    def test_factor_orthogonality(self, rng):
+        a = rng.standard_normal((25, 8))
+        d = svd_via_ata(a)
+        assert np.allclose(d.vt @ d.vt.T, np.eye(8), atol=1e-8)
+        assert np.allclose(d.u.T @ d.u, np.eye(8), atol=1e-6)
+
+    def test_descending_order(self, rng):
+        s = svd_via_ata(rng.standard_normal((40, 15))).s
+        assert np.all(np.diff(s) <= 1e-12)
+
+    def test_truncated_rank(self, rng):
+        a = rng.standard_normal((20, 10))
+        d = svd_via_ata(a, rank=3)
+        assert d.s.shape == (3,)
+        assert d.u.shape == (20, 3)
+
+    def test_low_rank_approximation_error_matches_tail(self, rng):
+        a = rng.standard_normal((30, 12))
+        rank = 5
+        _, err = low_rank_approximation(a, rank)
+        s = np.linalg.svd(a, compute_uv=False)
+        expected = float(np.sqrt((s[rank:] ** 2).sum()))
+        assert err == pytest.approx(expected, rel=1e-5)
+
+    def test_wide_matrix(self, rng):
+        a = rng.standard_normal((8, 30))
+        d = svd_via_ata(a)
+        assert np.allclose(d.reconstruct(), a, atol=1e-6)
+
+    def test_invalid_rank(self, rng):
+        with pytest.raises(ShapeError):
+            low_rank_approximation(rng.standard_normal((5, 5)), 0)
+
+
+class TestHeatKernel:
+    def test_laplacian_construction(self):
+        lap = laplacian_from_edges(3, [(0, 1), (1, 2)])
+        expected = np.array([[1.0, -1.0, 0.0], [-1.0, 2.0, -1.0], [0.0, -1.0, 1.0]])
+        assert np.allclose(lap, expected)
+
+    def test_laplacian_row_sums_zero(self):
+        lap = grid_laplacian(4, 5)
+        assert np.allclose(lap.sum(axis=1), 0.0)
+        assert np.allclose(lap, lap.T)
+
+    def test_path_laplacian_size(self):
+        assert path_laplacian(6).shape == (6, 6)
+
+    def test_edge_out_of_range(self):
+        with pytest.raises(ShapeError):
+            laplacian_from_edges(2, [(0, 5)])
+
+    def test_heat_kernel_at_zero_is_identity(self):
+        spectrum = spectral_decomposition(grid_laplacian(3, 3))
+        k0 = heat_kernel(spectrum, 0.0)
+        assert np.allclose(k0, np.eye(9), atol=1e-8)
+
+    def test_heat_kernel_matches_expm(self):
+        import scipy.linalg
+        lap = grid_laplacian(3, 4)
+        spectrum = spectral_decomposition(lap)
+        t = 0.7
+        ours = heat_kernel(spectrum, t)
+        reference = scipy.linalg.expm(-t * lap)
+        assert np.allclose(ours, reference, atol=1e-8)
+
+    def test_heat_kernel_symmetric_psd(self):
+        spectrum = spectral_decomposition(grid_laplacian(4, 4))
+        k = heat_kernel(spectrum, 1.3)
+        assert np.allclose(k, k.T, atol=1e-10)
+        assert np.all(np.linalg.eigvalsh(k) >= -1e-9)
+
+    def test_diffusion_conserves_heat(self):
+        spectrum = spectral_decomposition(path_laplacian(12))
+        u0 = np.zeros(12)
+        u0[4] = 1.0
+        u = diffuse(spectrum, u0, 2.0)
+        assert u.sum() == pytest.approx(1.0, abs=1e-8)
+        assert np.all(u >= -1e-9)
+
+    def test_negative_time_rejected(self):
+        spectrum = spectral_decomposition(path_laplacian(5))
+        with pytest.raises(ShapeError):
+            heat_kernel(spectrum, -1.0)
+
+    def test_hks_shape_and_decay(self):
+        spectrum = spectral_decomposition(grid_laplacian(4, 4))
+        sig = heat_kernel_signature(spectrum, [0.1, 1.0, 10.0])
+        assert sig.shape == (16, 3)
+        # signatures decay towards the uniform value 1/n as t grows
+        assert np.all(sig[:, 0] >= sig[:, 2] - 1e-9)
+
+    def test_truncated_spectrum_approximates(self):
+        spectrum = spectral_decomposition(grid_laplacian(4, 4))
+        full = heat_kernel(spectrum, 5.0)
+        truncated = heat_kernel(spectrum, 5.0, truncate=8)
+        # at large t only the small eigenvalues matter, so truncation is accurate
+        assert np.allclose(full, truncated, atol=1e-3)

@@ -1,0 +1,114 @@
+"""Tests for the covariance / correlation / PCA application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.covariance import correlation_matrix, covariance_matrix, pca
+from repro.errors import ShapeError
+
+
+class TestCovariance:
+    def test_matches_numpy_cov(self, rng):
+        x = rng.standard_normal((200, 7))
+        ours = covariance_matrix(x)
+        reference = np.cov(x, rowvar=False)
+        assert np.allclose(ours, reference, atol=1e-10)
+
+    def test_ddof_zero(self, rng):
+        x = rng.standard_normal((50, 4))
+        ours = covariance_matrix(x, ddof=0)
+        reference = np.cov(x, rowvar=False, bias=True)
+        assert np.allclose(ours, reference, atol=1e-10)
+
+    def test_assume_centered(self, rng):
+        x = rng.standard_normal((100, 5))
+        centered = x - x.mean(axis=0)
+        assert np.allclose(covariance_matrix(centered, assume_centered=True),
+                           covariance_matrix(x), atol=1e-10)
+
+    def test_symmetric_psd(self, rng):
+        cov = covariance_matrix(rng.standard_normal((60, 9)))
+        assert np.allclose(cov, cov.T)
+        assert np.all(np.linalg.eigvalsh(cov) >= -1e-10)
+
+    @pytest.mark.parametrize("backend,workers", [("shared", 4), ("distributed", 4)])
+    def test_parallel_backends_agree(self, rng, small_base_case, backend, workers):
+        x = rng.standard_normal((80, 12))
+        assert np.allclose(covariance_matrix(x, backend=backend, workers=workers),
+                           covariance_matrix(x), atol=1e-8)
+
+    def test_too_few_observations(self, rng):
+        with pytest.raises(ShapeError):
+            covariance_matrix(rng.standard_normal((1, 3)))
+
+
+class TestCorrelation:
+    def test_matches_numpy_corrcoef(self, rng):
+        x = rng.standard_normal((150, 6))
+        ours = correlation_matrix(x)
+        reference = np.corrcoef(x, rowvar=False)
+        assert np.allclose(ours, reference, atol=1e-8)
+
+    def test_unit_diagonal_and_bounds(self, rng):
+        corr = correlation_matrix(rng.standard_normal((40, 8)))
+        assert np.allclose(np.diag(corr), 1.0)
+        assert np.all(corr <= 1.0 + 1e-12) and np.all(corr >= -1.0 - 1e-12)
+
+    def test_constant_column_handled(self, rng):
+        x = rng.standard_normal((30, 4))
+        x[:, 2] = 5.0
+        corr = correlation_matrix(x)
+        assert corr[2, 2] == pytest.approx(1.0)
+        assert np.allclose(corr[2, [0, 1, 3]], 0.0)
+
+    def test_perfectly_correlated_columns(self, rng):
+        base = rng.standard_normal(50)
+        x = np.column_stack([base, 2.0 * base + 1.0, rng.standard_normal(50)])
+        corr = correlation_matrix(x)
+        assert corr[0, 1] == pytest.approx(1.0, abs=1e-8)
+
+
+class TestPCA:
+    def test_components_orthonormal_and_variance_sorted(self, rng):
+        x = rng.standard_normal((300, 6)) @ np.diag([5.0, 3.0, 1.0, 0.5, 0.1, 0.01])
+        result = pca(x)
+        assert np.allclose(result.components @ result.components.T, np.eye(6), atol=1e-8)
+        assert np.all(np.diff(result.explained_variance) <= 1e-9)
+        assert result.explained_variance_ratio.sum() == pytest.approx(1.0)
+
+    def test_matches_svd_variances(self, rng):
+        x = rng.standard_normal((200, 5))
+        result = pca(x)
+        centered = x - x.mean(axis=0)
+        s = np.linalg.svd(centered, compute_uv=False)
+        assert np.allclose(result.explained_variance, s ** 2 / (x.shape[0] - 1), atol=1e-8)
+
+    def test_transform_inverse_round_trip(self, rng):
+        x = rng.standard_normal((100, 4))
+        result = pca(x)                      # all components kept
+        restored = result.inverse_transform(result.transform(x))
+        assert np.allclose(restored, x, atol=1e-8)
+
+    def test_truncated_reconstruction_error_decreases(self, rng):
+        x = rng.standard_normal((150, 8)) @ np.diag([10, 5, 2, 1, 0.5, 0.2, 0.1, 0.05])
+        errors = []
+        for k in (1, 4, 8):
+            result = pca(x, n_components=k)
+            approx = result.inverse_transform(result.transform(x))
+            errors.append(np.linalg.norm(approx - x))
+        assert errors[0] > errors[1] > errors[2]
+        assert errors[2] < 1e-8
+
+    def test_scores_are_decorrelated(self, rng):
+        x = rng.standard_normal((400, 5)) @ rng.standard_normal((5, 5))
+        result = pca(x)
+        scores = result.transform(x)
+        score_cov = np.cov(scores, rowvar=False)
+        off_diag = score_cov - np.diag(np.diag(score_cov))
+        assert np.max(np.abs(off_diag)) < 1e-8
+
+    def test_invalid_component_count(self, rng):
+        with pytest.raises(ShapeError):
+            pca(rng.standard_normal((20, 4)), n_components=0)
+        with pytest.raises(ShapeError):
+            pca(rng.standard_normal((20, 4)), n_components=9)

@@ -1,0 +1,102 @@
+"""Tests for the sequential baselines (naive reference and MKL-like)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mkl_like import (
+    dgemm,
+    dsyrk,
+    mkl_gemm_t,
+    mkl_syrk,
+    mkl_thread_efficiency,
+    sgemm,
+    ssyrk,
+)
+from repro.baselines.naive import naive_aat, naive_ata, naive_gemm_t
+from repro.blas import counters
+from repro.errors import ShapeError
+
+
+class TestNaive:
+    def test_naive_ata_matches_numpy(self, rng):
+        a = rng.standard_normal((23, 11))
+        assert np.allclose(np.tril(naive_ata(a)), np.tril(a.T @ a))
+
+    def test_naive_ata_accumulates(self, rng):
+        a = rng.standard_normal((10, 4))
+        c0 = np.tril(rng.standard_normal((4, 4)))
+        c = naive_ata(a, c0.copy(), alpha=2.0)
+        assert np.allclose(np.tril(c), np.tril(c0 + 2.0 * (a.T @ a)))
+
+    def test_naive_gemm_matches_numpy(self, rng):
+        a = rng.standard_normal((17, 6))
+        b = rng.standard_normal((17, 8))
+        assert np.allclose(naive_gemm_t(a, b), a.T @ b)
+
+    def test_naive_aat(self, rng):
+        a = rng.standard_normal((9, 21))
+        assert np.allclose(np.tril(naive_aat(a)), np.tril(a @ a.T))
+
+    def test_naive_records_classical_flops(self, rng):
+        a = rng.standard_normal((12, 5))
+        with counters.counting() as cs:
+            naive_ata(a)
+        assert cs["naive_syrk"].flops == 12 * 5 * 6
+
+    def test_shape_errors(self, rng):
+        with pytest.raises(ShapeError):
+            naive_gemm_t(rng.standard_normal((5, 2)), rng.standard_normal((6, 2)))
+        with pytest.raises(ShapeError):
+            naive_ata(rng.standard_normal((5, 2)), np.zeros((3, 3)))
+
+
+class TestMklLike:
+    def test_syrk_matches_numpy(self, rng):
+        a = rng.standard_normal((31, 13))
+        assert np.allclose(np.tril(mkl_syrk(a)), np.tril(a.T @ a))
+
+    def test_syrk_upper(self, rng):
+        a = rng.standard_normal((12, 6))
+        c = mkl_syrk(a, lower=False)
+        assert np.allclose(np.triu(c), np.triu(a.T @ a))
+        assert np.all(np.tril(c, -1) == 0)
+
+    def test_gemm_matches_numpy(self, rng):
+        a = rng.standard_normal((14, 6))
+        b = rng.standard_normal((14, 9))
+        assert np.allclose(mkl_gemm_t(a, b), a.T @ b)
+
+    def test_precision_prefixes(self, rng):
+        a = rng.standard_normal((10, 5))
+        b = rng.standard_normal((10, 4))
+        assert dsyrk(a).dtype == np.float64
+        assert ssyrk(a).dtype == np.float32
+        assert dgemm(a, b).dtype == np.float64
+        assert sgemm(a, b).dtype == np.float32
+
+    def test_classical_flop_count_recorded(self, rng):
+        m, n = 20, 8
+        a = rng.standard_normal((m, n))
+        with counters.counting() as cs:
+            mkl_syrk(a)
+        assert cs["mkl_syrk"].flops == m * n * (n + 1)
+
+    def test_mkl_shape_errors(self, rng):
+        with pytest.raises(ShapeError):
+            mkl_gemm_t(rng.standard_normal((5, 2)), rng.standard_normal((4, 2)))
+        with pytest.raises(ShapeError):
+            mkl_syrk(rng.standard_normal((5, 2)), np.zeros((3, 3)))
+
+
+class TestThreadEfficiency:
+    def test_perfect_at_one_thread(self):
+        assert mkl_thread_efficiency(1) == pytest.approx(1.0)
+
+    def test_decreases_with_oversubscription(self):
+        values = [mkl_thread_efficiency(t, physical_cores=8) for t in (1, 4, 8, 16, 32)]
+        assert values == sorted(values, reverse=True)
+        assert values[-1] > 0.0
+
+    def test_invalid_threads(self):
+        with pytest.raises(ShapeError):
+            mkl_thread_efficiency(0)

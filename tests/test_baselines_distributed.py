@@ -1,0 +1,130 @@
+"""Tests for the distributed baselines: pdsyrk, CAPS, COSMA."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.caps import caps_multiply
+from repro.baselines.cosma import cosma_grid, cosma_multiply
+from repro.baselines.scalapack import pdsyrk
+from repro.errors import ShapeError
+
+
+class TestPdsyrk:
+    @pytest.mark.parametrize("processes", [1, 2, 4, 6, 9, 12, 16])
+    def test_matches_reference(self, rng, processes):
+        a = rng.standard_normal((37, 23))
+        c = pdsyrk(a, processes=processes)
+        assert np.allclose(np.tril(c), np.tril(a.T @ a))
+
+    def test_tall_matrix(self, rng):
+        a = rng.standard_normal((120, 16))
+        c = pdsyrk(a, processes=8)
+        assert np.allclose(np.tril(c), np.tril(a.T @ a))
+
+    def test_alpha(self, rng):
+        a = rng.standard_normal((20, 12))
+        c = pdsyrk(a, processes=4, alpha=0.5)
+        assert np.allclose(np.tril(c), np.tril(0.5 * (a.T @ a)))
+
+    def test_stats_grid_and_traffic(self, rng):
+        a = rng.standard_normal((40, 30))
+        c, stats = pdsyrk(a, processes=6, return_stats=True)
+        assert stats.grid == (3, 2)
+        assert stats.total_messages > 0
+        assert stats.total_bytes > 0
+        assert np.allclose(np.tril(c), np.tril(a.T @ a))
+
+    def test_single_process_no_traffic(self, rng):
+        a = rng.standard_normal((16, 12))
+        _, stats = pdsyrk(a, processes=1, return_stats=True)
+        assert stats.total_messages == 0
+
+    def test_invalid_processes(self, rng):
+        with pytest.raises(ShapeError):
+            pdsyrk(rng.standard_normal((8, 8)), processes=0)
+
+
+class TestCaps:
+    @pytest.mark.parametrize("processes", [1, 7, 8, 14, 49])
+    def test_matches_reference(self, rng, small_base_case, processes):
+        n = 24
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        c = caps_multiply(a, b, processes=processes)
+        assert np.allclose(c, a @ b)
+
+    def test_odd_size(self, rng, small_base_case):
+        a = rng.standard_normal((19, 19))
+        b = rng.standard_normal((19, 19))
+        assert np.allclose(caps_multiply(a, b, processes=7), a @ b)
+
+    def test_rectangular_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            caps_multiply(rng.standard_normal((8, 6)), rng.standard_normal((6, 8)))
+
+    def test_mismatched_squares_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            caps_multiply(rng.standard_normal((8, 8)), rng.standard_normal((9, 9)))
+
+    def test_stats_report_bfs_steps(self, rng, small_base_case):
+        a = rng.standard_normal((16, 16))
+        b = rng.standard_normal((16, 16))
+        _, stats = caps_multiply(a, b, processes=7, return_stats=True)
+        assert stats.bfs_steps == 1
+        assert stats.total_messages > 0
+        _, stats49 = caps_multiply(a, b, processes=49, return_stats=True)
+        assert stats49.bfs_steps == 2
+
+    def test_fewer_than_seven_runs_locally(self, rng, small_base_case):
+        a = rng.standard_normal((16, 16))
+        b = rng.standard_normal((16, 16))
+        _, stats = caps_multiply(a, b, processes=3, return_stats=True)
+        assert stats.total_messages == 0
+        assert stats.bfs_steps == 0
+
+
+class TestCosma:
+    @pytest.mark.parametrize("processes", [1, 2, 4, 8, 12, 16, 27])
+    def test_matches_reference(self, rng, processes):
+        a = rng.standard_normal((30, 18))
+        b = rng.standard_normal((30, 10))
+        c = cosma_multiply(a, b, processes=processes)
+        assert np.allclose(c, a.T @ b)
+
+    def test_square_inputs(self, rng):
+        a = rng.standard_normal((24, 24))
+        b = rng.standard_normal((24, 24))
+        assert np.allclose(cosma_multiply(a, b, processes=8), a.T @ b)
+
+    def test_alpha(self, rng):
+        a = rng.standard_normal((12, 6))
+        b = rng.standard_normal((12, 5))
+        assert np.allclose(cosma_multiply(a, b, processes=4, alpha=2.0), 2.0 * (a.T @ b))
+
+    def test_grid_minimises_cost(self):
+        """For a cubic problem the optimal grid is as cubic as possible."""
+        assert sorted(cosma_grid(8, 100, 100, 100)) == [2, 2, 2]
+        assert sorted(cosma_grid(27, 50, 50, 50)) == [3, 3, 3]
+
+    def test_grid_adapts_to_aspect_ratio(self):
+        """A product with a huge contraction dimension puts processes on it."""
+        pn, pk, pm = cosma_grid(8, 16, 16, 10_000)
+        assert pm >= pn and pm >= pk
+
+    def test_grid_product_is_process_count(self):
+        for p in (1, 6, 12, 30):
+            pn, pk, pm = cosma_grid(p, 64, 32, 128)
+            assert pn * pk * pm == p
+
+    def test_stats(self, rng):
+        a = rng.standard_normal((20, 12))
+        b = rng.standard_normal((20, 8))
+        c, stats = cosma_multiply(a, b, processes=8, return_stats=True)
+        assert stats.processes == 8
+        assert len(stats.grid) == 3
+        assert stats.total_bytes > 0
+        assert np.allclose(c, a.T @ b)
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            cosma_multiply(rng.standard_normal((10, 4)), rng.standard_normal((11, 4)))

@@ -1,0 +1,75 @@
+"""Tests for the blocked (tiled) classical routines."""
+
+import numpy as np
+import pytest
+
+from repro.blas.blocked import blocked_gemm_t, blocked_syrk, choose_block_size
+from repro.errors import ShapeError
+
+
+class TestChooseBlockSize:
+    def test_three_tiles_fit(self):
+        block = choose_block_size(3 * 64 * 64)
+        assert 3 * block * block <= 3 * 64 * 64
+
+    def test_tiny_capacity(self):
+        assert choose_block_size(1) == 1
+        assert choose_block_size(2) == 1
+
+    def test_monotone_in_capacity(self):
+        sizes = [choose_block_size(c) for c in (100, 1_000, 10_000, 100_000)]
+        assert sizes == sorted(sizes)
+
+
+class TestBlockedSyrk:
+    @pytest.mark.parametrize("m,n,block", [(17, 9, 4), (32, 32, 8), (5, 20, 3), (20, 5, 64)])
+    def test_matches_reference(self, rng, m, n, block):
+        a = rng.standard_normal((m, n))
+        c = blocked_syrk(a, block=block)
+        assert np.allclose(np.tril(c), np.tril(a.T @ a))
+
+    def test_accumulates(self, rng):
+        a = rng.standard_normal((10, 6))
+        c0 = np.tril(rng.standard_normal((6, 6)))
+        c = blocked_syrk(a, c0.copy(), alpha=3.0, block=4)
+        assert np.allclose(np.tril(c), np.tril(c0 + 3.0 * (a.T @ a)))
+
+    def test_strict_upper_untouched(self, rng):
+        a = rng.standard_normal((12, 7))
+        c = np.zeros((7, 7))
+        blocked_syrk(a, c, block=3)
+        assert np.all(np.triu(c, 1) == 0)
+
+    def test_bad_block_size(self, rng):
+        with pytest.raises(ShapeError):
+            blocked_syrk(rng.standard_normal((4, 4)), block=0)
+
+    def test_bad_output_shape(self, rng):
+        with pytest.raises(ShapeError):
+            blocked_syrk(rng.standard_normal((4, 4)), np.zeros((3, 3)))
+
+
+class TestBlockedGemmT:
+    @pytest.mark.parametrize("m,n,k,block", [(13, 7, 5, 4), (16, 16, 16, 8), (3, 10, 2, 4)])
+    def test_matches_reference(self, rng, m, n, k, block):
+        a = rng.standard_normal((m, n))
+        b = rng.standard_normal((m, k))
+        c = blocked_gemm_t(a, b, block=block)
+        assert np.allclose(c, a.T @ b)
+
+    def test_alpha(self, rng):
+        a = rng.standard_normal((6, 3))
+        b = rng.standard_normal((6, 4))
+        c = blocked_gemm_t(a, b, alpha=-2.0, block=2)
+        assert np.allclose(c, -2.0 * (a.T @ b))
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            blocked_gemm_t(rng.standard_normal((5, 3)), rng.standard_normal((4, 2)))
+
+    def test_float32(self, rng):
+        a = rng.standard_normal((9, 5)).astype(np.float32)
+        b = rng.standard_normal((9, 4)).astype(np.float32)
+        c = blocked_gemm_t(a, b, block=3)
+        assert c.dtype == np.float32
+        assert np.allclose(c, a.T @ b, atol=1e-4)

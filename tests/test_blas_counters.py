@@ -1,0 +1,120 @@
+"""Tests for the flop/byte accounting layer (repro.blas.counters)."""
+
+import threading
+
+import numpy as np
+
+from repro.blas import counters
+from repro.blas.kernels import gemm_t
+
+
+class TestCounter:
+    def test_add_and_merge(self):
+        c = counters.Counter()
+        c.add(flops=10, bytes=4)
+        c.add(flops=5)
+        other = counters.Counter(calls=1, flops=1, bytes=1)
+        c.merge(other)
+        assert c.calls == 3 and c.flops == 16 and c.bytes == 5
+
+    def test_copy_is_independent(self):
+        c = counters.Counter(calls=1, flops=2, bytes=3)
+        d = c.copy()
+        d.add(flops=100)
+        assert c.flops == 2
+
+
+class TestCounterSet:
+    def test_record_and_totals(self):
+        cs = counters.CounterSet()
+        cs.record("gemm", flops=100, bytes=10)
+        cs.record("gemm", flops=50)
+        cs.record("syrk", flops=7)
+        assert cs["gemm"].calls == 2
+        assert cs.total_flops == 157
+        assert cs.total_bytes == 10
+        assert cs.total_calls == 3
+
+    def test_missing_category_is_zero(self):
+        cs = counters.CounterSet()
+        assert cs["nothing"].flops == 0
+        assert "nothing" not in cs
+
+    def test_flops_for_selected_categories(self):
+        cs = counters.CounterSet()
+        cs.record("a", flops=1)
+        cs.record("b", flops=2)
+        cs.record("c", flops=4)
+        assert cs.flops_for("a", "c") == 5
+
+    def test_merge_sets(self):
+        a = counters.CounterSet()
+        b = counters.CounterSet()
+        a.record("x", flops=1)
+        b.record("x", flops=2)
+        b.record("y", calls=3)
+        a.merge(b)
+        assert a["x"].flops == 3
+        assert a["y"].calls == 3
+
+    def test_as_dict_snapshot(self):
+        cs = counters.CounterSet()
+        cs.record("k", flops=2, bytes=8)
+        snap = cs.as_dict()
+        assert snap == {"k": {"calls": 1, "flops": 2, "bytes": 8}}
+
+
+class TestCountingContext:
+    def test_counting_captures_kernel_work(self, rng):
+        a = rng.standard_normal((8, 3))
+        b = rng.standard_normal((8, 5))
+        with counters.counting() as cs:
+            gemm_t(a, b, np.zeros((3, 5)))
+        assert cs.total_flops > 0
+
+    def test_nested_counting_both_receive(self, rng):
+        a = rng.standard_normal((4, 2))
+        b = rng.standard_normal((4, 2))
+        with counters.counting() as outer:
+            with counters.counting() as inner:
+                gemm_t(a, b, np.zeros((2, 2)))
+        assert inner.total_flops == outer.total_flops > 0
+
+    def test_counting_isolated_after_exit(self, rng):
+        a = rng.standard_normal((4, 2))
+        b = rng.standard_normal((4, 2))
+        with counters.counting() as first:
+            gemm_t(a, b, np.zeros((2, 2)))
+        baseline = first.total_flops
+        with counters.counting():
+            gemm_t(a, b, np.zeros((2, 2)))
+        assert first.total_flops == baseline  # unchanged by later work
+
+    def test_push_pop_threads_are_independent(self, rng):
+        """Counters pushed on one thread must not capture another thread's work."""
+        a = rng.standard_normal((16, 4))
+        b = rng.standard_normal((16, 4))
+        main_set = counters.CounterSet()
+        worker_set = counters.CounterSet()
+
+        def worker():
+            counters.push(worker_set)
+            try:
+                gemm_t(a, b, np.zeros((4, 4)))
+            finally:
+                counters.pop(worker_set)
+
+        counters.push(main_set)
+        try:
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        finally:
+            counters.pop(main_set)
+        assert worker_set.total_flops > 0
+        assert main_set.total_flops == 0
+
+    def test_global_counters_always_receive(self, rng):
+        before = counters.GLOBAL_COUNTERS.total_flops
+        gemm_t(rng.standard_normal((4, 2)), rng.standard_normal((4, 2)), np.zeros((2, 2)))
+        assert counters.GLOBAL_COUNTERS.total_flops > before

@@ -1,0 +1,112 @@
+"""Tests (including property-based) for packed lower-triangular storage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blas.packed import (
+    matrix_order_from_packed_length,
+    pack_lower,
+    pack_lower_into,
+    packed_index,
+    packed_length,
+    unpack_lower,
+    unpack_lower_into,
+)
+from repro.errors import ShapeError
+
+
+class TestPackedLength:
+    def test_known_values(self):
+        assert packed_length(0) == 0
+        assert packed_length(1) == 1
+        assert packed_length(4) == 10
+        assert packed_length(10) == 55
+
+    def test_negative_rejected(self):
+        with pytest.raises(ShapeError):
+            packed_length(-1)
+
+    def test_inverse(self):
+        for n in range(0, 40):
+            assert matrix_order_from_packed_length(packed_length(n)) == n
+
+    def test_non_triangular_length_rejected(self):
+        with pytest.raises(ShapeError):
+            matrix_order_from_packed_length(7)
+
+    def test_packed_index_layout(self):
+        assert packed_index(0, 0) == 0
+        assert packed_index(1, 0) == 1
+        assert packed_index(1, 1) == 2
+        assert packed_index(3, 2) == 8
+
+    def test_packed_index_rejects_upper(self):
+        with pytest.raises(ShapeError):
+            packed_index(1, 2)
+
+
+class TestPackUnpack:
+    def test_round_trip(self, rng):
+        c = rng.standard_normal((6, 6))
+        packed = pack_lower(c)
+        assert packed.shape == (21,)
+        restored = unpack_lower(packed)
+        assert np.allclose(np.tril(restored), np.tril(c))
+        assert np.all(np.triu(restored, 1) == 0)
+
+    def test_upper_triangle_ignored(self, rng):
+        c = rng.standard_normal((5, 5))
+        garbage = c.copy()
+        garbage[np.triu_indices(5, 1)] = np.nan
+        assert np.allclose(pack_lower(garbage), pack_lower(np.tril(c)))
+
+    def test_symmetric_unpack(self, rng):
+        c = np.tril(rng.standard_normal((4, 4)))
+        restored = unpack_lower(pack_lower(c), symmetric=True)
+        assert np.allclose(restored, restored.T)
+
+    def test_unpack_into_accumulates(self, rng):
+        c = np.tril(rng.standard_normal((4, 4)))
+        out = np.tril(rng.standard_normal((4, 4)))
+        expected = np.tril(out + c)
+        unpack_lower_into(pack_lower(c), out, accumulate=True)
+        assert np.allclose(np.tril(out), expected)
+
+    def test_pack_into_preallocated(self, rng):
+        c = rng.standard_normal((5, 5))
+        buf = np.zeros(32)
+        view = pack_lower_into(c, buf)
+        assert view.shape == (15,)
+        assert np.allclose(view, pack_lower(c))
+
+    def test_pack_requires_square(self, rng):
+        with pytest.raises(ShapeError):
+            pack_lower(rng.standard_normal((3, 4)))
+
+    def test_unpack_too_short_rejected(self):
+        with pytest.raises(ShapeError):
+            unpack_lower(np.zeros(5), n=4)
+
+    def test_pack_into_too_small_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            pack_lower_into(rng.standard_normal((5, 5)), np.zeros(3))
+
+
+class TestPackedProperties:
+    @given(n=st.integers(min_value=0, max_value=24), seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_property(self, n, seed):
+        """pack → unpack is the identity on the lower triangle, any order."""
+        rng = np.random.default_rng(seed)
+        c = rng.standard_normal((n, n)) if n else np.zeros((0, 0))
+        restored = unpack_lower(pack_lower(c), n)
+        assert np.allclose(np.tril(restored), np.tril(c))
+
+    @given(n=st.integers(min_value=1, max_value=24))
+    @settings(max_examples=30, deadline=None)
+    def test_packed_length_halves_storage(self, n):
+        """Packed storage never exceeds (n²+n)/2 entries — the bandwidth
+        saving claimed for the retrieval phase."""
+        assert packed_length(n) <= (n * n + n) // 2
+        assert packed_length(n) > (n * n) // 2 - 1

@@ -1,0 +1,58 @@
+"""Tests for the cache-complexity formulas (Prop. 3.1)."""
+
+import pytest
+
+from repro.cache.complexity import (
+    LOG2_7,
+    ata_cache_bounds,
+    ata_cache_recurrence,
+    classical_cache_bound,
+    strassen_cache_bound,
+    strassen_cache_recurrence,
+)
+from repro.cache.model import CacheModel
+
+
+MODEL = CacheModel(capacity_words=1024, line_words=8)
+
+
+class TestBounds:
+    def test_strassen_below_classical(self):
+        for n in (64, 256, 1024, 4096):
+            assert strassen_cache_bound(n, MODEL) < classical_cache_bound(n, MODEL)
+
+    def test_bounds_monotone_in_n(self):
+        values = [strassen_cache_bound(n, MODEL) for n in (32, 64, 128, 256)]
+        assert values == sorted(values)
+
+    def test_bounds_decrease_with_cache_size(self):
+        small = strassen_cache_bound(1024, CacheModel(256, 8))
+        large = strassen_cache_bound(1024, CacheModel(65536, 8))
+        assert large < small
+
+    def test_exponent_constant(self):
+        assert 2.80 < LOG2_7 < 2.81
+
+
+class TestAtASandwich:
+    """The Prop. 3.1 sandwich: C_S(n/2) <= C_AtA(n) <= C_S(n)."""
+
+    @pytest.mark.parametrize("n", [64, 128, 256, 512, 1024])
+    def test_recurrence_within_bounds(self, n):
+        ata_misses = ata_cache_recurrence(n, MODEL)
+        lower = strassen_cache_recurrence(n // 2, MODEL)
+        upper = strassen_cache_recurrence(n, MODEL)
+        assert lower <= ata_misses <= upper
+
+    def test_bounds_helper_consistent(self):
+        lo, hi = ata_cache_bounds(512, MODEL)
+        assert lo <= hi
+
+    def test_recurrence_monotone(self):
+        values = [ata_cache_recurrence(n, MODEL) for n in (32, 64, 128, 256, 512)]
+        assert values == sorted(values)
+
+    def test_base_case_is_scan(self):
+        tiny = CacheModel(capacity_words=10_000, line_words=8)
+        # 32x32 = 1024 elements fit: misses are just the cold scan
+        assert ata_cache_recurrence(32, tiny) == -(-32 * 32 // 8)

@@ -1,0 +1,81 @@
+"""Tests for the ideal-cache model and hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.cache.model import (
+    CacheHierarchy,
+    CacheLevel,
+    CacheModel,
+    XEON_E5_2630V3_HIERARCHY,
+    default_cache_model,
+)
+from repro.config import configured
+from repro.errors import ConfigurationError
+
+
+class TestCacheModel:
+    def test_base_case_predicates(self):
+        model = CacheModel(capacity_words=100)
+        assert model.fits_ata(10, 10)
+        assert not model.fits_ata(10, 11)
+        assert model.fits_gemm(5, 10, 10)
+        assert not model.fits_gemm(5, 11, 10)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            CacheModel(capacity_words=0)
+
+    def test_line_larger_than_capacity(self):
+        with pytest.raises(ConfigurationError):
+            CacheModel(capacity_words=4, line_words=8)
+
+    def test_lines_for_rounds_up(self):
+        model = CacheModel(capacity_words=1024, line_words=8)
+        assert model.lines_for(1) == 1
+        assert model.lines_for(8) == 1
+        assert model.lines_for(9) == 2
+
+    def test_with_capacity(self):
+        model = CacheModel(capacity_words=64, line_words=4)
+        bigger = model.with_capacity(128)
+        assert bigger.capacity_words == 128
+        assert bigger.line_words == 4
+
+
+class TestHierarchy:
+    def test_xeon_hierarchy_ordering(self):
+        sizes = [lvl.size_bytes for lvl in XEON_E5_2630V3_HIERARCHY.levels]
+        assert sizes == sorted(sizes)
+        assert XEON_E5_2630V3_HIERARCHY.first_level.name == "L1"
+        assert XEON_E5_2630V3_HIERARCHY.last_level.name == "L3"
+
+    def test_unordered_hierarchy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheHierarchy(levels=(CacheLevel("big", 1024), CacheLevel("small", 512)))
+
+    def test_level_lookup(self):
+        lvl = XEON_E5_2630V3_HIERARCHY.level("L2")
+        assert lvl.size_bytes == 256 * 1024
+        with pytest.raises(KeyError):
+            XEON_E5_2630V3_HIERARCHY.level("L4")
+
+    def test_ideal_model_from_level(self):
+        model = XEON_E5_2630V3_HIERARCHY.ideal_model(level="L1", itemsize=8)
+        assert model.capacity_words == 32 * 1024 // 8
+        assert model.line_words == 8
+
+    def test_words_per_dtype(self):
+        lvl = CacheLevel("L1", 32 * 1024)
+        assert lvl.words(8) == 4096
+        assert lvl.words(4) == 8192
+
+
+class TestDefaultCacheModel:
+    def test_tracks_configuration(self):
+        with configured(base_case_elements=12345):
+            assert default_cache_model().capacity_words == 12345
+
+    def test_line_words_depend_on_dtype(self):
+        assert default_cache_model(np.float64).line_words == 8
+        assert default_cache_model(np.float32).line_words == 16

@@ -1,0 +1,74 @@
+"""Tests for repro.config."""
+
+import numpy as np
+import pytest
+
+from repro.config import Config, configured, get_config, set_config
+from repro.errors import ConfigurationError
+
+
+class TestConfigValidation:
+    def test_default_config_is_valid(self):
+        cfg = Config()
+        assert cfg.base_case_elements >= 1
+        assert np.dtype(cfg.default_dtype).kind == "f"
+
+    def test_negative_base_case_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Config(base_case_elements=0)
+
+    def test_negative_recursion_depth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Config(max_recursion_depth=0)
+
+    def test_integer_dtype_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Config(default_dtype=np.int32)
+
+    def test_complex_dtype_accepted(self):
+        cfg = Config(default_dtype=np.complex128)
+        assert np.dtype(cfg.default_dtype).kind == "c"
+
+    def test_replace_returns_new_instance(self):
+        cfg = Config()
+        other = cfg.replace(base_case_elements=128)
+        assert other.base_case_elements == 128
+        assert cfg.base_case_elements != 128 or cfg is not other
+
+
+class TestConfiguredContext:
+    def test_configured_overrides_and_restores(self):
+        before = get_config().base_case_elements
+        with configured(base_case_elements=before + 1) as cfg:
+            assert cfg.base_case_elements == before + 1
+            assert get_config().base_case_elements == before + 1
+        assert get_config().base_case_elements == before
+
+    def test_configured_restores_on_exception(self):
+        before = get_config().base_case_elements
+        with pytest.raises(RuntimeError):
+            with configured(base_case_elements=before + 7):
+                raise RuntimeError("boom")
+        assert get_config().base_case_elements == before
+
+    def test_nested_configured(self):
+        with configured(base_case_elements=100):
+            with configured(base_case_elements=200):
+                assert get_config().base_case_elements == 200
+            assert get_config().base_case_elements == 100
+
+    def test_invalid_override_rejected(self):
+        with pytest.raises(ConfigurationError):
+            with configured(base_case_elements=-1):
+                pass
+
+
+class TestSetConfig:
+    def test_set_config_returns_previous(self):
+        current = get_config()
+        previous = set_config(current.replace(seed=1234))
+        try:
+            assert previous is current
+            assert get_config().seed == 1234
+        finally:
+            set_config(previous)

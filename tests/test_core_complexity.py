@@ -1,0 +1,123 @@
+"""Tests for the operation-count analysis (Section 3.2, Eq. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.blas import counters
+from repro.cache.model import CacheModel
+from repro.config import configured
+from repro.core.ata import ata
+from repro.core.complexity import (
+    LOG2_7,
+    ata_flops,
+    ata_multiplications,
+    ata_multiplications_closed,
+    ata_to_strassen_ratio,
+    classical_gemm_multiplications,
+    classical_syrk_multiplications,
+    effective_flops,
+    strassen_flops,
+    strassen_multiplications,
+    strassen_multiplications_closed,
+)
+from repro.core.strassen import fast_strassen
+
+
+TINY = CacheModel(capacity_words=2, line_words=1)
+
+
+class TestClosedForms:
+    def test_strassen_exponent(self):
+        assert np.isclose(strassen_multiplications_closed(2), 7.0)
+        assert np.isclose(strassen_multiplications_closed(4), 49.0)
+
+    def test_ata_two_thirds_leading_term(self):
+        n = 4096
+        assert ata_multiplications_closed(n) == pytest.approx(
+            (2 / 3) * n ** LOG2_7 + n * n / 3)
+
+    def test_classical_counts(self):
+        assert classical_syrk_multiplications(10, 4) == 10 * 4 * 5 // 2
+        assert classical_gemm_multiplications(3, 4, 5) == 60
+
+    def test_effective_flops_r(self):
+        assert effective_flops(100, r=2) == 2 * 100 ** 3
+
+
+class TestExactRecurrences:
+    def test_strassen_power_of_two_fully_recursed(self):
+        """With a tiny base case, Strassen on 2^k does exactly 7^k multiplies."""
+        for k in range(1, 7):
+            n = 2 ** k
+            assert strassen_multiplications(n, n, n, cache=TINY) == 7 ** k
+
+    def test_ata_recurrence_value_small(self):
+        # n = 2, full recursion: 4 AtA base cases (1x1: 1 mult each) and
+        # 2 Strassen 1x1 products -> 6 multiplications total.
+        assert ata_multiplications(2, 2, cache=TINY) == 6
+
+    def test_ratio_tends_to_two_thirds(self):
+        cache = CacheModel(capacity_words=64)
+        ratios = [ata_to_strassen_ratio(n, cache=cache) for n in (256, 1024, 4096)]
+        # the ratio converges to 2/3 (Eq. 3); base-case effects (syrk leaves
+        # cost half a gemm leaf) can push finite sizes slightly below it
+        assert all(0.55 < r < 0.78 for r in ratios)
+        assert abs(ratios[-1] - 2 / 3) < 0.05
+        assert abs(ratios[-1] - 2 / 3) <= abs(ratios[0] - 2 / 3) + 1e-9
+
+    def test_ata_cheaper_than_strassen(self):
+        cache = CacheModel(capacity_words=64)
+        for n in (64, 128, 512):
+            assert ata_multiplications(n, n, cache=cache) < \
+                strassen_multiplications(n, n, n, cache=cache)
+
+    def test_base_case_counts_are_classical(self):
+        big = CacheModel(capacity_words=10 ** 9)
+        assert ata_multiplications(100, 40, cache=big) == classical_syrk_multiplications(100, 40)
+        assert strassen_multiplications(10, 20, 30, cache=big) == 10 * 20 * 30
+
+    def test_flops_are_twice_multiplications(self):
+        cache = CacheModel(capacity_words=64)
+        assert ata_flops(128, 128, cache=cache) == 2 * ata_multiplications(128, 128, cache=cache)
+        assert strassen_flops(64, 64, 64, cache=cache) == \
+            2 * strassen_multiplications(64, 64, 64, cache=cache)
+
+
+class TestPredictionsMatchMeasurement:
+    """The analytic counts must agree with the instrumented kernels."""
+
+    def test_strassen_measured_multiplications(self, rng):
+        n = 64
+        base = 2 * 8 * 8  # base case at 8x8 blocks
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        with configured(base_case_elements=base):
+            with counters.counting() as cs:
+                fast_strassen(a, b)
+        predicted = strassen_multiplications(n, n, n, cache=CacheModel(base))
+        measured_mults = cs["gemm"].flops // 2
+        assert measured_mults == predicted
+
+    def test_ata_measured_multiplications_power_of_two(self, rng):
+        n = 64
+        base = 64
+        a = rng.standard_normal((n, n))
+        with configured(base_case_elements=base):
+            with counters.counting() as cs:
+                ata(a)
+        predicted = ata_multiplications(n, n, cache=CacheModel(base))
+        measured = cs["syrk"].flops // 2 + cs["gemm"].flops // 2
+        assert measured == predicted
+
+    def test_measured_ratio_near_two_thirds(self, rng):
+        n = 256
+        base = 128
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        with configured(base_case_elements=base):
+            with counters.counting() as c_ata:
+                ata(a)
+            with counters.counting() as c_str:
+                fast_strassen(a, b)
+        ratio = c_ata.flops_for("syrk", "gemm") / c_str.flops_for("gemm")
+        assert 0.6 < ratio < 0.8

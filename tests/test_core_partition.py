@@ -1,0 +1,152 @@
+"""Tests for matrix partitioning (Eq. 1, Fig. 2 tilings, Block records)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.partition import (
+    Block,
+    block_of,
+    horizontal_tiles,
+    quadrant_shapes,
+    quadrants,
+    split_dim,
+    vertical_tiles,
+)
+from repro.errors import ShapeError
+
+
+class TestSplitDim:
+    @pytest.mark.parametrize("extent,expected", [(0, (0, 0)), (1, (1, 0)), (2, (1, 1)),
+                                                 (7, (4, 3)), (8, (4, 4)), (101, (51, 50))])
+    def test_known_values(self, extent, expected):
+        assert split_dim(extent) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ShapeError):
+            split_dim(-1)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_halves_sum_and_order(self, extent):
+        hi, lo = split_dim(extent)
+        assert hi + lo == extent
+        assert 0 <= hi - lo <= 1
+
+
+class TestQuadrants:
+    def test_views_not_copies(self, rng):
+        a = rng.standard_normal((6, 6))
+        a11, _, _, _ = quadrants(a)
+        a11[0, 0] = 123.0
+        assert a[0, 0] == 123.0
+
+    def test_shapes_odd(self, rng):
+        a = rng.standard_normal((7, 5))
+        shapes = [q.shape for q in quadrants(a)]
+        assert shapes == [(4, 3), (4, 2), (3, 3), (3, 2)]
+        assert shapes == list(quadrant_shapes(7, 5))
+
+    def test_reassembly(self, rng):
+        a = rng.standard_normal((9, 11))
+        a11, a12, a21, a22 = quadrants(a)
+        top = np.hstack([a11, a12])
+        bottom = np.hstack([a21, a22])
+        assert np.array_equal(np.vstack([top, bottom]), a)
+
+    def test_degenerate_single_column(self, rng):
+        a = rng.standard_normal((4, 1))
+        a11, a12, a21, a22 = quadrants(a)
+        assert a12.shape[1] == 0 and a22.shape[1] == 0
+
+    def test_wrong_ndim(self, rng):
+        with pytest.raises(ShapeError):
+            quadrants(rng.standard_normal(5))
+
+
+class TestTiles:
+    def test_vertical_tiles_cover(self, rng):
+        a = rng.standard_normal((4, 10))
+        tiles = vertical_tiles(a, 3)
+        assert [t.shape[1] for t in tiles] == [4, 3, 3]
+        assert np.array_equal(np.hstack(tiles), a)
+
+    def test_horizontal_tiles_cover(self, rng):
+        a = rng.standard_normal((10, 4))
+        tiles = horizontal_tiles(a, 4)
+        assert [t.shape[0] for t in tiles] == [3, 3, 2, 2]
+        assert np.array_equal(np.vstack(tiles), a)
+
+    def test_more_tiles_than_extent(self, rng):
+        a = rng.standard_normal((2, 3))
+        tiles = vertical_tiles(a, 5)
+        assert len(tiles) == 5
+        assert sum(t.shape[1] for t in tiles) == 3
+
+    def test_invalid_count(self, rng):
+        with pytest.raises(ShapeError):
+            vertical_tiles(rng.standard_normal((2, 2)), 0)
+
+
+class TestBlock:
+    def test_view_round_trip(self, rng):
+        a = rng.standard_normal((8, 9))
+        blk = Block(2, 3, 4, 5)
+        assert np.array_equal(blk.view(a), a[2:6, 3:8])
+
+    def test_view_bounds_checked(self, rng):
+        with pytest.raises(ShapeError):
+            Block(5, 5, 10, 10).view(rng.standard_normal((8, 8)))
+
+    def test_negative_geometry_rejected(self):
+        with pytest.raises(ShapeError):
+            Block(-1, 0, 2, 2)
+
+    def test_block_of(self, rng):
+        a = rng.standard_normal((3, 7))
+        blk = block_of(a)
+        assert blk.shape == (3, 7) and blk.row == 0 and blk.col == 0
+
+    def test_quadrant_blocks_match_array_quadrants(self, rng):
+        a = rng.standard_normal((7, 9))
+        whole = block_of(a)
+        arr_quads = quadrants(a)
+        for name, expected in zip(("11", "12", "21", "22"), arr_quads):
+            assert np.array_equal(whole.quadrant(name).view(a), expected)
+
+    def test_quadrant_unknown_name(self):
+        with pytest.raises(ShapeError):
+            Block(0, 0, 4, 4).quadrant("31")
+
+    def test_shift(self):
+        blk = Block(1, 2, 3, 4).shift(10, 20)
+        assert (blk.row, blk.col, blk.rows, blk.cols) == (11, 22, 3, 4)
+
+    def test_slices_partition_block(self):
+        blk = Block(0, 0, 10, 9)
+        v = [blk.vertical_slice(i, 4) for i in range(4)]
+        assert sum(s.cols for s in v) == 9
+        assert all(s.rows == 10 for s in v)
+        h = [blk.horizontal_slice(i, 3) for i in range(3)]
+        assert sum(s.rows for s in h) == 10
+
+    def test_properties(self):
+        blk = Block(1, 2, 3, 4)
+        assert blk.size == 12
+        assert blk.row_end == 4 and blk.col_end == 6
+        assert blk.shape == (3, 4)
+
+
+class TestBlockProperties:
+    @given(m=st.integers(1, 40), n=st.integers(1, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_quadrants_partition_exactly(self, m, n):
+        """The four quadrant blocks tile the matrix without gaps/overlap."""
+        whole = Block(0, 0, m, n)
+        quads = [whole.quadrant(q) for q in ("11", "12", "21", "22")]
+        assert sum(q.size for q in quads) == m * n
+        cover = np.zeros((m, n), dtype=int)
+        for q in quads:
+            cover[q.row:q.row_end, q.col:q.col_end] += 1
+        assert cover.max() <= 1 and cover.min() >= 0
+        assert cover.sum() == m * n

@@ -1,0 +1,68 @@
+"""Tests for RecursiveGEMM (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.blas import counters
+from repro.cache.model import CacheModel
+from repro.core.recursive_gemm import RECURSIVE_GEMM_SPLIT, recursive_gemm
+from repro.errors import ShapeError
+
+
+class TestRecursiveGemm:
+    @pytest.mark.parametrize("m,n,k", [(8, 8, 8), (33, 17, 9), (1, 9, 4), (50, 3, 7),
+                                       (64, 64, 64), (13, 1, 1)])
+    def test_matches_reference(self, rng, small_base_case, m, n, k):
+        a = rng.standard_normal((m, n))
+        b = rng.standard_normal((m, k))
+        assert np.allclose(recursive_gemm(a, b), a.T @ b)
+
+    def test_accumulate_alpha(self, rng, small_base_case):
+        a = rng.standard_normal((12, 6))
+        b = rng.standard_normal((12, 5))
+        c0 = rng.standard_normal((6, 5))
+        c = recursive_gemm(a, b, c0.copy(), alpha=0.5)
+        assert np.allclose(c, c0 + 0.5 * (a.T @ b))
+
+    def test_eight_way_split_constant(self):
+        assert len(RECURSIVE_GEMM_SPLIT) == 8
+        assert RECURSIVE_GEMM_SPLIT[0] == (1, 1, 1)
+        assert len(set(RECURSIVE_GEMM_SPLIT)) == 8
+
+    def test_no_recursion_when_fits(self, rng):
+        a = rng.standard_normal((8, 8))
+        b = rng.standard_normal((8, 8))
+        with counters.counting() as cs:
+            recursive_gemm(a, b, cache=CacheModel(10_000))
+        assert "recursive_gemm_step" not in cs
+
+    def test_recursion_recorded(self, rng, small_base_case):
+        a = rng.standard_normal((32, 32))
+        b = rng.standard_normal((32, 32))
+        with counters.counting() as cs:
+            recursive_gemm(a, b)
+        assert cs["recursive_gemm_step"].calls > 0
+
+    def test_classical_flop_count(self, rng, small_base_case):
+        """RecursiveGEMM performs exactly the classical 2 m n k flops —
+        the property that motivates using it (not Strassen) for the task
+        tree (§4.1.3)."""
+        m, n, k = 32, 24, 16
+        a = rng.standard_normal((m, n))
+        b = rng.standard_normal((m, k))
+        with counters.counting() as cs:
+            recursive_gemm(a, b)
+        assert cs["gemm"].flops == 2 * m * n * k
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ShapeError):
+            recursive_gemm(rng.standard_normal((4, 3)), rng.standard_normal((5, 2)))
+        with pytest.raises(ShapeError):
+            recursive_gemm(rng.standard_normal((4, 3)), rng.standard_normal((4, 2)),
+                           np.zeros((2, 2)))
+
+    def test_matches_strassen_result(self, rng, small_base_case):
+        from repro.core.strassen import fast_strassen
+        a = rng.standard_normal((40, 30))
+        b = rng.standard_normal((40, 20))
+        assert np.allclose(recursive_gemm(a, b), fast_strassen(a, b), atol=1e-9)

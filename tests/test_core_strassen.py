@@ -1,0 +1,158 @@
+"""Tests for the rectangular Strassen A^T B (FastStrassen)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blas import counters
+from repro.cache.model import CacheModel
+from repro.core.strassen import STRASSEN_PRODUCTS, fast_strassen, strassen_atb, strassen_schedule
+from repro.core.workspace import StrassenWorkspace
+from repro.errors import ShapeError
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("m,n,k", [
+        (8, 8, 8), (16, 16, 16), (64, 64, 64),     # powers of two
+        (7, 5, 3), (33, 17, 9), (31, 31, 31),      # odd everything
+        (1, 9, 4), (50, 3, 7), (3, 50, 7),         # degenerate / rectangular
+        (2, 2, 2), (128, 16, 8), (9, 64, 65),
+    ])
+    def test_matches_reference(self, rng, small_base_case, m, n, k):
+        a = rng.standard_normal((m, n))
+        b = rng.standard_normal((m, k))
+        c = fast_strassen(a, b)
+        assert np.allclose(c, a.T @ b)
+
+    def test_accumulates_with_alpha(self, rng, small_base_case):
+        a = rng.standard_normal((20, 12))
+        b = rng.standard_normal((20, 9))
+        c0 = rng.standard_normal((12, 9))
+        c = fast_strassen(a, b, c0.copy(), alpha=-2.5)
+        assert np.allclose(c, c0 - 2.5 * (a.T @ b))
+
+    def test_float32(self, rng, small_base_case):
+        a = rng.standard_normal((40, 24)).astype(np.float32)
+        b = rng.standard_normal((40, 16)).astype(np.float32)
+        c = fast_strassen(a, b)
+        assert c.dtype == np.float32
+        assert np.allclose(c, a.T @ b, atol=1e-3)
+
+    def test_base_case_shortcut(self, rng):
+        """Small problems go straight to gemm — no Strassen steps recorded."""
+        a = rng.standard_normal((8, 8))
+        b = rng.standard_normal((8, 8))
+        with counters.counting() as cs:
+            fast_strassen(a, b, cache=CacheModel(10_000))
+        assert "strassen_step" not in cs
+
+    def test_recursion_actually_happens(self, rng, small_base_case):
+        a = rng.standard_normal((64, 64))
+        b = rng.standard_normal((64, 64))
+        with counters.counting() as cs:
+            fast_strassen(a, b)
+        assert cs["strassen_step"].calls > 0
+
+    def test_use_strassen_false_falls_back(self, rng, small_base_case):
+        a = rng.standard_normal((32, 32))
+        b = rng.standard_normal((32, 32))
+        with counters.counting() as cs:
+            c = fast_strassen(a, b, use_strassen=False)
+        assert np.allclose(c, a.T @ b)
+        assert "strassen_step" not in cs
+
+    def test_strassen_atb_alias(self, rng, small_base_case):
+        a = rng.standard_normal((16, 8))
+        b = rng.standard_normal((16, 4))
+        assert np.allclose(strassen_atb(a, b), fast_strassen(a, b))
+
+    def test_explicit_workspace_reuse(self, rng, small_base_case):
+        ws = StrassenWorkspace(48, 48, 48)
+        a = rng.standard_normal((48, 48))
+        b = rng.standard_normal((48, 48))
+        for _ in range(3):
+            c = fast_strassen(a, b, workspace=ws)
+            assert np.allclose(c, a.T @ b)
+
+
+class TestValidation:
+    def test_mismatched_rows(self, rng):
+        with pytest.raises(ShapeError):
+            fast_strassen(rng.standard_normal((5, 3)), rng.standard_normal((6, 2)))
+
+    def test_wrong_output_shape(self, rng):
+        with pytest.raises(ShapeError):
+            fast_strassen(rng.standard_normal((5, 3)), rng.standard_normal((5, 2)),
+                          np.zeros((3, 3)))
+
+    def test_non_array_input(self):
+        from repro.errors import DTypeError
+        with pytest.raises(DTypeError):
+            fast_strassen([[1.0]], np.ones((1, 1)))
+
+
+class TestSchedule:
+    def test_seven_products(self):
+        assert len(STRASSEN_PRODUCTS) == 7
+        assert len(strassen_schedule()) == 7
+
+    def test_eighteen_block_additions(self):
+        """The schedule performs 18 additions per step, as stated in §3.2:
+        10 operand-side additions plus 8 output accumulations beyond the
+        first contribution of each quadrant."""
+        operand_adds = sum(max(0, len(p["a"]) - 1) + max(0, len(p["b"]) - 1)
+                           for p in STRASSEN_PRODUCTS)
+        output_adds = sum(len(p["c"]) for p in STRASSEN_PRODUCTS)
+        # every C quadrant's first contribution is a write-accumulate too in
+        # this formulation, so output additions count fully: 10 + 12 - 4 = 18
+        assert operand_adds == 10
+        assert output_adds - 4 == 8
+
+    def test_every_c_quadrant_produced(self):
+        targets = {q for p in STRASSEN_PRODUCTS for q, _ in p["c"]}
+        assert targets == {"11", "12", "21", "22"}
+
+    def test_symbolic_schedule_is_strassen(self):
+        """Evaluate the schedule on 2x2 scalar blocks and compare with the
+        direct product — a symbolic check that the table is correct."""
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((2, 2))
+        b = rng.standard_normal((2, 2))
+        a = x.T  # schedule is expressed on A with C = A^T B
+        quads_a = {"11": a[:1, :1], "12": a[:1, 1:], "21": a[1:, :1], "22": a[1:, 1:]}
+        quads_b = {"11": b[:1, :1], "12": b[:1, 1:], "21": b[1:, :1], "22": b[1:, 1:]}
+        c = np.zeros((2, 2))
+        quads_c = {"11": c[:1, :1], "12": c[:1, 1:], "21": c[1:, :1], "22": c[1:, 1:]}
+        for spec in STRASSEN_PRODUCTS:
+            left = sum(s * quads_a[q] for q, s in spec["a"]).T
+            right = sum(s * quads_b[q] for q, s in spec["b"])
+            prod = left @ right
+            for tgt, sign in spec["c"]:
+                quads_c[tgt] += sign * prod
+        assert np.allclose(c, a.T @ b)
+
+
+class TestStrassenProperties:
+    @given(m=st.integers(1, 40), n=st.integers(1, 40), k=st.integers(1, 40),
+           seed=st.integers(0, 2 ** 16))
+    @settings(max_examples=30, deadline=None)
+    def test_random_shapes_match_reference(self, m, n, k, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((m, n))
+        b = rng.standard_normal((m, k))
+        from repro.config import configured
+        with configured(base_case_elements=32):
+            c = fast_strassen(a, b)
+        assert np.allclose(c, a.T @ b, atol=1e-8)
+
+    @given(seed=st.integers(0, 2 ** 16))
+    @settings(max_examples=15, deadline=None)
+    def test_linearity_in_alpha(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((24, 13))
+        b = rng.standard_normal((24, 17))
+        from repro.config import configured
+        with configured(base_case_elements=64):
+            c1 = fast_strassen(a, b, alpha=1.0)
+            c3 = fast_strassen(a, b, alpha=3.0)
+        assert np.allclose(3.0 * c1, c3, atol=1e-8)

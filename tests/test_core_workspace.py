@@ -1,0 +1,154 @@
+"""Tests for the pre-allocated Strassen workspace (Section 3.3, Eq. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.cache.model import CacheModel
+from repro.config import configured
+from repro.core.strassen import fast_strassen
+from repro.core.workspace import (
+    Arena,
+    NaiveWorkspace,
+    StrassenWorkspace,
+    paper_space_bound,
+    workspace_requirement,
+)
+from repro.errors import WorkspaceError
+
+
+class TestArena:
+    def test_allocate_release_lifo(self):
+        arena = Arena(100, np.float64)
+        a = arena.allocate(4, 5)
+        b = arena.allocate(3, 3)
+        assert arena.in_use == 29
+        arena.release(b)
+        arena.release(a)
+        assert arena.in_use == 0
+
+    def test_allocations_are_zeroed(self):
+        arena = Arena(16, np.float64)
+        view = arena.allocate(2, 2)
+        view[:] = 7.0
+        arena.release(view)
+        again = arena.allocate(2, 2)
+        assert np.all(again == 0.0)
+
+    def test_exhaustion_raises(self):
+        arena = Arena(10, np.float64)
+        arena.allocate(3, 3)
+        with pytest.raises(WorkspaceError):
+            arena.allocate(2, 2)
+
+    def test_non_lifo_release_rejected(self):
+        arena = Arena(100, np.float64)
+        a = arena.allocate(2, 2)
+        arena.allocate(3, 3)
+        with pytest.raises(WorkspaceError):
+            arena.release(a)
+
+    def test_release_on_empty_rejected(self):
+        arena = Arena(10, np.float64)
+        with pytest.raises(WorkspaceError):
+            arena.release(np.zeros((1, 1)))
+
+    def test_reset_clears_everything(self):
+        arena = Arena(100, np.float64)
+        arena.allocate(5, 5)
+        arena.reset()
+        assert arena.in_use == 0
+        assert arena.high_water == 25
+
+    def test_high_water_tracks_peak(self):
+        arena = Arena(100, np.float64)
+        a = arena.allocate(4, 4)
+        arena.release(a)
+        arena.allocate(2, 2)
+        assert arena.high_water == 16
+
+
+class TestWorkspaceRequirement:
+    def test_base_case_problem_needs_nothing(self):
+        req = workspace_requirement(4, 4, 4, is_base_case=lambda m, n, k: True)
+        assert req.total_elements == 0
+        assert req.depth == 0
+
+    def test_requirement_monotone_in_size(self):
+        base = lambda m, n, k: m * n + m * k <= 64  # noqa: E731
+        small = workspace_requirement(32, 32, 32, base).total_elements
+        large = workspace_requirement(64, 64, 64, base).total_elements
+        assert large > small
+
+    def test_one_level_exact(self):
+        base = lambda m, n, k: m * n + m * k <= 2 * 16 * 16  # noqa: E731
+        req = workspace_requirement(32, 32, 32, base)
+        assert req.depth == 1
+        assert req.p_elements == 16 * 16
+        assert req.q_elements == 16 * 16
+        assert req.m_elements == 16 * 16
+
+    def test_within_paper_bound(self):
+        """Total scratch stays below the paper's 3/2 n² bound (Eq. 4)."""
+        with configured(base_case_elements=64):
+            for n in (32, 64, 100, 129, 256):
+                req = workspace_requirement(n, n, n)
+                assert req.total_elements <= paper_space_bound(n)
+
+    def test_odd_sizes_do_not_underallocate(self):
+        """The workspace sized by the requirement must suffice for odd shapes."""
+        with configured(base_case_elements=32):
+            for m, n, k in [(33, 17, 9), (41, 27, 31), (65, 5, 63)]:
+                ws = StrassenWorkspace(m, n, k)
+                a = np.random.default_rng(1).standard_normal((m, n))
+                b = np.random.default_rng(2).standard_normal((m, k))
+                out = fast_strassen(a, b, workspace=ws)  # must not raise WorkspaceError
+                assert np.allclose(out, a.T @ b)
+
+
+class TestStrassenWorkspace:
+    def test_fits_smaller_problems(self, small_base_case):
+        ws = StrassenWorkspace(64, 64, 64)
+        assert ws.fits(64, 64, 64)
+        assert ws.fits(32, 16, 8)
+        assert not ws.fits(256, 256, 256)
+
+    def test_total_bytes(self, small_base_case):
+        ws = StrassenWorkspace(32, 32, 32, dtype=np.float32)
+        assert ws.total_bytes == ws.total_elements * 4
+
+    def test_reuse_after_reset(self, small_base_case, rng):
+        ws = StrassenWorkspace(40, 20, 24)
+        a = rng.standard_normal((40, 20))
+        b = rng.standard_normal((40, 24))
+        first = fast_strassen(a, b, workspace=ws)
+        ws.reset()
+        second = fast_strassen(a, b, workspace=ws)
+        assert np.allclose(first, second)
+
+    def test_too_small_workspace_rejected(self, small_base_case, rng):
+        ws = StrassenWorkspace(16, 16, 16)
+        a = rng.standard_normal((128, 128))
+        b = rng.standard_normal((128, 128))
+        from repro.errors import ShapeError
+        with pytest.raises(ShapeError):
+            fast_strassen(a, b, workspace=ws)
+
+
+class TestNaiveWorkspace:
+    def test_counts_allocations(self, small_base_case, rng):
+        naive = NaiveWorkspace()
+        a = rng.standard_normal((64, 64))
+        b = rng.standard_normal((64, 64))
+        out = fast_strassen(a, b, workspace=naive)
+        assert np.allclose(out, a.T @ b)
+        assert naive.allocations > 0
+        assert naive.allocated_elements > 0
+
+    def test_naive_allocates_more_than_preallocated(self, small_base_case, rng):
+        """The point of Section 3.3: per-step allocation wastes memory churn."""
+        naive = NaiveWorkspace()
+        a = rng.standard_normal((64, 64))
+        b = rng.standard_normal((64, 64))
+        fast_strassen(a, b, workspace=naive)
+        pre = StrassenWorkspace(64, 64, 64)
+        assert naive.allocated_elements > pre.total_elements

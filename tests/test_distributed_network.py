@@ -1,0 +1,59 @@
+"""Tests for the α–β network model and cluster topology."""
+
+import pytest
+
+from repro.distributed.network import LOCAL_SIMULATED, TERASTAT, ClusterTopology, NetworkModel
+from repro.errors import ConfigurationError
+
+
+class TestNetworkModel:
+    def test_alpha_beta_formula(self):
+        net = NetworkModel(latency_s=1e-6, bandwidth_bytes_per_s=1e9)
+        assert net.time(10, 1_000_000) == pytest.approx(10e-6 + 1e-3)
+        assert net.message_time(0) == pytest.approx(1e-6)
+
+    def test_latency_dominates_small_messages(self):
+        net = NetworkModel(latency_s=1e-5, bandwidth_bytes_per_s=1e10)
+        assert net.message_time(8) == pytest.approx(1e-5, rel=1e-2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            NetworkModel(latency_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            NetworkModel(bandwidth_bytes_per_s=0.0)
+
+
+class TestTopology:
+    def test_terastat_matches_paper(self):
+        """12 nodes, 2 sockets x 8 cores, 2.4 GHz, 4 GB/core (Section 5.1)."""
+        assert TERASTAT.nodes == 12
+        assert TERASTAT.cores_per_node == 16
+        assert TERASTAT.total_cores == 192
+        assert TERASTAT.ghz == pytest.approx(2.4)
+        assert TERASTAT.ram_per_core_gb == pytest.approx(4.0)
+
+    def test_node_mapping_block_placement(self):
+        assert TERASTAT.node_of_rank(0) == 0
+        assert TERASTAT.node_of_rank(15) == 0
+        assert TERASTAT.node_of_rank(16) == 1
+        assert TERASTAT.node_of_rank(5, ranks_per_node=4) == 1
+
+    def test_intra_node_link_is_faster(self):
+        intra = TERASTAT.link_for(0, 1)
+        inter = TERASTAT.link_for(0, 16)
+        assert intra.bandwidth_bytes_per_s > inter.bandwidth_bytes_per_s
+        assert intra.latency_s < inter.latency_s
+
+    def test_pair_time_takes_worst_link(self):
+        pairs = {(0, 1): 10_000_000, (0, 16): 10_000_000}
+        mixed = TERASTAT.pair_time(pairs)
+        only_intra = TERASTAT.pair_time({(0, 1): 10_000_000})
+        assert mixed >= only_intra
+
+    def test_invalid_topology(self):
+        with pytest.raises(ConfigurationError):
+            ClusterTopology(name="x", nodes=0, sockets_per_node=1, cores_per_socket=1,
+                            ghz=1.0, ram_per_core_gb=1.0)
+
+    def test_local_topology_is_single_core(self):
+        assert LOCAL_SIMULATED.total_cores == 1

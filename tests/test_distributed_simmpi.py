@@ -1,0 +1,209 @@
+"""Tests for the simulated MPI layer."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.simmpi import ANY_SOURCE, ANY_TAG, CommStats, run_spmd
+from repro.errors import CommunicatorError
+
+
+class TestPointToPoint:
+    def test_send_recv_numpy(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(10.0), 1, tag=7)
+                return None
+            return comm.recv(0, tag=7)
+
+        results, stats = run_spmd(2, program)
+        assert np.allclose(results[1], np.arange(10.0))
+        assert stats.total_messages == 1
+        assert stats.total_bytes == 80
+
+    def test_receiver_gets_a_copy(self):
+        def program(comm):
+            data = np.zeros(4)
+            if comm.rank == 0:
+                comm.send(data, 1)
+                data[:] = 99.0    # mutate after send
+                return None
+            received = comm.recv(0)
+            return float(received.sum())
+
+        results, _ = run_spmd(2, program)
+        assert results[1] == 0.0
+
+    def test_tag_matching_out_of_order(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send("first", 1, tag=1)
+                comm.send("second", 1, tag=2)
+                return None
+            second = comm.recv(0, tag=2)
+            first = comm.recv(0, tag=1)
+            return (first, second)
+
+        results, _ = run_spmd(2, program)
+        assert results[1] == ("first", "second")
+
+    def test_wildcard_source(self):
+        def program(comm):
+            if comm.rank == 0:
+                got = [comm.recv(ANY_SOURCE, ANY_TAG) for _ in range(2)]
+                return sorted(got)
+            comm.send(comm.rank, 0)
+            return None
+
+        results, _ = run_spmd(3, program)
+        assert results[0] == [1, 2]
+
+    def test_python_object_payload(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send({"a": 1, "b": [2, 3]}, 1)
+                return None
+            return comm.recv(0)
+
+        results, stats = run_spmd(2, program)
+        assert results[1] == {"a": 1, "b": [2, 3]}
+        assert stats.total_bytes > 0
+
+    def test_invalid_destination(self):
+        def program(comm):
+            comm.send(1, 5)
+
+        with pytest.raises(CommunicatorError):
+            run_spmd(2, program)
+
+    def test_deadlock_times_out(self):
+        def program(comm):
+            comm.recv(source=comm.rank)  # nobody ever sends
+
+        with pytest.raises(CommunicatorError):
+            run_spmd(2, program, timeout=1.0)
+
+    def test_sendrecv(self):
+        def program(comm):
+            other = 1 - comm.rank
+            return comm.sendrecv(comm.rank * 10, dest=other, source=other)
+
+        results, _ = run_spmd(2, program)
+        assert results == [10, 0]
+
+
+class TestCollectives:
+    def test_bcast(self):
+        def program(comm):
+            payload = np.ones(3) * 7 if comm.rank == 0 else None
+            return float(comm.bcast(payload, root=0).sum())
+
+        results, _ = run_spmd(4, program)
+        assert results == [21.0] * 4
+
+    def test_scatter_gather_round_trip(self):
+        def program(comm):
+            chunks = [np.full(2, r, dtype=float) for r in range(comm.size)] if comm.rank == 0 else None
+            mine = comm.scatter(chunks, root=0)
+            gathered = comm.gather(float(mine.sum()), root=0)
+            return gathered
+
+        results, _ = run_spmd(4, program)
+        assert results[0] == [0.0, 2.0, 4.0, 6.0]
+        assert results[1] is None
+
+    def test_scatter_wrong_chunk_count(self):
+        def program(comm):
+            chunks = [1, 2] if comm.rank == 0 else None
+            return comm.scatter(chunks, root=0)
+
+        with pytest.raises(CommunicatorError):
+            run_spmd(3, program)
+
+    def test_reduce_and_allreduce(self):
+        def program(comm):
+            total = comm.allreduce(comm.rank + 1)
+            root_only = comm.reduce(comm.rank + 1, root=0)
+            return (total, root_only)
+
+        results, _ = run_spmd(4, program)
+        assert all(r[0] == 10 for r in results)
+        assert results[0][1] == 10
+        assert results[1][1] is None
+
+    def test_allgather(self):
+        def program(comm):
+            return comm.allgather(comm.rank * comm.rank)
+
+        results, _ = run_spmd(3, program)
+        assert all(r == [0, 1, 4] for r in results)
+
+    def test_barrier_all_ranks_pass(self):
+        def program(comm):
+            comm.barrier()
+            return comm.rank
+
+        results, _ = run_spmd(4, program)
+        assert results == [0, 1, 2, 3]
+
+
+class TestStatsAndErrors:
+    def test_per_rank_accounting(self):
+        def program(comm):
+            if comm.rank == 0:
+                for dest in range(1, comm.size):
+                    comm.send(np.zeros(dest), dest)
+            else:
+                comm.recv(0)
+
+        _, stats = run_spmd(4, program)
+        assert stats.sent_messages[0] == 3
+        assert stats.received_messages[0] == 0
+        assert stats.sent_bytes[0] == 8 * (1 + 2 + 3)
+        assert stats.messages_on_rank(0) == 3
+        assert stats.bytes_on_rank(1) == 8
+
+    def test_self_send_not_counted_as_traffic(self):
+        def program(comm):
+            comm.send(np.zeros(10), comm.rank, tag=4)
+            return comm.recv(comm.rank, tag=4).shape[0]
+
+        results, stats = run_spmd(2, program)
+        assert results == [10, 10]
+        assert stats.total_messages == 0
+
+    def test_rank_exception_propagates(self):
+        def program(comm):
+            if comm.rank == 1:
+                raise ValueError("kaboom")
+            return comm.rank
+
+        with pytest.raises(CommunicatorError, match="rank 1"):
+            run_spmd(3, program, timeout=5.0)
+
+    def test_flop_attribution_per_rank(self):
+        from repro.blas.kernels import gemm_t
+
+        def program(comm):
+            if comm.rank == 1:
+                a = np.ones((8, 4))
+                gemm_t(a, a, np.zeros((4, 4)))
+            return None
+
+        _, stats = run_spmd(2, program)
+        assert stats.per_rank_flops[1] > 0
+        assert stats.per_rank_flops[0] == 0
+
+    def test_single_rank_world(self):
+        results, stats = run_spmd(1, lambda comm: comm.size)
+        assert results == [1]
+        assert stats.total_messages == 0
+
+    def test_invalid_world_size(self):
+        with pytest.raises(CommunicatorError):
+            run_spmd(0, lambda comm: None)
+
+    def test_stats_as_dict(self):
+        _, stats = run_spmd(2, lambda comm: None)
+        d = stats.as_dict()
+        assert d["size"] == 2
+        assert isinstance(stats, CommStats)

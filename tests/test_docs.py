@@ -1,0 +1,75 @@
+"""Documentation consistency checks.
+
+The deliverables include README.md, DESIGN.md and EXPERIMENTS.md; these
+tests keep them honest: the files exist, the experiment index covers every
+registered experiment, the README quickstart code actually runs, and every
+public symbol exported by the top-level package carries a docstring.
+"""
+
+import pathlib
+import re
+
+import numpy as np
+
+import repro
+from repro.bench.harness import registry
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestFilesExist:
+    def test_required_documents_present(self):
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "pyproject.toml"):
+            assert (ROOT / name).is_file(), name
+
+    def test_design_lists_every_figure(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        for ref in ("Fig. 3", "Fig. 4", "Fig. 5", "Fig. 6", "Table 1"):
+            assert ref in text, ref
+
+    def test_experiments_covers_every_registered_experiment(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text().lower()
+        assert "figure 3" in text and "figure 4" in text and "figure 5" in text
+        assert "figure 6" in text and "table 1" in text
+        # ablations are described in the claims table
+        assert "ablation_flops" in text or "eq. 3" in text
+
+    def test_readme_mentions_install_and_quickstart(self):
+        text = (ROOT / "README.md").read_text()
+        assert "pip install -e ." in text
+        assert "repro.ata(" in text
+        assert "pytest tests/" in text
+
+    def test_bench_registry_names_match_docs(self):
+        """Every registered experiment name appears in README or EXPERIMENTS."""
+        docs = (ROOT / "README.md").read_text() + (ROOT / "EXPERIMENTS.md").read_text()
+        for name in registry():
+            assert name.split("_")[0] in docs or name in docs, name
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_code_block_runs(self):
+        """Extract the first python code block of the README and execute it."""
+        text = (ROOT / "README.md").read_text()
+        blocks = re.findall(r"```python\n(.*?)```", text, flags=re.S)
+        assert blocks, "README must contain a python quickstart block"
+        namespace: dict = {}
+        exec(compile(blocks[0], "README.quickstart", "exec"), namespace)  # noqa: S102
+        c = namespace["c"]
+        a = namespace["a"]
+        assert np.allclose(np.tril(c), np.tril(a.T @ a))
+
+
+class TestDocstrings:
+    def test_public_api_documented(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj) or isinstance(obj, type):
+                assert obj.__doc__, f"{name} lacks a docstring"
+
+    def test_submodules_documented(self):
+        import importlib
+        for module in ("repro.blas", "repro.cache", "repro.core", "repro.scheduler",
+                       "repro.parallel", "repro.distributed", "repro.baselines",
+                       "repro.perfmodel", "repro.apps", "repro.bench"):
+            assert importlib.import_module(module).__doc__, module

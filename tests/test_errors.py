@@ -1,0 +1,32 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in ("ShapeError", "DTypeError", "LayoutError", "WorkspaceError",
+                     "SchedulerError", "CommunicatorError", "ConfigurationError",
+                     "BenchmarkError"):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_shape_error_is_value_error(self):
+        assert issubclass(errors.ShapeError, ValueError)
+
+    def test_dtype_error_is_type_error(self):
+        assert issubclass(errors.DTypeError, TypeError)
+
+    def test_configuration_error_is_value_error(self):
+        assert issubclass(errors.ConfigurationError, ValueError)
+
+    def test_runtime_flavoured_errors(self):
+        for name in ("WorkspaceError", "SchedulerError", "CommunicatorError",
+                     "BenchmarkError"):
+            assert issubclass(getattr(errors, name), RuntimeError), name
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.CommunicatorError("x")

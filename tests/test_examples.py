@@ -1,0 +1,56 @@
+"""Smoke tests: the example scripts must run end to end.
+
+The examples are part of the public deliverable (they are what a new user
+runs first), so the suite executes the quick ones as subprocesses and checks
+they exit cleanly and print their key result lines.  The two long-running
+examples (distributed scaling sweep, full figure regeneration) are exercised
+indirectly — their building blocks run in the bench and distributed tests —
+and excluded here to keep the suite fast.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 300.0) -> str:
+    script = EXAMPLES_DIR / name
+    assert script.exists(), f"missing example {script}"
+    proc = subprocess.run([sys.executable, str(script)], capture_output=True,
+                          text=True, timeout=timeout)
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stdout}\n{proc.stderr}"
+    return proc.stdout
+
+
+def test_examples_directory_contents():
+    names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert {"quickstart.py", "least_squares_regression.py", "heat_kernel_diffusion.py",
+            "distributed_scaling.py", "reproduce_figures.py"} <= names
+
+
+@pytest.mark.slow
+def test_quickstart_example():
+    out = run_example("quickstart.py")
+    assert "[ata]" in out
+    assert "[ata_shared]" in out
+    assert "[ata_distributed]" in out
+    assert "e-1" in out or "e-0" in out  # small error exponents printed
+
+
+@pytest.mark.slow
+def test_least_squares_example():
+    out = run_example("least_squares_regression.py")
+    assert "backend=sequential" in out
+    assert "backend=distributed" in out
+    assert "Gram matrix" in out
+
+
+@pytest.mark.slow
+def test_heat_kernel_example():
+    out = run_example("heat_kernel_diffusion.py")
+    assert "Heat-kernel signature" in out
+    assert "max |K(1) - expm(-L)|" in out

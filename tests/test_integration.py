@@ -1,0 +1,126 @@
+"""Cross-module integration tests and public-API checks."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines import mkl_syrk, naive_ata, pdsyrk
+from repro.blas.counters import counting
+from repro.config import configured
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_top_level_quickstart(self, rng):
+        """The README / docstring quickstart must work verbatim."""
+        a = rng.standard_normal((120, 80))
+        c = repro.ata(a)
+        c_full = repro.ata_full(a)
+        c_par = repro.ata_shared(a, threads=4)
+        c_dist = repro.ata_distributed(a, processes=4)
+        ref = a.T @ a
+        assert np.allclose(np.tril(c), np.tril(ref))
+        assert np.allclose(c_full, ref)
+        assert np.allclose(np.tril(c_par), np.tril(ref))
+        assert np.allclose(np.tril(c_dist), np.tril(ref))
+
+
+class TestAllImplementationsAgree:
+    """Every implementation of the A^T A product — sequential, shared,
+    distributed, naive, MKL-like, ScaLAPACK-like — must agree bitwise up to
+    floating point reassociation on the same input."""
+
+    @pytest.mark.parametrize("m,n", [(96, 96), (130, 70), (61, 97)])
+    def test_agreement(self, rng, small_base_case, m, n):
+        a = rng.standard_normal((m, n))
+        reference = np.tril(a.T @ a)
+        results = {
+            "ata": repro.ata(a),
+            "ata_shared": repro.ata_shared(a, threads=5, executor="threads"),
+            "ata_distributed": repro.ata_distributed(a, processes=5),
+            "naive": naive_ata(a),
+            "mkl": mkl_syrk(a),
+            "pdsyrk": pdsyrk(a, processes=4),
+        }
+        for name, value in results.items():
+            assert np.allclose(np.tril(value), reference, atol=1e-8), name
+
+    def test_full_pipeline_least_squares_with_every_backend(self, rng, small_base_case):
+        from repro.apps import solve_normal_equations
+        a = rng.standard_normal((90, 14))
+        x_true = rng.standard_normal(14)
+        b = a @ x_true
+        for backend in ("sequential", "shared", "distributed"):
+            res = solve_normal_equations(a, b, backend=backend, workers=4)
+            assert np.allclose(res.x, x_true, atol=1e-6), backend
+
+
+class TestWorkCountsAcrossStack:
+    def test_parallel_variants_do_not_inflate_flops(self, rng):
+        """The task decomposition must not multiply the arithmetic: the
+        total multiplication flops of AtA-S stay within a few percent of
+        the sequential algorithm's."""
+        a = rng.standard_normal((128, 128))
+        with configured(base_case_elements=256):
+            with counting() as seq:
+                repro.ata(a)
+            with counting() as par:
+                repro.ata_shared(a, threads=8, executor="serial")
+        seq_mults = seq.flops_for("syrk", "gemm")
+        par_mults = par.flops_for("syrk", "gemm")
+        assert par_mults <= 1.3 * seq_mults
+
+    def test_distributed_compute_flops_close_to_sequential(self, rng):
+        a = rng.standard_normal((128, 128))
+        with configured(base_case_elements=256):
+            with counting() as seq:
+                repro.ata(a)
+            _, stats = repro.ata_distributed(a, processes=8, return_stats=True)
+        seq_total = seq.flops_for("syrk", "gemm")
+        dist_total = sum(stats.comm.per_rank_flops)
+        # allow the classical-leaf overhead of small blocks
+        assert dist_total <= 2.0 * seq_total
+
+    def test_end_to_end_experiment_runs_in_one_process(self):
+        """Smoke-test the harness registry end to end on minimal settings."""
+        from repro.bench.harness import run_experiment
+        tables = run_experiment("fig3", measured_sizes=[96], paper_sizes=[5_000])
+        assert len(tables) == 2
+        assert all(table.rows for table in tables)
+
+
+class TestNumericalEdgeCases:
+    def test_zero_matrix(self, small_base_case):
+        a = np.zeros((40, 20))
+        assert np.allclose(repro.ata(a), 0.0)
+        assert np.allclose(repro.ata_shared(a, threads=4), 0.0)
+
+    def test_single_entry(self):
+        a = np.array([[3.0]])
+        assert np.allclose(repro.ata(a), [[9.0]])
+
+    def test_single_row_and_column(self, rng, small_base_case):
+        row = rng.standard_normal((1, 50))
+        col = rng.standard_normal((50, 1))
+        assert np.allclose(np.tril(repro.ata(row)), np.tril(row.T @ row))
+        assert np.allclose(repro.ata(col), col.T @ col)
+
+    def test_large_magnitude_values(self, rng, small_base_case):
+        a = rng.standard_normal((60, 30)) * 1e150
+        c = repro.ata_full(a)
+        assert np.allclose(c / 1e300, (a.T @ a) / 1e300)
+
+    def test_fortran_ordered_input(self, rng, small_base_case):
+        a = np.asfortranarray(rng.standard_normal((50, 30)))
+        assert np.allclose(np.tril(repro.ata(a)), np.tril(a.T @ a))
+
+    def test_non_contiguous_view_input(self, rng, small_base_case):
+        big = rng.standard_normal((80, 80))
+        a = big[::2, ::2]
+        assert np.allclose(np.tril(repro.ata(a)), np.tril(a.T @ a))

@@ -1,0 +1,114 @@
+"""Tests for AtA-S (Algorithm 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import configured
+from repro.errors import ShapeError
+from repro.parallel.ata_shared import ata_shared, make_task_callable
+from repro.scheduler.tree import build_task_tree
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("executor", ["serial", "threads", "simulated"])
+    @pytest.mark.parametrize("threads", [1, 2, 3, 4, 8, 16])
+    def test_matches_reference(self, rng, small_base_case, executor, threads):
+        a = rng.standard_normal((60, 45))
+        c = ata_shared(a, threads=threads, executor=executor)
+        assert np.allclose(np.tril(c), np.tril(a.T @ a))
+
+    @pytest.mark.parametrize("m,n", [(33, 7), (7, 33), (128, 64), (65, 65), (500, 12)])
+    def test_shapes(self, rng, small_base_case, m, n):
+        a = rng.standard_normal((m, n))
+        c = ata_shared(a, threads=6, executor="serial")
+        assert np.allclose(np.tril(c), np.tril(a.T @ a))
+
+    def test_matches_sequential_ata(self, rng, small_base_case):
+        from repro.core.ata import ata
+        a = rng.standard_normal((70, 50))
+        assert np.allclose(np.tril(ata_shared(a, threads=8, executor="serial")),
+                           np.tril(ata(a)), atol=1e-9)
+
+    def test_alpha_beta(self, rng, small_base_case):
+        a = rng.standard_normal((40, 22))
+        c0 = rng.standard_normal((22, 22))
+        c = ata_shared(a, c0.copy(), alpha=3.0, beta=0.5, threads=4, executor="serial")
+        assert np.allclose(np.tril(c), np.tril(3.0 * (a.T @ a) + 0.5 * c0))
+
+    def test_float32(self, rng, small_base_case):
+        a = rng.standard_normal((64, 32)).astype(np.float32)
+        c = ata_shared(a, threads=8, executor="threads")
+        assert c.dtype == np.float32
+        assert np.allclose(np.tril(c), np.tril(a.T @ a), atol=1e-2)
+
+    def test_use_strassen_false(self, rng, small_base_case):
+        a = rng.standard_normal((50, 30))
+        c = ata_shared(a, threads=8, executor="serial", use_strassen=False)
+        assert np.allclose(np.tril(c), np.tril(a.T @ a))
+
+    def test_upper_triangle_untouched(self, rng, small_base_case):
+        a = rng.standard_normal((40, 25))
+        c = ata_shared(a, threads=8, executor="threads")
+        assert np.all(np.triu(c, 1) == 0)
+
+
+class TestReportAndTree:
+    def test_report_counts_all_tasks(self, rng, small_base_case):
+        a = rng.standard_normal((60, 40))
+        c, report, tree = ata_shared(a, threads=6, executor="serial", return_report=True)
+        assert report.tasks_run == len(tree.tasks())
+        assert report.total_flops > 0
+        assert np.allclose(np.tril(c), np.tril(a.T @ a))
+
+    def test_per_worker_attribution_covers_all_workers(self, rng, small_base_case):
+        a = rng.standard_normal((80, 64))
+        _, report, tree = ata_shared(a, threads=8, executor="simulated", return_report=True)
+        assert set(report.per_worker_time) == set(tree.owners())
+
+    def test_prebuilt_tree_reused(self, rng, small_base_case):
+        a = rng.standard_normal((48, 36))
+        tree = build_task_tree(48, 36, 4, "shared")
+        c = ata_shared(a, threads=4, executor="serial", tree=tree)
+        assert np.allclose(np.tril(c), np.tril(a.T @ a))
+
+    def test_mismatched_tree_rejected(self, rng, small_base_case):
+        a = rng.standard_normal((48, 36))
+        wrong = build_task_tree(48, 36, 5, "shared")
+        with pytest.raises(ShapeError):
+            ata_shared(a, threads=4, tree=wrong)
+        wrong_mode = build_task_tree(48, 36, 4, "distributed")
+        with pytest.raises(ShapeError):
+            ata_shared(a, threads=4, tree=wrong_mode)
+
+    def test_make_task_callable_ata_and_atb(self, rng, small_base_case):
+        a = rng.standard_normal((40, 30))
+        c = np.zeros((30, 30))
+        tree = build_task_tree(40, 30, 4, "shared")
+        for task in tree.tasks():
+            make_task_callable(task, a, c, 1.0, None)()
+        assert np.allclose(np.tril(c), np.tril(a.T @ a))
+
+
+class TestValidation:
+    def test_invalid_threads(self, rng):
+        with pytest.raises(ShapeError):
+            ata_shared(rng.standard_normal((10, 5)), threads=0)
+
+    def test_wrong_c_shape(self, rng):
+        with pytest.raises(ShapeError):
+            ata_shared(rng.standard_normal((10, 5)), np.zeros((4, 4)))
+
+
+class TestSharedProperties:
+    @given(m=st.integers(4, 80), n=st.integers(4, 80), p=st.integers(1, 12),
+           seed=st.integers(0, 2 ** 16))
+    @settings(max_examples=25, deadline=None)
+    def test_equivalence_with_reference(self, m, n, p, seed):
+        """AtA-S is numerically the same product as numpy's A^T A for any
+        worker count — the task decomposition must not change the math."""
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((m, n))
+        with configured(base_case_elements=64):
+            c = ata_shared(a, threads=p, executor="serial")
+        assert np.allclose(np.tril(c), np.tril(a.T @ a), atol=1e-8)

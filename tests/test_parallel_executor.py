@@ -1,0 +1,104 @@
+"""Tests for the shared-memory execution backends."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.blas.kernels import gemm_t
+from repro.parallel.executor import (
+    ExecutionReport,
+    SerialExecutor,
+    SimulatedCoreExecutor,
+    ThreadPoolExecutorBackend,
+    get_executor,
+)
+
+
+def _work_item(rng, size=32):
+    a = rng.standard_normal((size, size))
+    b = rng.standard_normal((size, size))
+    c = np.zeros((size, size))
+
+    def run():
+        gemm_t(a, b, c)
+
+    return run
+
+
+class TestSerialExecutor:
+    def test_runs_all_items(self, rng):
+        items = [(i % 3, _work_item(rng)) for i in range(6)]
+        report = SerialExecutor().run(items)
+        assert report.tasks_run == 6
+        assert set(report.per_worker_time) == {0, 1, 2}
+        assert report.wall_time > 0
+
+    def test_per_worker_flops_recorded(self, rng):
+        report = SerialExecutor().run([(0, _work_item(rng)), (1, _work_item(rng))])
+        assert report.worker_flops(0) > 0
+        assert report.worker_flops(1) > 0
+        assert report.total_flops == report.worker_flops(0) + report.worker_flops(1)
+
+    def test_critical_path_is_max(self, rng):
+        report = SerialExecutor().run([(0, _work_item(rng)), (1, _work_item(rng, 8))])
+        assert report.critical_path_time == max(report.per_worker_time.values())
+        assert report.total_busy_time >= report.critical_path_time
+
+    def test_empty_batch(self):
+        report = SerialExecutor().run([])
+        assert report.tasks_run == 0
+        assert report.critical_path_time == 0.0
+
+
+class TestThreadPool:
+    def test_matches_serial_results(self, rng):
+        size = 24
+        a = rng.standard_normal((size, size))
+        b = rng.standard_normal((size, size))
+        c_serial = np.zeros((size, size))
+        c_threads = np.zeros((size, size))
+        SerialExecutor().run([(0, lambda: gemm_t(a, b, c_serial))])
+        ThreadPoolExecutorBackend(4).run([(0, lambda: gemm_t(a, b, c_threads))])
+        assert np.allclose(c_serial, c_threads)
+
+    def test_tasks_of_same_worker_serialised(self, rng):
+        order = []
+
+        def make(tag):
+            def run():
+                order.append(tag)
+                time.sleep(0.01)
+            return run
+
+        ThreadPoolExecutorBackend(4).run([(0, make("a")), (0, make("b")), (0, make("c"))])
+        assert order == ["a", "b", "c"]
+
+    def test_workers_run_concurrently_without_errors(self, rng):
+        items = [(i, _work_item(rng)) for i in range(8)]
+        report = ThreadPoolExecutorBackend(8).run(items)
+        assert report.tasks_run == 8
+        assert len(report.per_worker_counters) == 8
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ThreadPoolExecutorBackend(0)
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert isinstance(get_executor("serial"), SerialExecutor)
+        assert isinstance(get_executor("threads", 2), ThreadPoolExecutorBackend)
+        assert isinstance(get_executor("simulated"), SimulatedCoreExecutor)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            get_executor("gpu")
+
+
+class TestExecutionReport:
+    def test_report_defaults(self):
+        report = ExecutionReport()
+        assert report.total_flops == 0
+        assert report.worker_flops(3) == 0
+        assert report.total_busy_time == 0.0

@@ -1,0 +1,198 @@
+"""Tests for the performance model (machine specs, metrics, modeled time)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BenchmarkError, ConfigurationError
+from repro.perfmodel.machine import LOCAL_HOST, MachineSpec, XEON_E5_2630V3
+from repro.perfmodel.metrics import (
+    ata_model_flops,
+    effective_gflops,
+    effective_gflops_rect,
+    percent_of_peak,
+    speedup,
+)
+from repro.perfmodel.timing import (
+    MODEL_CACHE,
+    ModeledTime,
+    communication_time,
+    compute_time,
+    model_distributed_ata,
+    model_distributed_caps,
+    model_distributed_cosma,
+    model_distributed_pdsyrk,
+    model_sequential_ata,
+    model_sequential_gemm,
+    model_sequential_strassen,
+    model_sequential_syrk,
+    model_shared_ata,
+    model_shared_syrk,
+)
+from repro.distributed.network import NetworkModel
+
+
+class TestMachineSpec:
+    def test_xeon_peak_matches_haswell(self):
+        # 2.4 GHz x 16 FP64 flops/cycle = 38.4 GFLOP/s per core
+        assert XEON_E5_2630V3.peak_gflops_per_core == pytest.approx(38.4)
+        assert XEON_E5_2630V3.peak_gflops_per_node == pytest.approx(38.4 * 8)
+
+    def test_sustained_scales_with_cores(self):
+        one = XEON_E5_2630V3.sustained_flops_per_second(1)
+        sixteen = XEON_E5_2630V3.sustained_flops_per_second(16)
+        assert sixteen == pytest.approx(16 * one)
+
+    def test_fp32_doubles_throughput(self):
+        fp32 = XEON_E5_2630V3.for_dtype(np.float32)
+        assert fp32.peak_gflops_per_core == pytest.approx(2 * 38.4)
+        fp64 = XEON_E5_2630V3.for_dtype(np.float64)
+        assert fp64.peak_gflops_per_core == pytest.approx(38.4)
+
+    def test_invalid_specs(self):
+        with pytest.raises(ConfigurationError):
+            MachineSpec(name="x", ghz=0, flops_per_cycle=16, cores=8)
+        with pytest.raises(ConfigurationError):
+            MachineSpec(name="x", ghz=1, flops_per_cycle=16, cores=8, dense_efficiency=1.5)
+
+    def test_local_host_is_modest(self):
+        assert LOCAL_HOST.peak_gflops_per_core < XEON_E5_2630V3.peak_gflops_per_core * 2
+
+
+class TestMetrics:
+    def test_effective_gflops_eq9(self):
+        # r n^3 / (t * 1e9)
+        assert effective_gflops(1000, 1.0, r=1) == pytest.approx(1.0)
+        assert effective_gflops(1000, 0.5, r=2) == pytest.approx(4.0)
+
+    def test_rectangular_variant_reduces_to_square(self):
+        assert effective_gflops_rect(500, 500, 2.0, r=1) == pytest.approx(
+            effective_gflops(500, 2.0, r=1))
+
+    def test_invalid_time(self):
+        with pytest.raises(BenchmarkError):
+            effective_gflops(100, 0.0)
+
+    def test_percent_of_peak(self):
+        pct = percent_of_peak(38.4, XEON_E5_2630V3, cores=1)
+        assert pct == pytest.approx(1.0)
+        assert percent_of_peak(38.4, XEON_E5_2630V3, cores=2) == pytest.approx(0.5)
+
+    def test_speedup(self):
+        assert speedup(10.0, 5.0) == pytest.approx(2.0)
+        with pytest.raises(BenchmarkError):
+            speedup(1.0, 0.0)
+
+    def test_ata_model_flops_below_classical(self):
+        n = 20_000
+        assert ata_model_flops(n) < 2.0 * n ** 3 / 2
+
+
+class TestPrimitives:
+    def test_compute_time_linear_in_flops(self):
+        t1 = compute_time(1e9, XEON_E5_2630V3)
+        t2 = compute_time(2e9, XEON_E5_2630V3)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_compute_time_negative_rejected(self):
+        with pytest.raises(BenchmarkError):
+            compute_time(-1, XEON_E5_2630V3)
+
+    def test_communication_time(self):
+        net = NetworkModel(latency_s=1e-6, bandwidth_bytes_per_s=1e9)
+        assert communication_time(5, 1e6, net) == pytest.approx(5e-6 + 1e-3)
+
+    def test_modeled_time_total(self):
+        t = ModeledTime(compute_seconds=1.0, communication_seconds=0.5)
+        assert t.total_seconds == 1.5
+
+
+class TestSequentialModels:
+    def test_ata_beats_syrk_and_gap_grows(self):
+        """Fig. 3 shape: AtA is faster than dsyrk and the gap widens with n."""
+        ratios = []
+        for n in (5_000, 15_000, 25_000):
+            t_ata = model_sequential_ata(n).total_seconds
+            t_syrk = model_sequential_syrk(n).total_seconds
+            assert t_ata < t_syrk
+            ratios.append(t_syrk / t_ata)
+        assert ratios == sorted(ratios)
+
+    def test_strassen_beats_gemm(self):
+        """Fig. 4 shape: FastStrassen undercuts dgemm at every tested size."""
+        for n in (5_000, 15_000, 25_000):
+            assert model_sequential_strassen(n).total_seconds < \
+                model_sequential_gemm(n).total_seconds
+
+    def test_ata_roughly_two_thirds_of_strassen(self):
+        n = 20_000
+        ratio = model_sequential_ata(n).total_seconds / model_sequential_strassen(n).total_seconds
+        assert 0.55 < ratio < 0.8
+
+    def test_moderate_speedup_at_paper_sizes(self):
+        """The modeled advantage stays in the realistic 1.1x-2x band the
+        paper measures, not the asymptotic n^{3-2.807} fantasy."""
+        ratio = (model_sequential_syrk(25_000).total_seconds
+                 / model_sequential_ata(25_000).total_seconds)
+        assert 1.1 < ratio < 2.2
+
+    def test_tall_matrix_support(self):
+        t = model_sequential_ata(5_000, m=60_000).total_seconds
+        assert t > model_sequential_ata(5_000).total_seconds
+
+
+class TestSharedModels:
+    def test_time_decreases_then_plateaus(self):
+        """Fig. 5 shape: time falls with cores and plateaus beyond 8."""
+        times = [model_shared_ata(30_000, cores).total_seconds for cores in (2, 4, 8, 16)]
+        assert times[0] > times[1] > times[2]
+        assert times[3] <= times[2]
+        assert times[2] / times[3] < 1.3       # plateau: < 30% further gain
+
+    def test_ata_s_beats_mkl_at_low_core_counts(self):
+        """The paper's headline: AtA-S significantly outperforms MKL ssyrk
+        in the P <= 10 regime."""
+        for cores in (2, 4, 8):
+            assert model_shared_ata(30_000, cores).total_seconds < \
+                model_shared_syrk(30_000, cores).total_seconds
+
+    def test_syrk_model_uses_classical_flops(self):
+        t_1 = model_shared_syrk(10_000, 1).total_seconds
+        t_8 = model_shared_syrk(10_000, 8).total_seconds
+        assert t_1 / t_8 > 4     # near-linear scaling up to the socket
+
+
+class TestDistributedModels:
+    def test_table1_speedup_band(self):
+        """Table 1 shape: DM (6 x 16 cores) beats SM (16 cores) by ~2x."""
+        for n in (30_000, 40_000, 50_000, 60_000):
+            sm = model_shared_ata(n, cores=16, threads=16).total_seconds
+            dm = model_distributed_ata(n, 6, cores_per_process=16).total_seconds
+            assert 1.3 < sm / dm < 3.5
+
+    def test_distributed_includes_communication(self):
+        modeled = model_distributed_ata(10_000, 16)
+        assert modeled.communication_seconds > 0
+        assert modeled.compute_seconds > 0
+
+    def test_caps_square_only_model_reasonable(self):
+        t = model_distributed_caps(10_000, 49).total_seconds
+        assert t > 0
+        assert t < model_distributed_caps(10_000, 7).total_seconds + 1e-9
+
+    def test_cosma_decreases_with_processes(self):
+        t8 = model_distributed_cosma(10_000, 8).total_seconds
+        t64 = model_distributed_cosma(10_000, 64).total_seconds
+        assert t64 < t8
+
+    def test_pdsyrk_decreases_with_processes(self):
+        t8 = model_distributed_pdsyrk(10_000, 8).total_seconds
+        t64 = model_distributed_pdsyrk(10_000, 64).total_seconds
+        assert t64 < t8
+
+    def test_ata_d_competitive_at_low_process_counts(self):
+        """Fig. 6 shape at P = 8: AtA-D beats the classical pdsyrk."""
+        assert model_distributed_ata(10_000, 8).total_seconds < \
+            model_distributed_pdsyrk(10_000, 8).total_seconds
+
+    def test_model_cache_is_llc_scale(self):
+        assert 1_000_000 < MODEL_CACHE.capacity_words < 10_000_000

@@ -1,0 +1,99 @@
+"""Tests for the parallel-level formulas (Eq. 5 / Eq. 6) and load balance."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SchedulerError
+from repro.scheduler.levels import (
+    DEFAULT_ALPHA,
+    complete_level_process_counts,
+    leaf_problem_fraction,
+    load_balance_alpha,
+    parallel_levels_distributed,
+    parallel_levels_shared,
+)
+
+
+class TestSharedLevels:
+    """Eq. 6 — verified against hand-evaluated values."""
+
+    @pytest.mark.parametrize("p,expected", [
+        (1, 0), (2, 1), (3, 1), (4, 2), (5, 2), (6, 2), (7, 2), (8, 2),
+        (9, 2), (10, 3), (16, 2), (32, 3), (64, 3),
+    ])
+    def test_values(self, p, expected):
+        assert parallel_levels_shared(p) == expected
+
+    def test_invalid(self):
+        with pytest.raises(SchedulerError):
+            parallel_levels_shared(0)
+
+    @given(st.integers(1, 4096))
+    @settings(max_examples=80, deadline=None)
+    def test_levels_grow_logarithmically(self, p):
+        levels = parallel_levels_shared(p)
+        assert 0 <= levels <= 8
+        if p == 1:
+            assert levels == 0
+        else:
+            assert levels >= 1
+
+
+class TestDistributedLevels:
+    """Eq. 5 — verified against hand-evaluated values (incl. the paper's
+    P = 16 example, which has 2 parallel levels as in Fig. 1)."""
+
+    @pytest.mark.parametrize("p,expected", [
+        (1, 0), (2, 1), (4, 1), (6, 1), (7, 2), (8, 2), (16, 2), (24, 2),
+        (32, 2), (36, 3), (40, 3), (64, 2),
+    ])
+    def test_values(self, p, expected):
+        assert parallel_levels_distributed(p) == expected
+
+    def test_invalid(self):
+        with pytest.raises(SchedulerError):
+            parallel_levels_distributed(-3)
+
+    @given(st.integers(1, 4096))
+    @settings(max_examples=80, deadline=None)
+    def test_bounded(self, p):
+        assert 0 <= parallel_levels_distributed(p) <= 8
+
+
+class TestAlphaAndFractions:
+    def test_default_alpha_is_half(self):
+        assert DEFAULT_ALPHA == 0.5
+        assert load_balance_alpha() == pytest.approx(0.5)
+
+    def test_alpha_for_other_weights(self):
+        # if A^T B were as cheap as A^T A, it should get 1/3 of the workers
+        assert load_balance_alpha(1.0, 1.0) == pytest.approx(1.0 / 3.0)
+
+    def test_alpha_invalid_weights(self):
+        with pytest.raises(SchedulerError):
+            load_balance_alpha(0.0, 1.0)
+
+    def test_leaf_fraction_is_four_power(self):
+        assert leaf_problem_fraction(1, shared=True) == 1.0
+        assert leaf_problem_fraction(16, shared=True) == pytest.approx(1 / 16)
+        assert leaf_problem_fraction(16, shared=False) == pytest.approx(1 / 16)
+
+    def test_complete_level_counts_grow(self):
+        shared = complete_level_process_counts(3, shared=True)
+        dist = complete_level_process_counts(3, shared=False)
+        assert shared == sorted(shared) and dist == sorted(dist)
+        assert all(a < b for a, b in zip(shared, shared[1:]))
+
+
+class TestStepBehaviour:
+    def test_levels_are_non_decreasing_only_in_steps(self):
+        """ℓ(P) is a step function: it never changes by more than 1 between
+        consecutive P and is non-monotone only at the documented dips."""
+        values = [parallel_levels_shared(p) for p in range(1, 200)]
+        for prev, nxt in zip(values, values[1:]):
+            assert abs(nxt - prev) <= 1
+
+    def test_distributed_steps_bounded(self):
+        values = [parallel_levels_distributed(p) for p in range(1, 200)]
+        for prev, nxt in zip(values, values[1:]):
+            assert abs(nxt - prev) <= 1

@@ -1,0 +1,117 @@
+"""Tests for leaf-level tiling (Fig. 2 / Eq. 7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.partition import Block
+from repro.errors import SchedulerError
+from repro.scheduler.task import ComputationType
+from repro.scheduler.tiling import dims_create, split_ata_blocks, tile_ata_rows, tile_atb
+
+
+class TestDimsCreate:
+    @pytest.mark.parametrize("p,expected", [(1, (1, 1)), (4, (2, 2)), (6, (3, 2)),
+                                            (7, (7, 1)), (12, (4, 3)), (16, (4, 4)),
+                                            (64, (8, 8))])
+    def test_known(self, p, expected):
+        assert dims_create(p) == expected
+
+    def test_invalid(self):
+        with pytest.raises(SchedulerError):
+            dims_create(0)
+
+    @given(st.integers(1, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_product_and_squareness(self, p):
+        pr, pc = dims_create(p)
+        assert pr * pc == p
+        assert pr >= pc >= 1
+
+
+class TestTileAtb:
+    def test_covers_output_disjointly(self):
+        a = Block(0, 0, 20, 12)
+        b = Block(0, 13, 20, 9)
+        c = Block(5, 0, 12, 9)
+        tiles = tile_atb(a, b, c, 6)
+        cover = np.zeros((12, 9), dtype=int)
+        for _, _, ct in tiles:
+            cover[ct.row - 5:ct.row_end - 5, ct.col:ct.col_end] += 1
+        assert np.all(cover == 1)
+
+    def test_tile_operand_consistency(self):
+        """Each tile's C block rows/cols match its A/B column counts."""
+        a = Block(0, 0, 30, 14)
+        b = Block(0, 14, 30, 10)
+        c = Block(0, 0, 14, 10)
+        for at, bt, ct in tile_atb(a, b, c, 8):
+            assert ct.rows == at.cols
+            assert ct.cols == bt.cols
+            assert at.rows == a.rows and bt.rows == b.rows
+
+    def test_more_workers_than_columns(self):
+        a = Block(0, 0, 10, 2)
+        b = Block(0, 2, 10, 1)
+        c = Block(0, 0, 2, 1)
+        tiles = tile_atb(a, b, c, 8)
+        total = sum(ct.size for _, _, ct in tiles)
+        assert total == c.size
+
+    def test_single_worker_is_whole_block(self):
+        a, b, c = Block(0, 0, 6, 4), Block(0, 4, 6, 3), Block(0, 0, 4, 3)
+        tiles = tile_atb(a, b, c, 1)
+        assert len(tiles) == 1
+        assert tiles[0][2].shape == c.shape
+
+    def test_invalid_workers(self):
+        with pytest.raises(SchedulerError):
+            tile_atb(Block(0, 0, 2, 2), Block(0, 0, 2, 2), Block(0, 0, 2, 2), 0)
+
+
+class TestTileAtaRows:
+    def test_strips_partition_rows(self):
+        a = Block(2, 3, 17, 5)
+        c = Block(0, 0, 5, 5)
+        strips = tile_ata_rows(a, c, 4)
+        assert sum(s.rows for s, _ in strips) == 17
+        assert all(s.cols == 5 for s, _ in strips)
+        assert all(ct is c for _, ct in strips)
+
+    def test_workers_capped_by_rows(self):
+        strips = tile_ata_rows(Block(0, 0, 3, 4), Block(0, 0, 4, 4), 10)
+        assert len(strips) == 3
+
+    def test_partial_sums_reassemble(self, rng, small_base_case):
+        """Σ_i A_i^T A_i over the strips equals A^T A — the invariant the
+        AtA-D parent relies on when summing children results."""
+        from repro.core.ata import ata
+        a = rng.standard_normal((23, 9))
+        whole, cblk = Block(0, 0, 23, 9), Block(0, 0, 9, 9)
+        total = np.zeros((9, 9))
+        for ablk, _ in tile_ata_rows(whole, cblk, 5):
+            total += ata(np.ascontiguousarray(ablk.view(a)))
+        assert np.allclose(np.tril(total), np.tril(a.T @ a))
+
+
+class TestSplitAtaBlocks:
+    def test_three_blocks_disjoint_and_cover_lower_triangle(self):
+        a = Block(0, 0, 20, 11)
+        c = Block(0, 0, 11, 11)
+        parts = split_ata_blocks(a, c)
+        kinds = [p[0] for p in parts]
+        assert kinds.count(ComputationType.ATA) == 2
+        assert kinds.count(ComputationType.ATB) == 1
+        cover = np.zeros((11, 11), dtype=int)
+        for _, _, _, cb in parts:
+            cover[cb.row:cb.row_end, cb.col:cb.col_end] += 1
+        assert cover.max() == 1
+        # every lower-triangular entry covered
+        for i in range(11):
+            for j in range(i + 1):
+                assert cover[i, j] == 1
+
+    def test_single_column_degenerates(self):
+        parts = split_ata_blocks(Block(0, 0, 5, 1), Block(0, 0, 1, 1))
+        assert len(parts) == 1
+        assert parts[0][0] is ComputationType.ATA

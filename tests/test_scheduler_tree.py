@@ -1,0 +1,144 @@
+"""Tests for task-tree construction (Section 4.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SchedulerError
+from repro.scheduler.task import ComputationType, Task, TreeNode
+from repro.scheduler.tree import build_task_tree
+from repro.core.partition import Block
+
+
+class TestTaskRecord:
+    def test_atb_requires_b(self):
+        with pytest.raises(ValueError):
+            Task(kind=ComputationType.ATB, a=Block(0, 0, 2, 2), c=Block(0, 0, 2, 2))
+
+    def test_ata_forbids_b(self):
+        with pytest.raises(ValueError):
+            Task(kind=ComputationType.ATA, a=Block(0, 0, 2, 2), c=Block(0, 0, 2, 2),
+                 b=Block(0, 0, 2, 2))
+
+    def test_flop_estimates(self):
+        ata_task = Task(kind=ComputationType.ATA, a=Block(0, 0, 10, 4), c=Block(0, 0, 4, 4))
+        atb_task = Task(kind=ComputationType.ATB, a=Block(0, 0, 10, 4),
+                        b=Block(0, 4, 10, 4), c=Block(0, 0, 4, 4))
+        assert ata_task.flops == 10 * 4 * 5
+        assert atb_task.flops == 2 * 10 * 4 * 4
+        assert atb_task.flops > ata_task.flops
+
+    def test_describe_mentions_owner(self):
+        t = Task(kind=ComputationType.ATA, a=Block(0, 0, 4, 4), c=Block(0, 0, 4, 4), owner=3)
+        assert "rank 3" in t.describe()
+
+
+class TestTreeConstruction:
+    @pytest.mark.parametrize("mode", ["shared", "distributed"])
+    @pytest.mark.parametrize("processes", [1, 2, 3, 4, 6, 8, 13, 16, 32])
+    def test_every_worker_owns_a_task(self, mode, processes):
+        tree = build_task_tree(120, 90, processes, mode)
+        assert tree.owners() == list(range(processes))
+
+    @pytest.mark.parametrize("mode", ["shared", "distributed"])
+    @pytest.mark.parametrize("m,n", [(64, 64), (100, 37), (37, 100), (13, 13), (500, 20)])
+    def test_lower_triangle_covered(self, mode, m, n):
+        tree = build_task_tree(m, n, 8, mode)
+        assert tree.covers_lower_triangle()
+
+    @pytest.mark.parametrize("processes", [1, 2, 3, 4, 5, 8, 16, 24])
+    def test_shared_leaves_never_collide(self, processes):
+        """The AtA-S property: no two leaves write overlapping C blocks."""
+        tree = build_task_tree(150, 110, processes, "shared")
+        assert tree.output_blocks_disjoint()
+
+    def test_single_process_is_single_leaf(self):
+        for mode in ("shared", "distributed"):
+            tree = build_task_tree(50, 40, 1, mode)
+            assert len(tree.tasks()) == 1
+            assert tree.tasks()[0].kind is ComputationType.ATA
+            assert tree.depth == 0
+
+    def test_root_owned_by_rank_zero(self):
+        tree = build_task_tree(64, 64, 16, "distributed")
+        assert tree.root.owner == 0
+
+    def test_parent_rank_consistency(self):
+        """Every leaf's parent_rank is the owner of its parent node."""
+        tree = build_task_tree(80, 60, 16, "distributed")
+        for leaf in tree.leaves():
+            if leaf.parent_id is not None:
+                assert leaf.task.parent_rank == tree.nodes[leaf.parent_id].owner
+
+    def test_distributed_sixteen_matches_paper_example(self):
+        """P = 16 (the Fig. 1 example): half the ranks work on C21 (A^T B
+        tasks), half on the diagonal blocks (A^T A tasks)."""
+        tree = build_task_tree(256, 256, 16, "distributed")
+        atb_owners = {t.owner for t in tree.tasks() if t.kind is ComputationType.ATB}
+        ata_owners = {t.owner for t in tree.tasks() if t.kind is ComputationType.ATA}
+        assert len(atb_owners) == 8
+        assert len(ata_owners | atb_owners) == 16
+
+    def test_alpha_balance_on_complete_split(self):
+        """With α = 1/2 the classical work of A^T B owners roughly equals
+        the work of A^T A owners at the first level."""
+        tree = build_task_tree(512, 512, 16, "distributed")
+        loads = tree.load_per_rank()
+        atb_owners = {t.owner for t in tree.tasks() if t.kind is ComputationType.ATB}
+        atb_load = sum(loads[r] for r in atb_owners)
+        ata_load = sum(v for r, v in loads.items() if r not in atb_owners)
+        assert 0.5 < atb_load / ata_load < 2.0
+
+    def test_load_reasonably_balanced(self):
+        tree = build_task_tree(400, 400, 16, "shared")
+        loads = tree.load_per_rank()
+        values = [v for v in loads.values() if v > 0]
+        assert max(values) / min(values) < 6.0
+
+    def test_levels_property_matches_formulas(self):
+        from repro.scheduler.levels import parallel_levels_distributed, parallel_levels_shared
+        assert build_task_tree(64, 64, 8, "shared").levels == parallel_levels_shared(8)
+        assert build_task_tree(64, 64, 8, "distributed").levels == parallel_levels_distributed(8)
+
+    def test_tasks_for_rank(self):
+        tree = build_task_tree(90, 70, 5, "shared")
+        all_tasks = tree.tasks()
+        per_rank = [tree.tasks_for(r) for r in range(5)]
+        assert sum(len(ts) for ts in per_rank) == len(all_tasks)
+
+    def test_tree_nodes_registry_consistent(self):
+        tree = build_task_tree(64, 48, 12, "distributed")
+        for node in tree.root.descendants():
+            assert tree.nodes[node.node_id] is node
+            for child in node.children:
+                assert child.parent_id == node.node_id
+
+    def test_invalid_arguments(self):
+        with pytest.raises(SchedulerError):
+            build_task_tree(0, 10, 4)
+        with pytest.raises(SchedulerError):
+            build_task_tree(10, 10, 0)
+        with pytest.raises(SchedulerError):
+            build_task_tree(10, 10, 4, mode="magic")
+
+
+class TestTreeProperties:
+    @given(m=st.integers(8, 200), n=st.integers(8, 200), p=st.integers(1, 24),
+           mode=st.sampled_from(["shared", "distributed"]))
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_hold_for_random_configurations(self, m, n, p, mode):
+        tree = build_task_tree(m, n, p, mode)
+        # owners are valid ranks (tiny problems may leave surplus workers
+        # idle), the lower triangle is covered, and in the shared tree no
+        # writes overlap
+        owners = tree.owners()
+        assert set(owners) <= set(range(p))
+        if n >= 4 * p:
+            assert owners == list(range(p))
+        assert tree.covers_lower_triangle()
+        if mode == "shared":
+            assert tree.output_blocks_disjoint()
+        # all leaf blocks stay within bounds
+        for task in tree.tasks():
+            assert task.a.row_end <= m and task.a.col_end <= n
+            assert task.c.row_end <= n and task.c.col_end <= n
