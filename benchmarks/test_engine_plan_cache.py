@@ -1,0 +1,78 @@
+"""Benchmark: warm-plan (cache hit) vs cold-plan AtA through the engine.
+
+Acceptance criterion of ISSUE 1: on repeated small-shape ``ata`` calls,
+executing a cached plan against a pooled workspace must be at least 1.5x
+faster than compiling the plan and allocating the workspace on every call.
+The registered ``engine_plan_cache`` experiment reports the same
+comparison through ``repro-bench``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import run_experiment
+from repro.bench.workloads import random_matrix
+from repro.config import configured
+from repro.engine import ExecutionEngine
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+class TestWarmPlanSpeedup:
+    def test_warm_plan_at_least_1_5x_faster_than_cold(self):
+        with configured(base_case_elements=256):
+            a = random_matrix(192, 192, seed=7)
+            engine = ExecutionEngine()
+
+            def cold() -> None:
+                engine.clear()
+                engine.matmul_ata(a)
+
+            cold_seconds = _best_of(cold, repeats=8)
+            engine.matmul_ata(a)  # prime plan cache and workspace pool
+            warm_seconds = _best_of(lambda: engine.matmul_ata(a), repeats=8)
+
+        speedup = cold_seconds / warm_seconds
+        assert speedup >= 1.5, (
+            f"warm-plan execution only {speedup:.2f}x faster than cold "
+            f"(cold={cold_seconds * 1e3:.1f}ms warm={warm_seconds * 1e3:.1f}ms)")
+
+    def test_warm_engine_not_slower_than_direct_recursion(self):
+        """The engine must amortise, not tax: warm plan execution beats the
+        plain recursive call it replaces."""
+        from repro.core.ata import ata
+
+        with configured(base_case_elements=256):
+            a = random_matrix(192, 192, seed=11)
+            engine = ExecutionEngine()
+            engine.matmul_ata(a)
+            warm_seconds = _best_of(lambda: engine.matmul_ata(a), repeats=8)
+            direct_seconds = _best_of(lambda: ata(a), repeats=8)
+        # generous slack: the claim is "no regression", not a specific ratio
+        assert warm_seconds <= 1.15 * direct_seconds
+
+
+class TestRegisteredExperiment:
+    def test_engine_plan_cache_experiment_runs(self):
+        (table,) = run_experiment("engine_plan_cache", sizes=[96], repeats=3)
+        assert table.rows
+        record = table.as_records()[0]
+        assert record["warm_speedup"] > 1.0
+        assert record["plan_steps"] > 0
+
+    def test_experiment_results_numerically_sound(self):
+        """The benchmark path produces the same numbers as the oracle."""
+        a = random_matrix(96, 96, seed=3)
+        engine = ExecutionEngine()
+        with configured(base_case_elements=256):
+            c = engine.matmul_ata(a)
+        assert np.allclose(np.tril(c), np.tril(a.T @ a), atol=1e-9)

@@ -1,0 +1,27 @@
+"""Repository-level pytest configuration.
+
+Wires the ``--benchmark-disable`` fast lane used by CI: the flag is
+provided by the installed ``pytest-benchmark`` plugin (which uses it to
+disable its fixture-based benchmarks); here it additionally skips this
+repository's timing-sensitive ``benchmarks/`` suite so one invocation over
+both trees finishes in minutes.  Without the plugin the flag simply does
+not exist and ``--ignore=benchmarks`` achieves the same from the command
+line.
+"""
+
+import pathlib
+
+import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    try:
+        disabled = config.getoption("--benchmark-disable")
+    except ValueError:  # pytest-benchmark not installed -> no flag
+        return
+    if not disabled:
+        return
+    skip = pytest.mark.skip(reason="benchmarks disabled (--benchmark-disable)")
+    for item in items:
+        if "benchmarks" in pathlib.Path(str(item.fspath)).parts:
+            item.add_marker(skip)

@@ -16,7 +16,11 @@ on:
 * the baselines of Section 5 (MKL-like ``syrk``/``gemm``, ScaLAPACK-style
   ``pdsyrk``, CAPS, COSMA), the performance model that prices counted work
   on the paper's cluster, the applications the introduction motivates, and
-  the benchmark harness that regenerates every figure and table.
+  the benchmark harness that regenerates every figure and table;
+* :mod:`repro.engine` — the plan-compiling execution engine:
+  :func:`repro.matmul_ata` / :func:`repro.run_batch` serve repeated
+  traffic through cached recursion plans and pooled workspaces, with
+  results bit-identical to the direct calls.
 
 Quickstart
 ----------
@@ -46,6 +50,14 @@ from .core import (
     recursive_gemm,
     strassen_atb,
     StrassenWorkspace,
+)
+from .engine import (
+    ExecutionEngine,
+    ExecutionPlan,
+    default_engine,
+    matmul_ata,
+    matmul_atb,
+    run_batch,
 )
 from .parallel import ata_shared
 from .distributed import ata_distributed
@@ -77,5 +89,11 @@ __all__ = [
     "ata_distributed",
     "symmetrize_from_lower",
     "build_task_tree",
+    "ExecutionEngine",
+    "ExecutionPlan",
+    "default_engine",
+    "matmul_ata",
+    "matmul_atb",
+    "run_batch",
     "__version__",
 ]

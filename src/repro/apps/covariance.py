@@ -22,8 +22,8 @@ import numpy as np
 import scipy.linalg
 
 from ..blas.kernels import symmetrize_from_lower, validate_matrix
-from ..core.ata import ata
 from ..distributed.ata_distributed import ata_distributed
+from ..engine import matmul_ata
 from ..errors import ShapeError
 from ..parallel.ata_shared import ata_shared
 
@@ -34,7 +34,10 @@ Backend = Literal["sequential", "shared", "distributed"]
 
 def _gram_lower(x: np.ndarray, backend: Backend, workers: int) -> np.ndarray:
     if backend == "sequential":
-        return ata(x)
+        # Routed through the execution engine: the compiled plan is cached,
+        # so repeated covariance builds over same-shaped data reuse both the
+        # recursion structure and the pooled workspace.
+        return matmul_ata(x)
     if backend == "shared":
         return ata_shared(x, threads=workers)
     if backend == "distributed":

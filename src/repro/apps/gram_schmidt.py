@@ -25,7 +25,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..blas.kernels import symmetrize_from_lower, validate_matrix
-from ..core.ata import ata
+from ..engine import matmul_ata
 from ..errors import ShapeError
 
 __all__ = [
@@ -79,7 +79,7 @@ def orthogonality_defect(q: np.ndarray) -> float:
     orthogonality (classical Gram–Schmidt on ill-conditioned inputs).
     """
     validate_matrix(q, "Q")
-    gram = symmetrize_from_lower(ata(np.ascontiguousarray(q, dtype=np.float64)))
+    gram = symmetrize_from_lower(matmul_ata(np.ascontiguousarray(q, dtype=np.float64)))
     gram[np.diag_indices_from(gram)] -= 1.0
     return float(np.linalg.norm(gram))
 
@@ -91,7 +91,7 @@ def project_onto_columns(a: np.ndarray, x: np.ndarray, *, rcond: float = 1e-12) 
     x = np.asarray(x, dtype=a.dtype)
     if x.shape[0] != a.shape[0]:
         raise ShapeError(f"x must have {a.shape[0]} rows, got {x.shape}")
-    gram = symmetrize_from_lower(ata(np.ascontiguousarray(a, dtype=np.float64)))
+    gram = symmetrize_from_lower(matmul_ata(np.ascontiguousarray(a, dtype=np.float64)))
     coeffs = np.linalg.pinv(gram, rcond=rcond) @ (a.T @ x)
     return a @ coeffs
 

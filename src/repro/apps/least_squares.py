@@ -23,8 +23,8 @@ import numpy as np
 import scipy.linalg
 
 from ..blas.kernels import symmetrize_from_lower, validate_matrix
-from ..core.ata import ata
 from ..distributed.ata_distributed import ata_distributed
+from ..engine import matmul_ata
 from ..errors import ShapeError
 from ..parallel.ata_shared import ata_shared
 
@@ -66,7 +66,9 @@ def gram_matrix(a: np.ndarray, *, backend: Backend = "sequential",
     """
     validate_matrix(a, "A")
     if backend == "sequential":
-        lower = ata(a)
+        # Engine-routed: repeated solves over same-shaped design matrices
+        # reuse the cached recursion plan and pooled workspace.
+        lower = matmul_ata(a)
     elif backend == "shared":
         lower = ata_shared(a, threads=workers)
     elif backend == "distributed":

@@ -63,6 +63,13 @@ class Arena:
         return self._buffer.shape[0]
 
     @property
+    def buffer(self) -> np.ndarray:
+        """The flat backing buffer (used by the plan-executing engine,
+        which addresses scratch by precompiled offsets instead of going
+        through the stack-allocation protocol)."""
+        return self._buffer
+
+    @property
     def in_use(self) -> int:
         return self._offset
 
@@ -188,9 +195,11 @@ class StrassenWorkspace:
     reusable = True
 
     def __init__(self, m: int, n: int, k: int, dtype=None,
-                 is_base_case: Callable[[int, int, int], bool] | None = None) -> None:
+                 is_base_case: Callable[[int, int, int], bool] | None = None,
+                 requirement: "_Requirement | None" = None) -> None:
         dtype = dtype if dtype is not None else get_config().default_dtype
-        req = workspace_requirement(m, n, k, is_base_case)
+        req = requirement if requirement is not None else \
+            workspace_requirement(m, n, k, is_base_case)
         self.requirement = req
         self.shape = (int(m), int(n), int(k))
         self.dtype = np.dtype(dtype)
@@ -239,9 +248,17 @@ class StrassenWorkspace:
     def fits(self, m: int, n: int, k: int) -> bool:
         """Whether a problem of the given dimensions can reuse this workspace."""
         req = workspace_requirement(m, n, k)
+        return self.can_serve(req)
+
+    def can_serve(self, req: _Requirement) -> bool:
+        """Whether the arenas are large enough for an explicit requirement."""
         return (req.p_elements <= self._p.capacity
                 and req.q_elements <= self._q.capacity
                 and req.m_elements <= self._m.capacity)
+
+    def flat_buffers(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The raw ``(P, Q, M)`` arena buffers, for offset-addressed reuse."""
+        return (self._p.buffer, self._q.buffer, self._m.buffer)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"StrassenWorkspace(shape={self.shape}, dtype={self.dtype}, "

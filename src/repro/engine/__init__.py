@@ -1,0 +1,79 @@
+"""Plan-compiling execution engine for the AtA algorithm family.
+
+The recursive algorithms of :mod:`repro.core` derive the *same* structure
+on every invocation: for a fixed problem shape and configuration, the
+quadrant partitions, cache-fit decisions, base-case kernel sequence and
+workspace layout never change — only the matrix values do.  This package
+amortises that derivation across calls, which is the substrate the
+production-scaling roadmap (batched serving, sharding, multi-backend
+dispatch) builds on:
+
+* :mod:`repro.engine.plan` — the **plan compiler** walks a recursion once
+  and emits an immutable :class:`~repro.engine.plan.ExecutionPlan`: the
+  ordered base-case kernel calls with precomputed operand views and
+  workspace offsets, the exact workspace requirement, and pre-aggregated
+  flop/byte counter totals;
+* :mod:`repro.engine.cache` — an **LRU plan cache** with hit/miss
+  accounting and whole-cache invalidation when :mod:`repro.config`
+  changes;
+* :mod:`repro.engine.pool` — a **workspace pool** reusing
+  :class:`~repro.core.workspace.StrassenWorkspace` arenas across calls
+  instead of reallocating them;
+* :mod:`repro.engine.dispatch` — the **front-end**:
+  :func:`~repro.engine.dispatch.matmul_ata` auto-selects among
+  ``syrk`` / ``ata`` / ``recursive_gemm`` / ``tiled`` paths by shape, and
+  :func:`~repro.engine.dispatch.run_batch` executes a homogeneous batch
+  against a single compiled plan and checked-out workspace.
+
+The plan-key contract
+---------------------
+A compiled plan is a pure function of its key::
+
+    (algo, shape, dtype.str, cache_model.capacity_words, cache_model.line_words)
+
+plus the *plan-affecting configuration fields* ``base_case_elements`` and
+``max_recursion_depth``.  Those two fields are deliberately **not** in the
+key; instead the plan cache fingerprints them and drops every cached plan
+the first time it observes a change (see
+:class:`~repro.engine.cache.PlanCache`).  Anything else — matrix values,
+``alpha``/``beta``, counter settings — is resolved at execution time, so a
+cached plan can never go stale through it.  Executing a plan replays the
+exact kernel sequence of the live recursion, making engine results
+bit-for-bit identical to the direct calls.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro.engine import matmul_ata, run_batch
+>>> a = np.random.default_rng(0).standard_normal((300, 200))
+>>> c = matmul_ata(a)                  # cold call: compiles + caches the plan
+>>> c2 = matmul_ata(a)                 # warm call: cached plan, pooled workspace
+>>> cs = run_batch([a, a, a])          # one plan, one workspace, three results
+"""
+
+from .cache import PlanCache
+from .dispatch import (
+    EngineStats,
+    ExecutionEngine,
+    default_engine,
+    matmul_ata,
+    matmul_atb,
+    run_batch,
+)
+from .plan import ExecutionPlan, compile_plan, execute_plan, PLAN_KINDS
+from .pool import WorkspacePool
+
+__all__ = [
+    "ExecutionEngine",
+    "EngineStats",
+    "ExecutionPlan",
+    "PlanCache",
+    "WorkspacePool",
+    "PLAN_KINDS",
+    "compile_plan",
+    "execute_plan",
+    "default_engine",
+    "matmul_ata",
+    "matmul_atb",
+    "run_batch",
+]

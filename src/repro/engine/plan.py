@@ -1,0 +1,577 @@
+"""Plan compilation: walk a recursion once, emit a flat execution plan.
+
+The recursive algorithms in :mod:`repro.core` re-derive the same structure
+on every call: quadrant partitions, cache-fit checks and workspace offsets
+depend only on ``(shape, cache model, config)``, never on the matrix
+*values*.  This module performs that walk exactly once and records the
+result as an immutable :class:`ExecutionPlan` — an ordered tuple of
+base-case kernel steps whose operands are precomputed views (slices of the
+``A``/``C`` operands or ``(offset, shape)`` windows into the pooled
+workspace arenas), plus the exact workspace requirement and pre-aggregated
+flop/byte counter totals.
+
+Executing a plan replays the identical kernel sequence the recursion would
+have produced, so results are bit-for-bit equal to the direct calls; only
+the Python-level recursion overhead, the per-call workspace allocation and
+the per-kernel counter bookkeeping are amortised away.
+
+Four algorithm kinds can be compiled:
+
+``"syrk"``
+    A single base-case ``syrk`` call (used when the operand fits in cache).
+``"ata"``
+    Algorithm 1 — the AtA recursion with its embedded FastStrassen calls,
+    fully flattened including the Strassen workspace choreography.
+``"strassen"``
+    A standalone FastStrassen ``A^T B`` product.
+``"recursive_gemm"``
+    Algorithm 2 — the classical 8-way recursive ``A^T B``.
+``"tiled"``
+    A cache-sized column-block tiling of the lower triangle of ``A^T A``
+    (``syrk`` diagonal blocks, ``gemm_t`` off-diagonal panels).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..blas.kernels import gemm_flops, syrk_flops
+from ..cache.model import CacheModel
+from ..config import get_config
+from ..core.partition import split_dim
+from ..core.strassen import STRASSEN_PRODUCTS
+from ..core.workspace import _Requirement
+from ..errors import ShapeError
+
+__all__ = ["ExecutionPlan", "compile_plan", "execute_plan", "PLAN_KINDS"]
+
+PLAN_KINDS = ("syrk", "ata", "strassen", "recursive_gemm", "tiled")
+
+# Operand bases (first element of a frozen operand reference).
+_BASE_A = 0
+_BASE_B = 1
+_BASE_C = 2
+_ARENA_P = 3
+_ARENA_Q = 4
+_ARENA_M = 5
+
+# Step opcodes (first element of a frozen step tuple).
+OP_SYRK = 0   # (OP_SYRK, a_ref, c_ref, n)               c[tril(n)] += alpha*(a.T@a)[tril(n)]
+OP_GEMM = 1   # (OP_GEMM, a_ref, b_ref, c_ref, use_alpha) c += coef * a.T @ b
+OP_ADD = 2    # (OP_ADD, dst_ref, src_ref, coef, use_alpha) dst += coef*src (prefix-truncated)
+OP_ZERO = 3   # (OP_ZERO, ref)                            view[...] = 0
+
+
+class _Region:
+    """A rectangular window into an operand or arena matrix (compile time).
+
+    ``base`` identifies the storage (``A``/``B``/``C`` operand or one of the
+    P/Q/M arenas); ``start`` is the flat arena offset of the base matrix
+    (arenas only) and ``(base_rows, base_cols)`` its shape; ``(r0, r1, c0,
+    c1)`` bound this window inside the base matrix.
+    """
+
+    __slots__ = ("base", "start", "base_rows", "base_cols", "r0", "r1", "c0", "c1")
+
+    def __init__(self, base, start, base_rows, base_cols, r0, r1, c0, c1):
+        self.base = base
+        self.start = start
+        self.base_rows = base_rows
+        self.base_cols = base_cols
+        self.r0, self.r1, self.c0, self.c1 = r0, r1, c0, c1
+
+    @classmethod
+    def whole(cls, base: int, rows: int, cols: int, start: int = 0) -> "_Region":
+        return cls(base, start, rows, cols, 0, rows, 0, cols)
+
+    @property
+    def rows(self) -> int:
+        return self.r1 - self.r0
+
+    @property
+    def cols(self) -> int:
+        return self.c1 - self.c0
+
+    @property
+    def size(self) -> int:
+        return self.rows * self.cols
+
+    def sub(self, r0: int, r1: int, c0: int, c1: int) -> "_Region":
+        """Window relative to this region (like ``view[r0:r1, c0:c1]``)."""
+        return _Region(self.base, self.start, self.base_rows, self.base_cols,
+                       self.r0 + r0, self.r0 + r1, self.c0 + c0, self.c0 + c1)
+
+    def quadrants(self) -> Tuple["_Region", "_Region", "_Region", "_Region"]:
+        """The four ceil/floor quadrants of Eq. (1), as regions."""
+        m1, _ = split_dim(self.rows)
+        n1, _ = split_dim(self.cols)
+        m, n = self.rows, self.cols
+        return (self.sub(0, m1, 0, n1), self.sub(0, m1, n1, n),
+                self.sub(m1, m, 0, n1), self.sub(m1, m, n1, n))
+
+    def limit_rows(self, count: int) -> "_Region":
+        return self.sub(0, count, 0, self.cols)
+
+    def freeze(self):
+        """The compact runtime reference the executor resolves per step."""
+        if self.base in (_BASE_A, _BASE_B, _BASE_C):
+            return (self.base, (slice(self.r0, self.r1), slice(self.c0, self.c1)))
+        stop = self.start + self.base_rows * self.base_cols
+        full = (self.r0 == 0 and self.r1 == self.base_rows
+                and self.c0 == 0 and self.c1 == self.base_cols)
+        window = None if full else (slice(self.r0, self.r1), slice(self.c0, self.c1))
+        return (self.base, self.start, stop, self.base_rows, self.base_cols, window)
+
+
+class _SimArena:
+    """Compile-time mirror of :class:`repro.core.workspace.Arena`.
+
+    Tracks offsets with the same LIFO discipline so that the frozen
+    references point exactly where the live recursion would have placed its
+    scratch, and records the high-water mark that sizes the pooled arena.
+    """
+
+    def __init__(self, base: int) -> None:
+        self.base = base
+        self.offset = 0
+        self.high_water = 0
+        self._stack: List[Tuple[int, int]] = []
+
+    def allocate(self, rows: int, cols: int) -> _Region:
+        region = _Region.whole(self.base, rows, cols, start=self.offset)
+        self._stack.append((self.offset, rows * cols))
+        self.offset += rows * cols
+        self.high_water = max(self.high_water, self.offset)
+        return region
+
+    def release(self, region: _Region) -> None:
+        start, need = self._stack.pop()
+        assert start == region.start and need == region.base_rows * region.base_cols
+        self.offset = start
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionPlan:
+    """An immutable compiled execution plan.
+
+    Attributes
+    ----------
+    key:
+        The cache key the plan was compiled under (see
+        :mod:`repro.engine` for the plan-key contract).
+    algo:
+        One of :data:`PLAN_KINDS`.
+    shape:
+        Problem shape: ``(m, n)`` for A^T A kinds, ``(m, n, k)`` for A^T B.
+    out_shape:
+        Shape of the output matrix ``C``.
+    dtype:
+        Operand dtype the plan was compiled for.
+    steps:
+        The ordered kernel steps (opaque tuples consumed by
+        :func:`execute_plan`).
+    requirement:
+        Exact per-arena workspace requirement, or ``None`` when the plan
+        needs no scratch space.
+    ws_shape:
+        The ``(m, n, k)`` sizing triple a replacement
+        :class:`~repro.core.workspace.StrassenWorkspace` would be built
+        with (used by the pool on a miss).
+    kernel_counters:
+        Pre-aggregated ``(category, calls, flops, byte_elements)`` totals;
+        recorded when ``config.count_flops`` is on.  ``byte_elements`` is
+        multiplied by the dtype itemsize at execution time.
+    step_counters:
+        ``(category, calls)`` recursion-step totals recorded
+        unconditionally, mirroring ``counters.record`` in the recursions.
+    """
+
+    key: tuple
+    algo: str
+    shape: Tuple[int, ...]
+    out_shape: Tuple[int, int]
+    dtype: np.dtype
+    steps: Tuple[tuple, ...]
+    requirement: Optional[_Requirement]
+    ws_shape: Optional[Tuple[int, int, int]]
+    kernel_counters: Tuple[Tuple[str, int, int, int], ...]
+    step_counters: Tuple[Tuple[str, int], ...]
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def needs_workspace(self) -> bool:
+        return self.requirement is not None
+
+
+class _Compiler:
+    """Shared state for one compilation walk."""
+
+    def __init__(self, model: CacheModel) -> None:
+        self.model = model
+        self.max_depth = get_config().max_recursion_depth
+        self.steps: List[tuple] = []
+        self.kernel_totals: Dict[str, List[int]] = {}
+        self.step_totals: Dict[str, int] = {}
+        self.p = _SimArena(_ARENA_P)
+        self.q = _SimArena(_ARENA_Q)
+        self.m = _SimArena(_ARENA_M)
+
+    # -- counter aggregation ----------------------------------------------
+    def _count(self, category: str, flops: int, byte_elements: int) -> None:
+        tot = self.kernel_totals.setdefault(category, [0, 0, 0])
+        tot[0] += 1
+        tot[1] += flops
+        tot[2] += byte_elements
+
+    def _count_step(self, category: str) -> None:
+        self.step_totals[category] = self.step_totals.get(category, 0) + 1
+
+    # -- step emission ------------------------------------------------------
+    def emit_syrk(self, a: _Region, c: _Region) -> None:
+        m, n = a.rows, a.cols
+        # plans carry only the triangle size; the O(n^2) index arrays are
+        # materialised lazily in a bounded shared cache at execution time,
+        # so a wide single-syrk plan does not pin megabytes in the LRU
+        self.steps.append((OP_SYRK, a.freeze(), c.freeze(), n))
+        self._count("syrk", syrk_flops(m, n), m * n + n * (n + 1) // 2)
+
+    def emit_gemm(self, a: _Region, b: _Region, c: _Region, use_alpha: bool) -> None:
+        m, n, k = a.rows, a.cols, b.cols
+        self.steps.append((OP_GEMM, a.freeze(), b.freeze(), c.freeze(), use_alpha))
+        self._count("gemm", gemm_flops(m, n, k), m * n + m * k + n * k)
+
+    def emit_add(self, dst: _Region, src: _Region, coef: float, use_alpha: bool) -> None:
+        # add_into adds over the overlapping top-left block; truncate both
+        # references to that overlap at compile time.
+        rows = min(dst.rows, src.rows)
+        cols = min(dst.cols, src.cols)
+        if rows == 0 or cols == 0:
+            return
+        self.steps.append((OP_ADD, dst.sub(0, rows, 0, cols).freeze(),
+                           src.sub(0, rows, 0, cols).freeze(), float(coef), use_alpha))
+        self._count("axpy", 2 * rows * cols, 3 * rows * cols)
+
+    def emit_zero(self, region: _Region) -> None:
+        self.steps.append((OP_ZERO, region.freeze()))
+
+    # -- FastStrassen (mirrors core.strassen._strassen) ---------------------
+    def _combine(self, terms, arena: _SimArena):
+        """Compile-time analogue of ``strassen._combine``."""
+        if len(terms) == 1 and terms[0][1] == 1:
+            return terms[0][0], False
+        rows = max(t[0].rows for t in terms)
+        cols = max(t[0].cols for t in terms)
+        buf = arena.allocate(rows, cols)
+        self.emit_zero(buf)
+        for region, sign in terms:
+            if region.size:
+                self.emit_add(buf, region, float(sign), False)
+        return buf, True
+
+    def strassen(self, a: _Region, b: _Region, c: _Region,
+                 use_alpha: bool, depth: int) -> None:
+        m, n = a.rows, a.cols
+        k = b.cols
+        if m == 0 or n == 0 or k == 0:
+            return
+        if self.model.fits_gemm(m, n, k) or (m <= 1 and n <= 1 and k <= 1):
+            self.emit_gemm(a, b, c, use_alpha)
+            return
+        if depth > self.max_depth:
+            raise ShapeError("Strassen recursion exceeded max_recursion_depth; "
+                             "check the base-case configuration")
+        self._count_step("strassen_step")
+
+        a_q = dict(zip(("11", "12", "21", "22"), a.quadrants()))
+        b_q = dict(zip(("11", "12", "21", "22"), b.quadrants()))
+        c_q = dict(zip(("11", "12", "21", "22"), c.quadrants()))
+
+        for spec in STRASSEN_PRODUCTS:
+            a_terms = [(a_q[qd], s) for qd, s in spec["a"]]
+            b_terms = [(b_q[qd], s) for qd, s in spec["b"]]
+            a_op, a_owned = self._combine(a_terms, self.p)
+            b_op, b_owned = self._combine(b_terms, self.q)
+            m_eff = min(a_op.rows, b_op.rows)
+            prod = self.m.allocate(a_op.cols, b_op.cols)
+            self.emit_zero(prod)
+            if m_eff:
+                self.strassen(a_op.limit_rows(m_eff), b_op.limit_rows(m_eff),
+                              prod, False, depth + 1)
+            for target, sign in spec["c"]:
+                tgt = c_q[target]
+                if tgt.size and prod.size:
+                    self.emit_add(tgt, prod, float(sign), use_alpha)
+            self.m.release(prod)
+            if b_owned:
+                self.q.release(b_op)
+            if a_owned:
+                self.p.release(a_op)
+
+    # -- AtA (mirrors core.ata._ata_recurse) --------------------------------
+    def ata(self, a: _Region, c: _Region, depth: int) -> None:
+        m, n = a.rows, a.cols
+        if m == 0 or n == 0:
+            return
+        if self.model.fits_ata(m, n) or (m <= 1 and n <= 1):
+            self.emit_syrk(a, c)
+            return
+        if depth > self.max_depth:
+            raise ShapeError("AtA recursion exceeded max_recursion_depth; "
+                             "check the base-case configuration")
+        self._count_step("ata_step")
+
+        a11, a12, a21, a22 = a.quadrants()
+        n1, _ = split_dim(n)
+        c11 = c.sub(0, n1, 0, n1)
+        c22 = c.sub(n1, n, n1, n)
+        c21 = c.sub(n1, n, 0, n1)
+
+        self.ata(a11, c11, depth + 1)
+        if a21.size:
+            self.ata(a21, c11, depth + 1)
+        if a12.size:
+            self.ata(a12, c22, depth + 1)
+        if a22.size:
+            self.ata(a22, c22, depth + 1)
+
+        if c21.size:
+            if a12.size and a11.size:
+                self.strassen(a12, a11, c21, True, depth + 1)
+            if a22.size and a21.size:
+                self.strassen(a22, a21, c21, True, depth + 1)
+
+    # -- RecursiveGEMM (mirrors core.recursive_gemm._recurse) ----------------
+    def recursive_gemm(self, a: _Region, b: _Region, c: _Region, depth: int) -> None:
+        m, n = a.rows, a.cols
+        k = b.cols
+        if m == 0 or n == 0 or k == 0:
+            return
+        if self.model.fits_gemm(m, n, k) or (m <= 1 and n <= 1 and k <= 1):
+            self.emit_gemm(a, b, c, True)
+            return
+        if depth > self.max_depth:
+            raise ShapeError("RecursiveGEMM exceeded max_recursion_depth; "
+                             "check the base-case configuration")
+        self._count_step("recursive_gemm_step")
+
+        a_q = dict(zip(("11", "12", "21", "22"), a.quadrants()))
+        b_q = dict(zip(("11", "12", "21", "22"), b.quadrants()))
+        c_q = dict(zip(("11", "12", "21", "22"), c.quadrants()))
+        for i in (1, 2):
+            for j in (1, 2):
+                for l in (1, 2):
+                    a_block = a_q[f"{l}{i}"]
+                    b_block = b_q[f"{l}{j}"]
+                    c_block = c_q[f"{i}{j}"]
+                    if a_block.size == 0 or b_block.size == 0 or c_block.size == 0:
+                        continue
+                    self.recursive_gemm(a_block, b_block, c_block, depth + 1)
+
+    # -- tiled AtA -----------------------------------------------------------
+    def tiled_ata(self, a: _Region, c: _Region) -> None:
+        m, n = a.rows, a.cols
+        tile = max(1, min(n, self.model.capacity_words // max(1, 2 * m)))
+        bounds = [(j, min(j + tile, n)) for j in range(0, n, tile)]
+        for bi, (i0, i1) in enumerate(bounds):
+            for bj, (j0, j1) in enumerate(bounds[:bi + 1]):
+                if bi == bj:
+                    self.emit_syrk(a.sub(0, m, i0, i1), c.sub(i0, i1, i0, i1))
+                else:
+                    self.emit_gemm(a.sub(0, m, i0, i1), a.sub(0, m, j0, j1),
+                                   c.sub(i0, i1, j0, j1), True)
+
+    # -- finalisation --------------------------------------------------------
+    def finish(self, key: tuple, algo: str, shape: Tuple[int, ...],
+               out_shape: Tuple[int, int], dtype,
+               ws_shape: Optional[Tuple[int, int, int]]) -> ExecutionPlan:
+        needs_ws = self.p.high_water or self.q.high_water or self.m.high_water
+        requirement = None
+        if needs_ws:
+            requirement = _Requirement(p_elements=self.p.high_water,
+                                       q_elements=self.q.high_water,
+                                       m_elements=self.m.high_water,
+                                       depth=0)
+        return ExecutionPlan(
+            key=key, algo=algo, shape=shape, out_shape=out_shape,
+            dtype=np.dtype(dtype), steps=tuple(self.steps),
+            requirement=requirement,
+            ws_shape=ws_shape if needs_ws else None,
+            kernel_counters=tuple((cat, t[0], t[1], t[2])
+                                  for cat, t in self.kernel_totals.items()),
+            step_counters=tuple(self.step_totals.items()),
+        )
+
+
+def compile_plan(algo: str, shape: Tuple[int, ...], dtype, model: CacheModel,
+                 key: Optional[tuple] = None) -> ExecutionPlan:
+    """Compile one execution plan.
+
+    Parameters
+    ----------
+    algo:
+        One of :data:`PLAN_KINDS`.
+    shape:
+        ``(m, n)`` for the A^T A kinds (``syrk``/``ata``/``tiled``),
+        ``(m, n, k)`` for the A^T B kinds (``strassen``/``recursive_gemm``).
+    dtype:
+        Operand dtype (affects only the workspace the plan will request).
+    model:
+        The :class:`~repro.cache.model.CacheModel` providing the base-case
+        predicates; the walk consults it exactly as the live recursion
+        would.
+    key:
+        The cache key to stamp on the plan (defaults to a local tuple).
+    """
+    if algo not in PLAN_KINDS:
+        raise ShapeError(f"unknown plan kind {algo!r}; expected one of {PLAN_KINDS}")
+    comp = _Compiler(model)
+    if algo in ("syrk", "ata", "tiled"):
+        m, n = shape
+        a = _Region.whole(_BASE_A, m, n)
+        c = _Region.whole(_BASE_C, n, n)
+        out_shape = (n, n)
+        ws_shape: Optional[Tuple[int, int, int]] = None
+        if algo == "tiled":
+            comp.tiled_ata(a, c)
+        elif algo == "syrk" or comp.model.fits_ata(m, n) or (m <= 1 and n <= 1):
+            # ata() short-circuits to a single syrk call on fitting shapes.
+            comp.emit_syrk(a, c)
+        else:
+            m1, _ = split_dim(m)
+            n1, _ = split_dim(n)
+            ws_shape = (m1, n1, n1)
+            comp.ata(a, c, depth=0)
+    else:
+        m, n, k = shape
+        a = _Region.whole(_BASE_A, m, n)
+        b = _Region.whole(_BASE_B, m, k)
+        c = _Region.whole(_BASE_C, n, k)
+        out_shape = (n, k)
+        ws_shape = (m, n, k)
+        if comp.model.fits_gemm(m, n, k) or (m <= 1 and n <= 1 and k <= 1):
+            comp.emit_gemm(a, b, c, True)
+        elif algo == "strassen":
+            comp.strassen(a, b, c, True, depth=0)
+        else:
+            comp.recursive_gemm(a, b, c, depth=0)
+    if key is None:
+        key = (algo, shape, np.dtype(dtype).str, model.capacity_words)
+    return comp.finish(key, algo, tuple(shape), out_shape, dtype, ws_shape)
+
+
+#: Shared cache of np.tril_indices results keyed by n, bounded both in
+#: entry count and in per-entry size: a triangle larger than
+#: _TRIL_CACHE_MAX_N is computed transiently (exactly what the direct syrk
+#: kernel does on every call) instead of being pinned in process memory.
+_TRIL_CACHE: Dict[int, tuple] = {}
+_TRIL_CACHE_MAX = 64
+_TRIL_CACHE_MAX_N = 1024  # ~8 MB of int64 indices per entry at the cap
+
+
+def _tril_indices(n: int) -> tuple:
+    if n > _TRIL_CACHE_MAX_N:
+        return np.tril_indices(n)
+    idx = _TRIL_CACHE.get(n)
+    if idx is None:
+        idx = np.tril_indices(n)
+        if len(_TRIL_CACHE) >= _TRIL_CACHE_MAX:
+            try:
+                _TRIL_CACHE.pop(next(iter(_TRIL_CACHE)), None)
+            except (StopIteration, RuntimeError):  # concurrent mutation
+                pass
+        _TRIL_CACHE[n] = idx
+    return idx
+
+
+def _resolve(ref, a, b, c, p, q, m):
+    """Materialise a frozen operand reference into a live numpy view."""
+    base = ref[0]
+    if base == _BASE_A:
+        return a[ref[1]]
+    if base == _BASE_B:
+        return b[ref[1]]
+    if base == _BASE_C:
+        return c[ref[1]]
+    buf = p if base == _ARENA_P else q if base == _ARENA_Q else m
+    view = buf[ref[1]:ref[2]].reshape(ref[3], ref[4])
+    window = ref[5]
+    return view if window is None else view[window]
+
+
+def execute_plan(plan: ExecutionPlan, a: np.ndarray, c: np.ndarray,
+                 alpha: float = 1.0, workspace=None,
+                 b: Optional[np.ndarray] = None) -> np.ndarray:
+    """Replay a compiled plan on concrete operands.
+
+    The step expressions reproduce the base-case kernels of
+    :mod:`repro.blas.kernels` exactly (same numpy expressions, same
+    ``alpha == 1.0`` short-circuits), so the result is bit-for-bit
+    identical to running the original recursion; validation and counter
+    bookkeeping are hoisted out of the per-step loop.
+
+    Parameters
+    ----------
+    plan:
+        The compiled :class:`ExecutionPlan`.
+    a, b, c:
+        Operands; ``b`` is required for the A^T B kinds and must be ``None``
+        otherwise.
+    alpha:
+        The runtime scalar the plan's symbolic alpha resolves to.
+    workspace:
+        A :class:`~repro.core.workspace.StrassenWorkspace` whose arenas are
+        at least as large as ``plan.requirement`` (only when
+        ``plan.needs_workspace``).  The plan addresses the arenas by raw
+        offset, so the workspace's own stack bookkeeping is bypassed.
+    """
+    from ..blas import counters  # local import to keep module import light
+
+    p = q = m = None
+    if plan.needs_workspace:
+        if workspace is None:
+            raise ShapeError(f"plan {plan.key} requires a workspace "
+                             f"({plan.requirement}) but none was supplied")
+        p, q, m = workspace.flat_buffers()
+
+    for step in plan.steps:
+        op = step[0]
+        if op == OP_GEMM:
+            av = _resolve(step[1], a, b, c, p, q, m)
+            bv = _resolve(step[2], a, b, c, p, q, m)
+            cv = _resolve(step[3], a, b, c, p, q, m)
+            coef = alpha if step[4] else 1.0
+            if coef == 1.0:
+                cv += av.T @ bv
+            else:
+                cv += coef * (av.T @ bv)
+        elif op == OP_ADD:
+            dst = _resolve(step[1], a, b, c, p, q, m)
+            src = _resolve(step[2], a, b, c, p, q, m)
+            coef = step[3] * (alpha if step[4] else 1.0)
+            if coef == 1.0:
+                dst += src
+            else:
+                dst += coef * src
+        elif op == OP_SYRK:
+            av = _resolve(step[1], a, b, c, p, q, m)
+            cv = _resolve(step[2], a, b, c, p, q, m)
+            idx = _tril_indices(step[3])
+            product = av.T @ av
+            cv[idx] += alpha * product[idx]
+        else:  # OP_ZERO
+            _resolve(step[1], a, b, c, p, q, m)[...] = 0
+
+    if get_config().count_flops and plan.kernel_counters:
+        itemsize = a.dtype.itemsize
+        for category, calls, flops, byte_elements in plan.kernel_counters:
+            counters.record(category, flops=flops,
+                            bytes=byte_elements * itemsize, calls=calls)
+    for category, calls in plan.step_counters:
+        counters.record(category, calls=calls)
+    return c

@@ -1,0 +1,94 @@
+"""Pool of reusable :class:`~repro.core.workspace.StrassenWorkspace` arenas.
+
+``ata`` and ``fast_strassen`` allocate a fresh workspace on every call when
+the caller does not supply one; under repeated traffic that allocation (and
+the zero-fill of three arenas) is pure overhead.  The pool keeps released
+workspaces on an idle list and hands them back to any later plan whose
+exact :class:`~repro.core.workspace._Requirement` they can serve — plans
+address the arenas by precompiled flat offsets, so a larger recycled
+workspace is just as good as an exact-fit one.
+
+The pool is thread-safe: concurrent executions each acquire a *distinct*
+workspace (a workspace is never shared while checked out), which is what
+makes the engine safe to call from the shared-memory scheduler's worker
+threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.workspace import StrassenWorkspace, _Requirement
+from .plan import ExecutionPlan
+
+__all__ = ["WorkspacePool"]
+
+
+class WorkspacePool:
+    """Bounded free-list of Strassen workspaces.
+
+    Parameters
+    ----------
+    max_idle:
+        Maximum number of workspaces kept on the idle list; releases beyond
+        that are simply dropped (garbage collected).
+
+    Attributes
+    ----------
+    allocations:
+        Workspaces created because no idle one could serve the request.
+    reuses:
+        Acquisitions served from the idle list without allocating.
+    """
+
+    def __init__(self, max_idle: int = 8) -> None:
+        if max_idle < 0:
+            raise ValueError(f"max_idle must be >= 0, got {max_idle}")
+        self.max_idle = max_idle
+        self._idle: List[StrassenWorkspace] = []
+        self._lock = threading.Lock()
+        self.allocations = 0
+        self.reuses = 0
+
+    @property
+    def idle_count(self) -> int:
+        return len(self._idle)
+
+    def acquire(self, plan: ExecutionPlan, dtype) -> Optional[StrassenWorkspace]:
+        """Check out a workspace able to serve ``plan`` (``None`` if the
+        plan needs no scratch space)."""
+        if not plan.needs_workspace:
+            return None
+        req: _Requirement = plan.requirement
+        dtype = np.dtype(dtype)
+        with self._lock:
+            for index, ws in enumerate(self._idle):
+                if ws.dtype == dtype and ws.can_serve(req):
+                    self.reuses += 1
+                    return self._idle.pop(index)
+            self.allocations += 1
+        m, n, k = plan.ws_shape
+        return StrassenWorkspace(m, n, k, dtype=dtype, requirement=req)
+
+    def release(self, workspace: Optional[StrassenWorkspace]) -> None:
+        """Return a workspace to the idle list (no-op for ``None``)."""
+        if workspace is None:
+            return
+        with self._lock:
+            if len(self._idle) < self.max_idle:
+                self._idle.append(workspace)
+
+    def clear(self) -> int:
+        """Drop all idle workspaces; returns how many were dropped."""
+        with self._lock:
+            dropped = len(self._idle)
+            self._idle.clear()
+            return dropped
+
+    def clear_stats(self) -> None:
+        """Reset the allocation/reuse counters."""
+        with self._lock:
+            self.allocations = self.reuses = 0

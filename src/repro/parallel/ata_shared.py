@@ -30,10 +30,7 @@ import numpy as np
 
 from ..blas.kernels import scale, validate_matrix
 from ..cache.model import CacheModel, default_cache_model
-from ..core.ata import ata
-from ..core.partition import split_dim
-from ..core.strassen import fast_strassen
-from ..core.workspace import StrassenWorkspace
+from ..engine import default_engine
 from ..errors import ShapeError
 from ..scheduler.task import ComputationType, Task
 from ..scheduler.tree import TaskTree, build_task_tree
@@ -50,15 +47,24 @@ def make_task_callable(task: Task, a: np.ndarray, c: np.ndarray, alpha: float,
 
     Exposed separately so the distributed algorithm and the examples can
     reuse the same task-to-computation mapping.
+
+    Leaves execute through the process-wide execution engine: many leaves
+    of one tree (and of every later call on the same problem shape) share
+    identical sub-matrix shapes, so their recursion plans are compiled once
+    and their Strassen workspaces come from the pool instead of being
+    re-allocated per leaf.  The engine is thread-safe — each concurrent
+    leaf checks out its own workspace — and its results are bit-identical
+    to the direct ``ata``/``fast_strassen`` calls it replaced.
     """
     model = cache if cache is not None else default_cache_model(a.dtype)
+    engine = default_engine()
 
     if task.kind is ComputationType.ATA:
         a_view = task.a.view(a)
         c_view = task.c.view(c)
 
         def run_ata() -> None:
-            ata(a_view, c_view, alpha, cache=model)
+            engine.matmul_ata(a_view, c_view, alpha, cache=model)
 
         return run_ata
 
@@ -67,11 +73,9 @@ def make_task_callable(task: Task, a: np.ndarray, c: np.ndarray, alpha: float,
     c_view = task.c.view(c)
 
     def run_atb() -> None:
-        if use_strassen:
-            fast_strassen(a_view, b_view, c_view, alpha, cache=model)
-        else:
-            from ..core.recursive_gemm import recursive_gemm
-            recursive_gemm(a_view, b_view, c_view, alpha, cache=model)
+        engine.matmul_atb(a_view, b_view, c_view, alpha,
+                          algo="strassen" if use_strassen else "recursive_gemm",
+                          cache=model)
 
     return run_atb
 

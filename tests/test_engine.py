@@ -1,0 +1,280 @@
+"""Tests for the plan-compiling execution engine (:mod:`repro.engine`).
+
+Covers the four contracts ISSUE 1 asks for: plan-cache hit/miss
+accounting, invalidation when the configuration changes, workspace-pool
+reuse (no fresh allocation on warm calls), and batch-vs-loop equality —
+plus bit-exact numerical identity between engine-routed and direct calls,
+which is what makes the rewired ``apps``/``parallel`` paths safe.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blas.counters import counting
+from repro.config import configured
+from repro.core.ata import ata
+from repro.core.recursive_gemm import recursive_gemm
+from repro.core.strassen import fast_strassen
+from repro.engine import (
+    ExecutionEngine,
+    compile_plan,
+    default_engine,
+    matmul_ata,
+    matmul_atb,
+    run_batch,
+)
+from repro.cache.model import CacheModel
+from repro.errors import ShapeError
+
+
+@pytest.fixture()
+def engine():
+    return ExecutionEngine()
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0xE45)
+
+
+class TestNumericalIdentity:
+    """Engine results must be bit-for-bit equal to the direct calls."""
+
+    @pytest.mark.parametrize("shape", [(1, 1), (1, 9), (9, 1), (7, 7),
+                                       (33, 17), (64, 64), (65, 33), (96, 40)])
+    def test_ata_bitwise(self, engine, rng, shape):
+        a = rng.standard_normal(shape)
+        with configured(base_case_elements=64):
+            assert np.array_equal(ata(a.copy()), engine.matmul_ata(a))
+
+    def test_ata_alpha_beta_bitwise(self, engine, rng):
+        a = rng.standard_normal((50, 30))
+        c0 = rng.standard_normal((30, 30))
+        with configured(base_case_elements=64):
+            ref = ata(a, c0.copy(), 2.5, beta=0.25)
+            got = engine.matmul_ata(a, c0.copy(), 2.5, beta=0.25)
+        assert np.array_equal(ref, got)
+
+    def test_atb_strassen_bitwise(self, engine, rng):
+        a = rng.standard_normal((45, 23))
+        b = rng.standard_normal((45, 31))
+        with configured(base_case_elements=64):
+            assert np.array_equal(fast_strassen(a, b), engine.matmul_atb(a, b))
+
+    def test_atb_recursive_gemm_bitwise(self, engine, rng):
+        a = rng.standard_normal((45, 23))
+        b = rng.standard_normal((45, 31))
+        with configured(base_case_elements=64):
+            ref = recursive_gemm(a, b)
+            got = engine.matmul_atb(a, b, algo="recursive_gemm")
+        assert np.array_equal(ref, got)
+
+    def test_counter_parity_with_direct_call(self, engine, rng):
+        """Aggregated plan counters equal the recursion's per-kernel ones."""
+        a = rng.standard_normal((96, 96))
+        with configured(base_case_elements=64):
+            with counting() as direct:
+                ata(a)
+            with counting() as engined:
+                engine.matmul_ata(a)
+        assert direct.as_dict() == engined.as_dict()
+
+    def test_tiled_and_gemm_paths_match_oracle(self, engine, rng):
+        a = rng.standard_normal((40, 28))
+        oracle = np.tril(a.T @ a)
+        with configured(base_case_elements=64):
+            tiled = engine.matmul_ata(a, algo="tiled")
+            via_gemm = engine.matmul_ata(a, algo="recursive_gemm")
+        assert np.allclose(np.tril(tiled), oracle)
+        assert np.allclose(np.tril(via_gemm), oracle)
+
+
+class TestPlanCache:
+    def test_hit_miss_accounting(self, engine, rng):
+        a = rng.standard_normal((48, 32))
+        with configured(base_case_elements=64):
+            engine.matmul_ata(a)
+            stats = engine.stats()
+            assert stats.plan_misses == 1 and stats.plan_hits == 0
+            engine.matmul_ata(a)
+            engine.matmul_ata(a)
+            stats = engine.stats()
+            assert stats.plan_misses == 1 and stats.plan_hits == 2
+            assert stats.plan_hit_rate == pytest.approx(2 / 3)
+
+    def test_distinct_shapes_compile_distinct_plans(self, engine, rng):
+        with configured(base_case_elements=64):
+            engine.matmul_ata(rng.standard_normal((48, 32)))
+            engine.matmul_ata(rng.standard_normal((48, 33)))
+        assert engine.stats().plan_misses == 2
+        assert engine.stats().cached_plans == 2
+
+    def test_config_change_invalidates(self, engine, rng):
+        a = rng.standard_normal((48, 32))
+        with configured(base_case_elements=64):
+            engine.matmul_ata(a)
+        with configured(base_case_elements=32):
+            engine.matmul_ata(a)
+            stats = engine.stats()
+            assert stats.plan_invalidations >= 1
+            assert stats.plan_misses == 2  # recompiled under the new config
+        # the recompiled plan must honour the new base case: deeper recursion
+        with configured(base_case_elements=32):
+            assert np.array_equal(ata(a.copy()), engine.matmul_ata(a))
+
+    def test_explicit_invalidate(self, engine, rng):
+        with configured(base_case_elements=64):
+            engine.matmul_ata(rng.standard_normal((48, 32)))
+            dropped = engine.plans.invalidate()
+        assert dropped == 1
+        assert engine.stats().cached_plans == 0
+
+    def test_lru_eviction(self, rng):
+        engine = ExecutionEngine(plan_capacity=2)
+        with configured(base_case_elements=64):
+            for n in (30, 31, 32):
+                engine.matmul_ata(rng.standard_normal((40, n)))
+        stats = engine.stats()
+        assert stats.cached_plans == 2
+        assert stats.plan_evictions == 1
+
+    def test_small_shapes_dispatch_to_syrk_plan(self, engine, rng):
+        a = rng.standard_normal((8, 8))  # fits the default base case
+        engine.matmul_ata(a)
+        (plan,) = engine.plans._plans.values()
+        assert plan.algo == "syrk"
+        assert not plan.needs_workspace
+
+    def test_unknown_algorithm_rejected(self, engine, rng):
+        with pytest.raises(ShapeError):
+            engine.matmul_ata(rng.standard_normal((8, 8)), algo="strassen2")
+        with pytest.raises(ShapeError):
+            engine.matmul_atb(rng.standard_normal((8, 8)),
+                              rng.standard_normal((8, 8)), algo="nope")
+
+    def test_mixed_dtype_atb_rejected(self, engine, rng):
+        """The direct path raises DTypeError at the first base-case kernel;
+        the engine must enforce the same contract up front rather than
+        silently computing through a reduced-precision workspace."""
+        from repro.errors import DTypeError
+        a = rng.standard_normal((40, 20)).astype(np.float32)
+        b = rng.standard_normal((40, 24))  # float64
+        with pytest.raises(DTypeError):
+            engine.matmul_atb(a, b)
+
+
+class TestWorkspacePool:
+    def test_warm_calls_do_not_allocate(self, engine, rng):
+        a = rng.standard_normal((64, 64))
+        with configured(base_case_elements=64):
+            engine.matmul_ata(a)
+            assert engine.stats().pool_allocations == 1
+            for _ in range(5):
+                engine.matmul_ata(a)
+            stats = engine.stats()
+            assert stats.pool_allocations == 1
+            assert stats.pool_reuses == 5
+            assert stats.pool_idle == 1
+
+    def test_pool_serves_compatible_smaller_problem(self, engine, rng):
+        with configured(base_case_elements=64):
+            engine.matmul_ata(rng.standard_normal((96, 96)))
+            engine.matmul_ata(rng.standard_normal((64, 64)))
+        stats = engine.stats()
+        # the workspace sized for 96x96 can serve the smaller problem
+        assert stats.pool_allocations == 1
+        assert stats.pool_reuses == 1
+
+    def test_pool_bounded(self, rng):
+        engine = ExecutionEngine(pool_size=1)
+        with configured(base_case_elements=64):
+            cs = engine.run_batch([rng.standard_normal((64, 64))
+                                   for _ in range(3)])
+        assert len(cs) == 3
+        assert engine.stats().pool_idle <= 1
+
+    def test_clear_drops_plans_and_workspaces(self, engine, rng):
+        with configured(base_case_elements=64):
+            engine.matmul_ata(rng.standard_normal((64, 64)))
+            engine.clear()
+            stats = engine.stats()
+            assert stats.cached_plans == 0 and stats.pool_idle == 0
+            engine.matmul_ata(rng.standard_normal((64, 64)))
+        assert engine.stats().pool_allocations == 2
+
+
+class TestBatch:
+    def test_batch_equals_loop(self, engine, rng):
+        mats = [rng.standard_normal((52, 36)) for _ in range(4)]
+        with configured(base_case_elements=64):
+            loop = [ExecutionEngine().matmul_ata(m) for m in mats]
+            batch = engine.run_batch(mats)
+        for expected, got in zip(loop, batch):
+            assert np.array_equal(expected, got)
+
+    def test_homogeneous_batch_compiles_once(self, engine, rng):
+        mats = [rng.standard_normal((52, 36)) for _ in range(6)]
+        with configured(base_case_elements=64):
+            engine.run_batch(mats)
+        stats = engine.stats()
+        assert stats.plan_misses == 1 and stats.plan_hits == 5
+        assert stats.pool_allocations == 1  # one workspace for the whole batch
+
+    def test_mixed_shape_batch(self, engine, rng):
+        mats = [rng.standard_normal((52, 36)), rng.standard_normal((40, 40)),
+                rng.standard_normal((52, 36))]
+        with configured(base_case_elements=64):
+            batch = engine.run_batch(mats)
+        for a, c in zip(mats, batch):
+            assert np.allclose(np.tril(c), np.tril(a.T @ a))
+
+    def test_empty_batch(self, engine):
+        assert engine.run_batch([]) == []
+
+    def test_batch_rejects_unknown_algo(self, engine, rng):
+        with pytest.raises(ShapeError):
+            engine.run_batch([rng.standard_normal((8, 8))], algo="strassen")
+
+
+class TestCompilePlan:
+    def test_plan_records_workspace_requirement(self):
+        model = CacheModel(capacity_words=64)
+        plan = compile_plan("ata", (64, 64), np.float64, model)
+        assert plan.needs_workspace
+        assert plan.requirement.total_elements > 0
+        assert plan.n_steps > 0
+
+    def test_fitting_shape_compiles_to_single_syrk(self):
+        model = CacheModel(capacity_words=4096)
+        plan = compile_plan("ata", (16, 16), np.float64, model)
+        assert plan.n_steps == 1 and not plan.needs_workspace
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ShapeError):
+            compile_plan("magic", (8, 8), np.float64, CacheModel(64))
+
+
+class TestModuleLevelFrontend:
+    def test_default_engine_is_shared(self):
+        assert default_engine() is default_engine()
+
+    def test_module_functions_route_through_default_engine(self, rng):
+        a = rng.standard_normal((20, 12))
+        b = rng.standard_normal((20, 8))
+        assert np.allclose(np.tril(matmul_ata(a)), np.tril(a.T @ a))
+        assert np.allclose(matmul_atb(a, b), a.T @ b)
+        (c,) = run_batch([a])
+        assert np.allclose(np.tril(c), np.tril(a.T @ a))
+
+    def test_thread_safety_under_shared_engine(self, rng):
+        """Concurrent executions check out distinct workspaces."""
+        import concurrent.futures
+
+        engine = ExecutionEngine()
+        a = rng.standard_normal((96, 96))
+        with configured(base_case_elements=64):
+            expected = ata(a.copy())
+            with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+                results = list(pool.map(lambda _: engine.matmul_ata(a), range(16)))
+        for got in results:
+            assert np.array_equal(expected, got)

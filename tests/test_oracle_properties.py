@@ -1,0 +1,154 @@
+"""Property-based / randomized shape-sweep oracle suite.
+
+Every algorithm in the AtA family must agree with the naive
+:math:`O(n^3)` oracle on arbitrary shapes — including the odd, tall, wide
+and degenerate ``1 x n`` / ``m x 1`` shapes that exercise the ceil/floor
+quadrant splits and the zero-padding emulation of Section 3.1.  The seed
+is fixed so failures reproduce deterministically, but the shape grid is
+drawn randomly to sweep the space rather than pin a handful of cases.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines.naive import naive_ata, naive_gemm_t
+from repro.config import configured
+from repro.core.ata import ata
+from repro.core.recursive_gemm import recursive_gemm
+from repro.core.strassen import fast_strassen
+from repro.engine import ExecutionEngine
+
+RNG = np.random.default_rng(0x0A1A)
+
+#: Curated degenerate / adversarial shapes: empty-ish, single row/column,
+#: odd, prime, tall, wide.
+CURATED_SHAPES = [
+    (1, 1), (1, 2), (2, 1), (1, 17), (17, 1), (2, 2), (3, 3),
+    (5, 3), (3, 5), (7, 7), (13, 11), (31, 37), (64, 64),
+    (65, 64), (64, 65), (127, 3), (3, 127), (200, 8), (8, 200),
+]
+
+#: Randomized shapes drawn once per session (deterministic seed).
+RANDOM_SHAPES = [tuple(int(x) for x in RNG.integers(1, 120, size=2))
+                 for _ in range(10)]
+
+ALL_SHAPES = CURATED_SHAPES + RANDOM_SHAPES
+
+
+def _tolerance(m: int, n: int) -> float:
+    # Strassen reassociation grows the error constant with depth; scale
+    # the tolerance with the problem size.
+    return 1e-10 * max(m, n, 8)
+
+
+@pytest.mark.parametrize("shape", ALL_SHAPES,
+                         ids=[f"{m}x{n}" for m, n in ALL_SHAPES])
+def test_ata_family_agrees_on_lower_triangle(shape):
+    """``ata``, ``recursive_gemm``, Strassen-backed AtA and the naive
+    baseline all produce the same lower triangle of ``A^T A``."""
+    m, n = shape
+    a = RNG.standard_normal(shape)
+    oracle = np.tril(a.T @ a)
+    tol = _tolerance(m, n)
+    with configured(base_case_elements=32):  # force deep recursion
+        results = {
+            "naive": np.tril(naive_ata(a)),
+            "ata": np.tril(ata(a.copy())),
+            "recursive_gemm": np.tril(recursive_gemm(a, a)),
+            "fast_strassen": np.tril(fast_strassen(a, a)),
+        }
+    for name, got in results.items():
+        assert np.allclose(got, oracle, atol=tol, rtol=tol), (name, shape)
+
+
+@pytest.mark.parametrize("shape", ALL_SHAPES,
+                         ids=[f"{m}x{n}" for m, n in ALL_SHAPES])
+def test_engine_matches_direct_ata_bitwise(shape):
+    a = RNG.standard_normal(shape)
+    engine = ExecutionEngine()
+    with configured(base_case_elements=32):
+        assert np.array_equal(ata(a.copy()), engine.matmul_ata(a))
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_rectangular_atb_oracle(seed):
+    """Random rectangular ``A^T B``: Strassen and RecursiveGEMM vs naive."""
+    rng = np.random.default_rng(seed)
+    m, n, k = (int(x) for x in rng.integers(1, 120, size=3))
+    a = rng.standard_normal((m, n))
+    b = rng.standard_normal((m, k))
+    oracle = naive_gemm_t(a, b)
+    tol = _tolerance(m, max(n, k))
+    with configured(base_case_elements=32):
+        assert np.allclose(fast_strassen(a, b), oracle, atol=tol, rtol=tol)
+        assert np.allclose(recursive_gemm(a, b), oracle, atol=tol, rtol=tol)
+        engine = ExecutionEngine()
+        assert np.allclose(engine.matmul_atb(a, b), oracle, atol=tol, rtol=tol)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_alpha_beta_accumulation_property(seed):
+    """``C = alpha*A^T A + beta*C0`` holds across the family."""
+    rng = np.random.default_rng(100 + seed)
+    m, n = (int(x) for x in rng.integers(2, 80, size=2))
+    a = rng.standard_normal((m, n))
+    c0 = np.tril(rng.standard_normal((n, n)))
+    alpha = float(rng.uniform(-2, 2))
+    beta = float(rng.uniform(-2, 2))
+    expected = np.tril(alpha * (a.T @ a) + beta * c0)
+    tol = _tolerance(m, n)
+    with configured(base_case_elements=32):
+        direct = np.tril(ata(a, c0.copy(), alpha, beta=beta))
+        engined = np.tril(repro.matmul_ata(a, c0.copy(), alpha, beta=beta))
+    assert np.allclose(direct, expected, atol=tol, rtol=tol)
+    assert np.array_equal(direct, engined)
+
+
+def test_float32_shapes_sweep():
+    """Single-precision sweep: looser tolerance, same agreement."""
+    for shape in [(1, 5), (33, 17), (64, 40)]:
+        a = RNG.standard_normal(shape).astype(np.float32)
+        oracle = np.tril((a.T @ a).astype(np.float64))
+        with configured(base_case_elements=32):
+            got = np.tril(ata(a.copy())).astype(np.float64)
+            engined = np.tril(ExecutionEngine().matmul_ata(a)).astype(np.float64)
+        assert np.allclose(got, oracle, atol=1e-3, rtol=1e-3), shape
+        assert np.allclose(engined, oracle, atol=1e-3, rtol=1e-3), shape
+
+
+try:
+    from hypothesis import given, settings, strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is optional
+    HAVE_HYPOTHESIS = False
+
+if HAVE_HYPOTHESIS:
+    @settings(max_examples=15, deadline=None)
+    @given(m=st.integers(min_value=1, max_value=96),
+           n=st.integers(min_value=1, max_value=96),
+           base=st.sampled_from([32, 64, 4096]),
+           seed=st.integers(min_value=0, max_value=2**16))
+    def test_property_ata_matches_oracle(m, n, base, seed):
+        """Hypothesis sweep: any shape, any base case, AtA == naive oracle
+        and the engine replay is bit-identical to the recursion."""
+        a = np.random.default_rng(seed).standard_normal((m, n))
+        oracle = np.tril(a.T @ a)
+        tol = _tolerance(m, n)
+        with configured(base_case_elements=base):
+            direct = ata(a.copy())
+            engined = ExecutionEngine().matmul_ata(a)
+        assert np.allclose(np.tril(direct), oracle, atol=tol, rtol=tol)
+        assert np.array_equal(direct, engined)
+
+
+def test_upper_triangle_left_untouched():
+    """The AtA contract: the strict upper triangle of C is never written."""
+    a = RNG.standard_normal((40, 24))
+    marker = np.full((24, 24), 7.5)
+    with configured(base_case_elements=32):
+        direct = ata(a, np.array(marker), beta=1.0)
+        engined = ExecutionEngine().matmul_ata(a, np.array(marker), beta=1.0)
+    iu = np.triu_indices(24, k=1)
+    assert np.array_equal(direct[iu], marker[iu])
+    assert np.array_equal(engined[iu], marker[iu])
