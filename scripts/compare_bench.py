@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Compare a pytest-benchmark JSON run against a checked-in baseline.
+
+Used by the CI ``benchmarks`` job: the job runs the benchmark suite with
+``--benchmark-json=bench-results.json``, uploads the JSON as an artifact,
+and then fails if any benchmark's median regressed more than the tolerance
+against the committed baseline (``BENCH_engine.json``).
+
+Usage::
+
+    python scripts/compare_bench.py --baseline BENCH_engine.json \
+        --current bench-results.json [--tolerance 0.20]
+
+Benchmarks present on only one side are reported but do not fail the
+comparison (new benchmarks land before their baseline is refreshed).
+Refresh the baseline by committing a new JSON produced with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_engine_dag.py \
+        --benchmark-json=BENCH_engine.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_run(path: str) -> tuple:
+    """Return ``(medians_by_name, core_count)`` for one benchmark JSON.
+
+    Core count is the machine-class key: gating on exact CPU model would
+    never arm on a hosted-runner fleet that mixes models run to run, while
+    the parallel benchmarks are primarily sensitive to how many cores the
+    runner exposes (the 20% tolerance absorbs same-class model variance).
+    """
+    with open(path) as handle:
+        payload = json.load(handle)
+    medians = {bench["name"]: bench["stats"]["median"]
+               for bench in payload.get("benchmarks", [])}
+    return medians, payload.get("machine_info", {}).get("cpu", {}).get("count")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON (e.g. BENCH_engine.json)")
+    parser.add_argument("--current", required=True,
+                        help="freshly produced --benchmark-json output")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional regression (default 0.20)")
+    parser.add_argument("--ignore-machine", action="store_true",
+                        help="gate even when the baseline was recorded on "
+                             "different hardware (absolute wall-clock medians "
+                             "are only comparable on the same machine class)")
+    args = parser.parse_args(argv)
+
+    baseline, base_cores = load_run(args.baseline)
+    current, cur_cores = load_run(args.current)
+    if not current:
+        # an empty run means the suite failed before recording anything —
+        # that must not read as "no regressions"
+        print("no benchmarks in the current run"
+              + (" (baseline has some: failing)" if baseline else ""))
+        return 1 if baseline else 0
+    if base_cores != cur_cores and not args.ignore_machine:
+        print(f"baseline has {base_cores} core(s), current run has "
+              f"{cur_cores}; wall-clock medians are not comparable across "
+              "machine classes — reporting without gating (refresh the "
+              "baseline on this machine class, or pass --ignore-machine "
+              "to gate anyway)")
+        for name in sorted(set(baseline) | set(current)):
+            base, now = baseline.get(name), current.get(name)
+            if base is not None and now is not None:
+                print(f"INFO     {name}: baseline {base * 1e3:.3f}ms -> "
+                      f"current {now * 1e3:.3f}ms ({now / base:.2f}x)")
+            else:
+                print(f"INFO     {name}: "
+                      + ("no baseline" if base is None else "baseline only"))
+        return 0
+
+    failures = []
+    for name in sorted(set(baseline) | set(current)):
+        base = baseline.get(name)
+        now = current.get(name)
+        if base is None:
+            print(f"NEW      {name}: {now * 1e3:.3f}ms (no baseline)")
+            continue
+        if now is None:
+            print(f"MISSING  {name}: present in baseline only")
+            continue
+        ratio = now / base if base else float("inf")
+        status = "OK"
+        if ratio > 1.0 + args.tolerance:
+            status = "REGRESSED"
+            failures.append((name, ratio))
+        print(f"{status:<9}{name}: baseline {base * 1e3:.3f}ms -> "
+              f"current {now * 1e3:.3f}ms ({ratio:.2f}x)")
+
+    if failures:
+        worst = max(ratio for _, ratio in failures)
+        print(f"\n{len(failures)} benchmark(s) regressed beyond "
+              f"{args.tolerance:.0%} (worst {worst:.2f}x)")
+        return 1
+    print(f"\nall benchmarks within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -112,12 +112,27 @@ class Arena:
 
 @dataclasses.dataclass(frozen=True)
 class _Requirement:
-    """Per-arena element requirements for a Strassen call."""
+    """Per-arena element requirements for a Strassen call.
+
+    Requirements add: the plan compiler lays scratch *lanes* out back to
+    back inside one workspace, so the requirement of a multi-lane plan is
+    the per-arena sum of the per-lane requirements (``depth`` keeps the
+    maximum).  Disjoint lane offsets are what let the DAG executor run
+    steps concurrently against a single workspace without aliasing.
+    """
 
     p_elements: int
     q_elements: int
     m_elements: int
     depth: int
+
+    def __add__(self, other: "_Requirement") -> "_Requirement":
+        if not isinstance(other, _Requirement):
+            return NotImplemented
+        return _Requirement(p_elements=self.p_elements + other.p_elements,
+                            q_elements=self.q_elements + other.q_elements,
+                            m_elements=self.m_elements + other.m_elements,
+                            depth=max(self.depth, other.depth))
 
     @property
     def total_elements(self) -> int:

@@ -19,27 +19,41 @@ dispatch) builds on:
 * :mod:`repro.engine.pool` — a **workspace pool** reusing
   :class:`~repro.core.workspace.StrassenWorkspace` arenas across calls
   instead of reallocating them;
+* :mod:`repro.engine.dag` — the **DAG executor**: the compiler also
+  derives each plan's step dependency graph (conflicting steps carry a
+  forward edge; disjoint steps carry none), and
+  :class:`~repro.engine.dag.DagExecutor` schedules ready steps across a
+  persistent worker pool — bit-identically to the sequential replay,
+  because conflicting steps (in particular accumulation chains into a
+  shared output region) retire in plan order under any worker count;
 * :mod:`repro.engine.dispatch` — the **front-end**:
   :func:`~repro.engine.dispatch.matmul_ata` auto-selects among
-  ``syrk`` / ``ata`` / ``recursive_gemm`` / ``tiled`` paths by shape, and
+  ``syrk`` / ``ata`` / ``recursive_gemm`` / ``tiled`` paths by shape,
   :func:`~repro.engine.dispatch.run_batch` executes a homogeneous batch
-  against a single compiled plan and checked-out workspace.
+  against a single compiled plan and checked-out workspace, and
+  ``ExecutionEngine(workers=N)`` turns on DAG scheduling
+  (``parallel="auto"|"dag"|"off"``).
 
 The plan-key contract
 ---------------------
 A compiled plan is a pure function of its key::
 
-    (algo, shape, dtype.str, cache_model.capacity_words, cache_model.line_words)
+    (algo, shape, dtype.str, cache_model.capacity_words,
+     cache_model.line_words, scratch_lanes)
 
 plus the *plan-affecting configuration fields* ``base_case_elements`` and
 ``max_recursion_depth``.  Those two fields are deliberately **not** in the
 key; instead the plan cache fingerprints them and drops every cached plan
 the first time it observes a change (see
-:class:`~repro.engine.cache.PlanCache`).  Anything else — matrix values,
-``alpha``/``beta``, counter settings — is resolved at execution time, so a
-cached plan can never go stale through it.  Executing a plan replays the
-exact kernel sequence of the live recursion, making engine results
-bit-for-bit identical to the direct calls.
+:class:`~repro.engine.cache.PlanCache`).  ``scratch_lanes`` is in the key
+because it changes the workspace layout the plan's arena offsets are baked
+against (sequential engines use one lane; DAG-capable engines spread
+scratch over ``min(workers, 4)`` lanes by default).  Anything else —
+matrix values, ``alpha``/``beta``, counter settings, worker count — is
+resolved at execution time, so a cached plan can never go stale through
+it.  Executing a plan replays the exact kernel sequence of the live
+recursion, making engine results bit-for-bit identical to the direct
+calls — sequentially or DAG-scheduled.
 
 Quickstart
 ----------
@@ -52,6 +66,7 @@ Quickstart
 """
 
 from .cache import PlanCache
+from .dag import DagExecutor, DagRunStats
 from .dispatch import (
     EngineStats,
     ExecutionEngine,
@@ -60,13 +75,16 @@ from .dispatch import (
     matmul_atb,
     run_batch,
 )
-from .plan import ExecutionPlan, compile_plan, execute_plan, PLAN_KINDS
+from .plan import ExecutionPlan, StepDag, compile_plan, execute_plan, PLAN_KINDS
 from .pool import WorkspacePool
 
 __all__ = [
     "ExecutionEngine",
     "EngineStats",
     "ExecutionPlan",
+    "StepDag",
+    "DagExecutor",
+    "DagRunStats",
     "PlanCache",
     "WorkspacePool",
     "PLAN_KINDS",

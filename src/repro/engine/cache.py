@@ -102,6 +102,12 @@ class PlanCache:
                 self.evictions += 1
             return compiled
 
+    def snapshot(self) -> Tuple[ExecutionPlan, ...]:
+        """The currently cached plans, least recently used first (a stable
+        copy: safe to iterate while other threads use the cache)."""
+        with self._lock:
+            return tuple(self._plans.values())
+
     def invalidate(self) -> int:
         """Explicitly drop every cached plan; returns how many were dropped."""
         with self._lock:

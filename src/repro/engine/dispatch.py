@@ -12,14 +12,17 @@ call sites (:mod:`repro.apps`, :mod:`repro.parallel.ata_shared`,
 from __future__ import annotations
 
 import dataclasses
+import os
+import threading
 from typing import Iterable, List, Literal, Optional, Sequence
 
 import numpy as np
 
 from ..blas.kernels import scale, validate_matrix
 from ..cache.model import CacheModel, default_cache_model
-from ..errors import DTypeError, ShapeError
+from ..errors import ConfigurationError, DTypeError, ShapeError
 from .cache import PlanCache
+from .dag import DagExecutor
 from .plan import ExecutionPlan, compile_plan, execute_plan
 from .pool import WorkspacePool
 
@@ -28,11 +31,17 @@ __all__ = ["ExecutionEngine", "EngineStats", "default_engine",
 
 AtaAlgo = Literal["auto", "syrk", "ata", "recursive_gemm", "tiled"]
 AtbAlgo = Literal["auto", "strassen", "recursive_gemm"]
+ParallelMode = Literal["auto", "dag", "off"]
+
+#: "auto" falls back to sequential replay below this step count: the
+#: scheduling machinery costs more than it can overlap on tiny plans.
+_DAG_MIN_STEPS = 8
 
 
 @dataclasses.dataclass(frozen=True)
 class EngineStats:
-    """A point-in-time snapshot of an engine's cache and pool accounting."""
+    """A point-in-time snapshot of an engine's cache, pool and scheduler
+    accounting."""
 
     plan_hits: int
     plan_misses: int
@@ -42,6 +51,10 @@ class EngineStats:
     pool_allocations: int
     pool_reuses: int
     pool_idle: int
+    pool_evictions: int = 0
+    dag_runs: int = 0
+    dag_steps: int = 0
+    sequential_runs: int = 0
 
     @property
     def plan_hit_rate(self) -> float:
@@ -58,33 +71,119 @@ class ExecutionEngine:
         LRU capacity of the plan cache.
     pool_size:
         Maximum idle workspaces retained by the workspace pool.
+    workers:
+        Maximum worker threads per plan execution (caller included).  With
+        ``workers > 1`` and ``parallel`` not ``"off"``, plans are compiled
+        with their step dependency DAG and widened scratch lanes, and
+        large executions are scheduled across the worker pool.
+    parallel:
+        ``"auto"`` (default) DAG-schedules plans with enough independent
+        steps when ``workers > 1``; ``"dag"`` forces DAG scheduling (with
+        ``workers == 1`` this is a deterministic dependency-ordered
+        replay); ``"off"`` always replays sequentially.
+    scratch_lanes:
+        Scratch lanes for DAG-capable plans (default ``min(workers, 4)``).
+        More lanes decouple Strassen scratch reuse — raising available
+        parallelism — at the cost of up to ``lanes``× the sequential
+        workspace.
 
     Notes
     -----
     Results are bit-for-bit identical to the direct calls
     (:func:`repro.core.ata.ata`, :func:`repro.core.strassen.fast_strassen`,
     :func:`repro.core.recursive_gemm.recursive_gemm`) because plans replay
-    the exact kernel sequence of the recursion.  The engine is safe to use
-    from multiple threads: plans are immutable and each concurrent
-    execution checks out its own workspace.
+    the exact kernel sequence of the recursion, and DAG scheduling orders
+    every pair of conflicting steps exactly as the sequential replay does
+    (see :mod:`repro.engine.dag`).  The engine is safe to use from
+    multiple threads: plans are immutable and each concurrent execution
+    checks out its own workspace.
     """
 
-    def __init__(self, plan_capacity: int = 128, pool_size: int = 8) -> None:
+    def __init__(self, plan_capacity: int = 128, pool_size: int = 8,
+                 workers: int = 1, parallel: ParallelMode = "auto",
+                 scratch_lanes: Optional[int] = None) -> None:
+        if parallel not in ("auto", "dag", "off"):
+            raise ConfigurationError(f"unknown parallel mode {parallel!r}; "
+                                     "expected 'auto', 'dag' or 'off'")
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if scratch_lanes is not None and scratch_lanes < 1:
+            raise ConfigurationError(
+                f"scratch_lanes must be >= 1, got {scratch_lanes}")
         self.plans = PlanCache(capacity=plan_capacity)
         self.pool = WorkspacePool(max_idle=pool_size)
+        self.workers = int(workers)
+        self.parallel = parallel
+        self._dag_capable = parallel != "off" and (workers > 1 or parallel == "dag")
+        if scratch_lanes is not None and not self._dag_capable:
+            # lanes only affect DAG-capable plan layouts; silently ignoring
+            # an explicit request would be confusing
+            raise ConfigurationError(
+                "scratch_lanes requires a DAG-capable engine (workers > 1 "
+                "or parallel='dag'); it has no effect on sequential plans")
+        self._lanes = (int(scratch_lanes) if scratch_lanes is not None
+                       else (min(self.workers, 4) if self._dag_capable else 1))
+        self.dag = DagExecutor(self.workers) if self._dag_capable else None
+        # "auto" never schedules more workers than the host has cores: on
+        # an under-provisioned host the GIL serialises the Python-level
+        # dispatch and DAG scheduling would only add overhead ("dag" still
+        # forces it, which is what the determinism tests rely on)
+        self._auto_workers = min(self.workers, os.cpu_count() or 1)
+        self._sequential_runs = 0
+        self._stats_lock = threading.Lock()
 
     # -- plan acquisition ---------------------------------------------------
     def _plan(self, algo: str, shape: tuple, dtype, model: CacheModel) -> ExecutionPlan:
+        lanes = self._lanes if self._dag_capable else 1
         key = (algo, shape, np.dtype(dtype).str,
-               model.capacity_words, model.line_words)
+               model.capacity_words, model.line_words, lanes)
         return self.plans.get_or_compile(
-            key, lambda: compile_plan(algo, shape, dtype, model, key=key))
+            key, lambda: compile_plan(algo, shape, dtype, model, key=key,
+                                      lanes=lanes,
+                                      build_dag=self._dag_capable))
+
+    # -- scheduling ---------------------------------------------------------
+    def _resolve_parallel(self, parallel: Optional[ParallelMode]) -> ParallelMode:
+        if parallel is None:
+            return self.parallel
+        if parallel not in ("auto", "dag", "off"):
+            raise ConfigurationError(f"unknown parallel mode {parallel!r}; "
+                                     "expected 'auto', 'dag' or 'off'")
+        if parallel == "dag" and not self._dag_capable:
+            # "auto" degrades gracefully to sequential replay, but an
+            # explicit DAG request on a sequential engine is a caller bug
+            raise ConfigurationError(
+                "parallel='dag' requires a DAG-capable engine; construct "
+                "ExecutionEngine(workers=N) with N > 1 or parallel='dag'")
+        return parallel
+
+    def _execute(self, plan: ExecutionPlan, a: np.ndarray, c: np.ndarray,
+                 alpha: float, workspace, b: Optional[np.ndarray],
+                 parallel: Optional[ParallelMode]) -> None:
+        mode = self._resolve_parallel(parallel)
+        use_dag = (self.dag is not None and plan.dag is not None
+                   and mode != "off"
+                   and (mode == "dag"
+                        or (self._auto_workers > 1
+                            and plan.n_steps >= _DAG_MIN_STEPS
+                            and plan.dag.max_width > 1)))
+        if use_dag:
+            # "auto" never schedules beyond the host's cores; an explicit
+            # "dag" request honours the configured worker count as-is
+            cap = self._auto_workers if mode == "auto" else None
+            self.dag.execute(plan, a, c, alpha, workspace, b=b,
+                             max_workers=cap)
+        else:
+            with self._stats_lock:
+                self._sequential_runs += 1
+            execute_plan(plan, a, c, alpha, workspace, b=b)
 
     # -- A^T A --------------------------------------------------------------
     def matmul_ata(self, a: np.ndarray, c: Optional[np.ndarray] = None,
                    alpha: float = 1.0, *, beta: float = 1.0,
                    algo: AtaAlgo = "auto",
-                   cache: Optional[CacheModel] = None) -> np.ndarray:
+                   cache: Optional[CacheModel] = None,
+                   parallel: Optional[ParallelMode] = None) -> np.ndarray:
         """Lower-triangular ``C = alpha * A^T A + beta * C`` via a cached plan.
 
         Parameters
@@ -105,6 +204,10 @@ class ExecutionEngine:
         cache:
             Cache model for the base-case predicates; defaults to the
             configured model for ``a``'s dtype.
+        parallel:
+            Per-call scheduling override (``None`` uses the engine's
+            mode): ``"off"`` forces sequential replay, ``"dag"`` forces
+            DAG scheduling, ``"auto"`` applies the size heuristics.
         """
         validate_matrix(a, "A")
         m, n = a.shape
@@ -128,7 +231,7 @@ class ExecutionEngine:
         if algo == "recursive_gemm":
             plan = self._plan("recursive_gemm", (m, n, n), a.dtype, model)
             full = np.zeros((n, n), dtype=a.dtype)
-            execute_plan(plan, a, full, alpha, b=a)
+            self._execute(plan, a, full, alpha, None, a, parallel)
             idx = np.tril_indices(n)
             c[idx] += full[idx]
             return c
@@ -136,7 +239,7 @@ class ExecutionEngine:
         plan = self._plan(algo, (m, n), a.dtype, model)
         workspace = self.pool.acquire(plan, a.dtype)
         try:
-            execute_plan(plan, a, c, alpha, workspace)
+            self._execute(plan, a, c, alpha, workspace, None, parallel)
         finally:
             self.pool.release(workspace)
         return c
@@ -145,12 +248,14 @@ class ExecutionEngine:
     def matmul_atb(self, a: np.ndarray, b: np.ndarray,
                    c: Optional[np.ndarray] = None, alpha: float = 1.0, *,
                    algo: AtbAlgo = "auto",
-                   cache: Optional[CacheModel] = None) -> np.ndarray:
+                   cache: Optional[CacheModel] = None,
+                   parallel: Optional[ParallelMode] = None) -> np.ndarray:
         """``C = alpha * A^T B + C`` via a cached plan.
 
         ``algo="auto"`` uses a single ``gemm_t`` kernel when the operands
         fit the cache model and FastStrassen otherwise;
         ``"recursive_gemm"`` forces the classical Algorithm 2 recursion.
+        ``parallel`` overrides the engine's scheduling mode per call.
         """
         validate_matrix(a, "A")
         validate_matrix(b, "B")
@@ -180,7 +285,7 @@ class ExecutionEngine:
         plan = self._plan(algo, (m, n, k), a.dtype, model)
         workspace = self.pool.acquire(plan, a.dtype)
         try:
-            execute_plan(plan, a, c, alpha, workspace, b=b)
+            self._execute(plan, a, c, alpha, workspace, b, parallel)
         finally:
             self.pool.release(workspace)
         return c
@@ -188,13 +293,15 @@ class ExecutionEngine:
     # -- batching -----------------------------------------------------------
     def run_batch(self, matrices: Sequence[np.ndarray], *,
                   algo: AtaAlgo = "auto", alpha: float = 1.0,
-                  cache: Optional[CacheModel] = None) -> List[np.ndarray]:
+                  cache: Optional[CacheModel] = None,
+                  parallel: Optional[ParallelMode] = None) -> List[np.ndarray]:
         """Compute ``alpha * A^T A`` for every matrix in ``matrices``.
 
         Matrices sharing a plan key are executed against a single checked-
         out workspace, so a homogeneous batch compiles once and allocates
         once no matter its length.  Results are identical to calling
-        :meth:`matmul_ata` in a loop.
+        :meth:`matmul_ata` in a loop.  ``parallel`` overrides the engine's
+        scheduling mode for every matrix in the batch.
         """
         if algo not in ("auto", "syrk", "ata", "tiled", "recursive_gemm"):
             raise ShapeError(f"unknown AtA algorithm {algo!r}")
@@ -211,7 +318,7 @@ class ExecutionEngine:
                                            or (m <= 1 and n <= 1)) else "ata"
                 if effective == "recursive_gemm":
                     results.append(self.matmul_ata(a, alpha=alpha, algo=effective,
-                                                   cache=model))
+                                                   cache=model, parallel=parallel))
                     continue
                 plan = self._plan(effective, (m, n), a.dtype, model)
                 c = np.zeros((n, n), dtype=a.dtype)
@@ -220,7 +327,7 @@ class ExecutionEngine:
                     workspace = held.get(plan.key)
                     if workspace is None:
                         workspace = held[plan.key] = self.pool.acquire(plan, a.dtype)
-                execute_plan(plan, a, c, alpha, workspace)
+                self._execute(plan, a, c, alpha, workspace, None, parallel)
                 results.append(c)
         finally:
             for workspace in held.values():
@@ -229,7 +336,8 @@ class ExecutionEngine:
 
     # -- maintenance --------------------------------------------------------
     def stats(self) -> EngineStats:
-        """Snapshot the plan-cache and workspace-pool accounting."""
+        """Snapshot the plan-cache, workspace-pool and DAG-scheduler
+        accounting."""
         return EngineStats(
             plan_hits=self.plans.hits,
             plan_misses=self.plans.misses,
@@ -239,12 +347,22 @@ class ExecutionEngine:
             pool_allocations=self.pool.allocations,
             pool_reuses=self.pool.reuses,
             pool_idle=self.pool.idle_count,
+            pool_evictions=self.pool.evictions,
+            dag_runs=self.dag.runs if self.dag is not None else 0,
+            dag_steps=self.dag.steps_retired if self.dag is not None else 0,
+            sequential_runs=self._sequential_runs,
         )
 
     def clear(self) -> None:
         """Drop all cached plans and pooled workspaces (stats retained)."""
         self.plans.invalidate()
         self.pool.clear()
+
+    def close(self) -> None:
+        """Release the DAG executor's helper threads (engine stays usable;
+        threads are recreated on the next parallel execution)."""
+        if self.dag is not None:
+            self.dag.shutdown()
 
 
 #: The process-wide engine serving the library's rewired call sites.

@@ -29,12 +29,35 @@ Four algorithm kinds can be compiled:
 ``"tiled"``
     A cache-sized column-block tiling of the lower triangle of ``A^T A``
     (``syrk`` diagonal blocks, ``gemm_t`` off-diagonal panels).
+
+Dependency DAG
+--------------
+Because every step's operand regions are known at compile time, the
+compiler can also derive the *step dependency graph*: step ``v`` depends on
+an earlier step ``u`` whenever their regions conflict (they touch the same
+storage and at least one of them writes it).  Steps that accumulate into
+the same output region therefore form an **ordered chain in plan order** —
+floating-point addition is not associative, so replaying the chain in the
+sequential order is what keeps DAG execution bit-identical to the
+sequential replay — while steps with provably disjoint writes carry no
+edge and may run concurrently (see :mod:`repro.engine.dag`).
+
+Scratch **lanes** widen the workspace for parallel execution: with
+``lanes=K`` the compile-time arena simulator deals allocations round-robin
+onto ``K`` disjoint sub-arenas, so scratch buffers that the sequential
+layout would reuse (serialising their steps through write-after-read
+edges) live at disjoint offsets instead.  The LIFO discipline survives the
+split — any matched-pair subsequence of a properly nested alloc/release
+sequence is itself properly nested — and the workspace requirement grows
+to the sum of the per-lane high-water marks (at most ``K``× the sequential
+requirement).  Scratch placement never changes values: every arena buffer
+is zero-filled by an explicit plan step before it is read.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -44,9 +67,10 @@ from ..config import get_config
 from ..core.partition import split_dim
 from ..core.strassen import STRASSEN_PRODUCTS
 from ..core.workspace import _Requirement
-from ..errors import ShapeError
+from ..errors import ConfigurationError, ShapeError
 
-__all__ = ["ExecutionPlan", "compile_plan", "execute_plan", "PLAN_KINDS"]
+__all__ = ["ExecutionPlan", "StepDag", "compile_plan", "execute_plan",
+           "run_step", "record_plan_counters", "PLAN_KINDS"]
 
 PLAN_KINDS = ("syrk", "ata", "strassen", "recursive_gemm", "tiled")
 
@@ -70,22 +94,31 @@ class _Region:
 
     ``base`` identifies the storage (``A``/``B``/``C`` operand or one of the
     P/Q/M arenas); ``start`` is the flat arena offset of the base matrix
-    (arenas only) and ``(base_rows, base_cols)`` its shape; ``(r0, r1, c0,
-    c1)`` bound this window inside the base matrix.
+    *within its lane* (arenas only), ``lane`` the scratch lane the
+    allocation was dealt onto, ``alloc_id`` the identity of the arena
+    allocation the region windows (``None`` for operands), and
+    ``(base_rows, base_cols)`` its shape; ``(r0, r1, c0, c1)`` bound this
+    window inside the base matrix.
     """
 
-    __slots__ = ("base", "start", "base_rows", "base_cols", "r0", "r1", "c0", "c1")
+    __slots__ = ("base", "start", "lane", "alloc_id", "base_rows", "base_cols",
+                 "r0", "r1", "c0", "c1")
 
-    def __init__(self, base, start, base_rows, base_cols, r0, r1, c0, c1):
+    def __init__(self, base, start, base_rows, base_cols, r0, r1, c0, c1,
+                 lane=0, alloc_id=None):
         self.base = base
         self.start = start
+        self.lane = lane
+        self.alloc_id = alloc_id
         self.base_rows = base_rows
         self.base_cols = base_cols
         self.r0, self.r1, self.c0, self.c1 = r0, r1, c0, c1
 
     @classmethod
-    def whole(cls, base: int, rows: int, cols: int, start: int = 0) -> "_Region":
-        return cls(base, start, rows, cols, 0, rows, 0, cols)
+    def whole(cls, base: int, rows: int, cols: int, start: int = 0,
+              lane: int = 0, alloc_id=None) -> "_Region":
+        return cls(base, start, rows, cols, 0, rows, 0, cols, lane=lane,
+                   alloc_id=alloc_id)
 
     @property
     def rows(self) -> int:
@@ -102,7 +135,8 @@ class _Region:
     def sub(self, r0: int, r1: int, c0: int, c1: int) -> "_Region":
         """Window relative to this region (like ``view[r0:r1, c0:c1]``)."""
         return _Region(self.base, self.start, self.base_rows, self.base_cols,
-                       self.r0 + r0, self.r0 + r1, self.c0 + c0, self.c0 + c1)
+                       self.r0 + r0, self.r0 + r1, self.c0 + c0, self.c0 + c1,
+                       lane=self.lane, alloc_id=self.alloc_id)
 
     def quadrants(self) -> Tuple["_Region", "_Region", "_Region", "_Region"]:
         """The four ceil/floor quadrants of Eq. (1), as regions."""
@@ -115,15 +149,21 @@ class _Region:
     def limit_rows(self, count: int) -> "_Region":
         return self.sub(0, count, 0, self.cols)
 
-    def freeze(self):
-        """The compact runtime reference the executor resolves per step."""
+    def freeze(self, shift: int = 0):
+        """The compact runtime reference the executor resolves per step.
+
+        ``shift`` is the flat base offset of the region's scratch lane
+        (zero for operand regions), applied when the compiler finalises the
+        lane layout.
+        """
         if self.base in (_BASE_A, _BASE_B, _BASE_C):
             return (self.base, (slice(self.r0, self.r1), slice(self.c0, self.c1)))
-        stop = self.start + self.base_rows * self.base_cols
+        start = self.start + shift
+        stop = start + self.base_rows * self.base_cols
         full = (self.r0 == 0 and self.r1 == self.base_rows
                 and self.c0 == 0 and self.c1 == self.base_cols)
         window = None if full else (slice(self.r0, self.r1), slice(self.c0, self.c1))
-        return (self.base, self.start, stop, self.base_rows, self.base_cols, window)
+        return (self.base, start, stop, self.base_rows, self.base_cols, window)
 
 
 class _SimArena:
@@ -132,25 +172,250 @@ class _SimArena:
     Tracks offsets with the same LIFO discipline so that the frozen
     references point exactly where the live recursion would have placed its
     scratch, and records the high-water mark that sizes the pooled arena.
+
+    With ``lanes > 1`` allocations are dealt round-robin onto independent
+    lane stacks; each lane keeps the LIFO discipline (matched alloc/release
+    pairs of a properly nested sequence stay properly nested under any
+    assignment of whole pairs to lanes) and the arena's requirement becomes
+    the sum of the per-lane high-water marks.
     """
 
-    def __init__(self, base: int) -> None:
+    def __init__(self, base: int, lanes: int = 1) -> None:
         self.base = base
-        self.offset = 0
-        self.high_water = 0
-        self._stack: List[Tuple[int, int]] = []
+        self.lanes = lanes
+        self._dealt = 0
+        self.offsets = [0] * lanes
+        self.high_waters = [0] * lanes
+        self._stacks: List[List[Tuple[int, int]]] = [[] for _ in range(lanes)]
+        self._alloc_serial = 0
+
+    @property
+    def high_water(self) -> int:
+        return sum(self.high_waters)
+
+    def lane_bases(self) -> List[int]:
+        """Flat offset of each lane once lanes are laid out back to back."""
+        bases, acc = [], 0
+        for hw in self.high_waters:
+            bases.append(acc)
+            acc += hw
+        return bases
 
     def allocate(self, rows: int, cols: int) -> _Region:
-        region = _Region.whole(self.base, rows, cols, start=self.offset)
-        self._stack.append((self.offset, rows * cols))
-        self.offset += rows * cols
-        self.high_water = max(self.high_water, self.offset)
+        lane = self._dealt % self.lanes
+        self._dealt += 1
+        offset = self.offsets[lane]
+        self._alloc_serial += 1
+        region = _Region.whole(self.base, rows, cols, start=offset, lane=lane,
+                               alloc_id=(self.base, self._alloc_serial))
+        self._stacks[lane].append((offset, rows * cols))
+        self.offsets[lane] = offset + rows * cols
+        self.high_waters[lane] = max(self.high_waters[lane], self.offsets[lane])
         return region
 
     def release(self, region: _Region) -> None:
-        start, need = self._stack.pop()
+        start, need = self._stacks[region.lane].pop()
         assert start == region.start and need == region.base_rows * region.base_cols
-        self.offset = start
+        self.offsets[region.lane] = start
+
+
+@dataclasses.dataclass(frozen=True)
+class StepDag:
+    """The step dependency graph of a compiled plan.
+
+    Edges always point forward in plan order (``u < v``), so any
+    topological execution retires conflicting steps — in particular the
+    accumulation chains into shared output regions — in exactly the
+    sequential replay order, which is what keeps DAG execution bit-identical
+    to :func:`execute_plan`.
+
+    Attributes
+    ----------
+    preds:
+        Per-step predecessor count (steps with count 0 are initially ready).
+    succs:
+        Per-step tuple of successor step indices.
+    n_edges:
+        Total number of dependency edges.
+    critical_path:
+        Length (in steps) of the longest dependency chain — the makespan
+        lower bound in steps under unlimited workers.
+    max_width:
+        Largest number of steps sharing a dependency depth — an upper bound
+        on how many steps can ever be in flight together.
+    """
+
+    preds: Tuple[int, ...]
+    succs: Tuple[Tuple[int, ...], ...]
+    n_edges: int
+    critical_path: int
+    max_width: int
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.preds)
+
+    @property
+    def parallelism(self) -> float:
+        """Average available parallelism (steps / critical path)."""
+        return self.n_steps / self.critical_path if self.critical_path else 0.0
+
+
+def _step_accesses(step) -> List[Tuple[_Region, bool]]:
+    """``(region, is_write)`` pairs for one pending (un-frozen) step.
+
+    The ``+=`` kernels read *and* write their destination; a write entry
+    subsumes the read for conflict purposes.
+    """
+    op = step[0]
+    if op == OP_SYRK:
+        return [(step[1], False), (step[2], True)]
+    if op == OP_GEMM:
+        return [(step[1], False), (step[2], False), (step[3], True)]
+    if op == OP_ADD:
+        return [(step[2], False), (step[1], True)]
+    return [(step[1], True)]  # OP_ZERO
+
+
+def _build_dag(pending_steps: List[tuple]) -> StepDag:
+    """Derive the dependency graph from the steps' read/write sets.
+
+    For every storage region the builder keeps the last writing step and
+    the readers since that write; a new access links after the last writer
+    (read-after-write / write-after-write) and, when itself a write, after
+    the readers (write-after-read) of every conflicting region.  Older
+    conflicting accesses are already ordered before those through the same
+    rule, so the transitive closure covers every conflicting pair — in
+    particular, accumulation chains into a shared output region become
+    ordered chains in plan order, which is the deterministic-accumulation
+    rule that keeps DAG execution bit-identical to sequential replay.
+
+    Conflicts are found structurally rather than by scanning all history:
+
+    * The ``A``/``B`` operands are never written by any step, so their
+      reads cannot conflict and are skipped outright.
+    * ``C``-operand accesses are grouped by exact rectangle; distinct
+      rectangles are cross-linked through symmetric overlap lists computed
+      once when a rectangle first appears (for the emitted quadrant
+      decompositions distinct output rectangles are disjoint, so these
+      lists are empty in practice).
+    * Arena accesses are grouped by *allocation identity*: two live
+      allocations never share arena bytes (stack discipline), so only
+      windows of the same allocation are geometry-checked.  Reuse of a
+      released allocation's range is caught at the reusing allocation's
+      first touch — always its covering ``OP_ZERO``, emitted before any
+      other access — which links after every access of the dead
+      allocations whose flat segments it overlaps (tracked in a per-lane
+      occupancy list, segment-split on partial reuse).
+    """
+    n = len(pending_steps)
+    succs: List[List[int]] = [[] for _ in range(n)]
+    preds = [0] * n
+    edge_count = [0]
+
+    # C operand: exact rect -> [last_writer, readers]; symmetric overlap
+    # lists between distinct rects, built when a rect first appears.
+    c_groups: Dict[tuple, list] = {}
+    c_rects: List[tuple] = []
+    c_overlaps: Dict[tuple, List[tuple]] = {}
+
+    # arenas: alloc_id -> list of [rect, last_writer, readers];
+    # (base, lane) -> occupancy segments [start, end, alloc_id]
+    alloc_groups: Dict[tuple, List[list]] = {}
+    occupancy: Dict[tuple, List[list]] = {}
+
+    def link(src, idx, linked):
+        if src is None or src == idx or src in linked:
+            return
+        linked.add(src)
+        succs[src].append(idx)
+        preds[idx] += 1
+        edge_count[0] += 1
+
+    def link_group(group, is_write, idx, linked):
+        link(group[-2], idx, linked)
+        if is_write:
+            for reader in group[-1]:
+                link(reader, idx, linked)
+
+    for idx, step in enumerate(pending_steps):
+        linked = set()
+        for region, is_write in _step_accesses(step):
+            base = region.base
+            if base in (_BASE_A, _BASE_B):
+                continue
+            rect = (region.r0, region.r1, region.c0, region.c1)
+            if base == _BASE_C:
+                own_group = c_groups.get(rect)
+                if own_group is None:
+                    over = [r for r in c_rects
+                            if rect[0] < r[1] and r[0] < rect[1]
+                            and rect[2] < r[3] and r[2] < rect[3]]
+                    for other in over:
+                        c_overlaps[other].append(rect)
+                    c_overlaps[rect] = over
+                    c_rects.append(rect)
+                    own_group = c_groups[rect] = [None, []]
+                link_group(own_group, is_write, idx, linked)
+                for other in c_overlaps[rect]:
+                    link_group(c_groups[other], is_write, idx, linked)
+            else:
+                groups = alloc_groups.get(region.alloc_id)
+                if groups is None:
+                    # first touch of this allocation (its covering zero):
+                    # absorb dead allocations whose bytes it reuses
+                    groups = alloc_groups[region.alloc_id] = []
+                    space = occupancy.setdefault((base, region.lane), [])
+                    start = region.start
+                    end = start + region.base_rows * region.base_cols
+                    kept = []
+                    for seg in space:
+                        s, e, old_id = seg
+                        if s < end and start < e:
+                            for old_group in alloc_groups.get(old_id, ()):
+                                link(old_group[-2], idx, linked)
+                                for reader in old_group[-1]:
+                                    link(reader, idx, linked)
+                            if s < start:
+                                kept.append([s, start, old_id])
+                            if end < e:
+                                kept.append([end, e, old_id])
+                        else:
+                            kept.append(seg)
+                    kept.append([start, end, region.alloc_id])
+                    space[:] = kept
+                own_group = None
+                for group in groups:
+                    r = group[0]
+                    if r == rect:
+                        own_group = group
+                    if (rect[0] < r[1] and r[0] < rect[1]
+                            and rect[2] < r[3] and r[2] < rect[3]):
+                        link_group(group, is_write, idx, linked)
+                if own_group is None:
+                    own_group = [rect, None, []]
+                    groups.append(own_group)
+            if is_write:
+                own_group[-2], own_group[-1] = idx, []
+            else:
+                own_group[-1].append(idx)
+
+    n_edges = edge_count[0]
+    depth = [1] * n
+    for u in range(n):
+        next_depth = depth[u] + 1
+        for v in succs[u]:
+            if depth[v] < next_depth:
+                depth[v] = next_depth
+    critical_path = max(depth) if n else 0
+    width: Dict[int, int] = {}
+    for d in depth:
+        width[d] = width.get(d, 0) + 1
+    return StepDag(preds=tuple(preds),
+                   succs=tuple(tuple(s) for s in succs),
+                   n_edges=n_edges,
+                   critical_path=critical_path,
+                   max_width=max(width.values()) if width else 0)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -175,7 +440,9 @@ class ExecutionPlan:
         :func:`execute_plan`).
     requirement:
         Exact per-arena workspace requirement, or ``None`` when the plan
-        needs no scratch space.
+        needs no scratch space.  With ``lanes > 1`` this is the sum of the
+        per-lane requirements, so concurrent steps address disjoint
+        scratch.
     ws_shape:
         The ``(m, n, k)`` sizing triple a replacement
         :class:`~repro.core.workspace.StrassenWorkspace` would be built
@@ -187,6 +454,11 @@ class ExecutionPlan:
     step_counters:
         ``(category, calls)`` recursion-step totals recorded
         unconditionally, mirroring ``counters.record`` in the recursions.
+    lanes:
+        Number of scratch lanes the plan's arena offsets were laid out for.
+    dag:
+        The step dependency graph (:class:`StepDag`), or ``None`` when the
+        plan was compiled for sequential replay only.
     """
 
     key: tuple
@@ -199,6 +471,8 @@ class ExecutionPlan:
     ws_shape: Optional[Tuple[int, int, int]]
     kernel_counters: Tuple[Tuple[str, int, int, int], ...]
     step_counters: Tuple[Tuple[str, int], ...]
+    lanes: int = 1
+    dag: Optional[StepDag] = None
 
     @property
     def n_steps(self) -> int:
@@ -210,17 +484,23 @@ class ExecutionPlan:
 
 
 class _Compiler:
-    """Shared state for one compilation walk."""
+    """Shared state for one compilation walk.
 
-    def __init__(self, model: CacheModel) -> None:
+    Steps are recorded with live :class:`_Region` operands and frozen only
+    in :meth:`finish`, once the lane layout (and hence every arena region's
+    flat base offset) is known.
+    """
+
+    def __init__(self, model: CacheModel, lanes: int = 1) -> None:
         self.model = model
         self.max_depth = get_config().max_recursion_depth
         self.steps: List[tuple] = []
         self.kernel_totals: Dict[str, List[int]] = {}
         self.step_totals: Dict[str, int] = {}
-        self.p = _SimArena(_ARENA_P)
-        self.q = _SimArena(_ARENA_Q)
-        self.m = _SimArena(_ARENA_M)
+        self.p = _SimArena(_ARENA_P, lanes)
+        self.q = _SimArena(_ARENA_Q, lanes)
+        self.m = _SimArena(_ARENA_M, lanes)
+        self.lanes = lanes
 
     # -- counter aggregation ----------------------------------------------
     def _count(self, category: str, flops: int, byte_elements: int) -> None:
@@ -238,12 +518,12 @@ class _Compiler:
         # plans carry only the triangle size; the O(n^2) index arrays are
         # materialised lazily in a bounded shared cache at execution time,
         # so a wide single-syrk plan does not pin megabytes in the LRU
-        self.steps.append((OP_SYRK, a.freeze(), c.freeze(), n))
+        self.steps.append((OP_SYRK, a, c, n))
         self._count("syrk", syrk_flops(m, n), m * n + n * (n + 1) // 2)
 
     def emit_gemm(self, a: _Region, b: _Region, c: _Region, use_alpha: bool) -> None:
         m, n, k = a.rows, a.cols, b.cols
-        self.steps.append((OP_GEMM, a.freeze(), b.freeze(), c.freeze(), use_alpha))
+        self.steps.append((OP_GEMM, a, b, c, use_alpha))
         self._count("gemm", gemm_flops(m, n, k), m * n + m * k + n * k)
 
     def emit_add(self, dst: _Region, src: _Region, coef: float, use_alpha: bool) -> None:
@@ -253,12 +533,12 @@ class _Compiler:
         cols = min(dst.cols, src.cols)
         if rows == 0 or cols == 0:
             return
-        self.steps.append((OP_ADD, dst.sub(0, rows, 0, cols).freeze(),
-                           src.sub(0, rows, 0, cols).freeze(), float(coef), use_alpha))
+        self.steps.append((OP_ADD, dst.sub(0, rows, 0, cols),
+                           src.sub(0, rows, 0, cols), float(coef), use_alpha))
         self._count("axpy", 2 * rows * cols, 3 * rows * cols)
 
     def emit_zero(self, region: _Region) -> None:
-        self.steps.append((OP_ZERO, region.freeze()))
+        self.steps.append((OP_ZERO, region))
 
     # -- FastStrassen (mirrors core.strassen._strassen) ---------------------
     def _combine(self, terms, arena: _SimArena):
@@ -387,29 +667,63 @@ class _Compiler:
                                    c.sub(i0, i1, j0, j1), True)
 
     # -- finalisation --------------------------------------------------------
+    def _freeze_steps(self) -> Tuple[tuple, ...]:
+        """Resolve lane base offsets and freeze every pending step."""
+        bases = {arena.base: arena.lane_bases()
+                 for arena in (self.p, self.q, self.m)}
+
+        def fz(region: _Region):
+            shift = 0
+            if region.base >= _ARENA_P:
+                shift = bases[region.base][region.lane]
+            return region.freeze(shift)
+
+        frozen: List[tuple] = []
+        for step in self.steps:
+            op = step[0]
+            if op == OP_SYRK:
+                frozen.append((op, fz(step[1]), fz(step[2]), step[3]))
+            elif op == OP_GEMM:
+                frozen.append((op, fz(step[1]), fz(step[2]), fz(step[3]), step[4]))
+            elif op == OP_ADD:
+                frozen.append((op, fz(step[1]), fz(step[2]), step[3], step[4]))
+            else:
+                frozen.append((op, fz(step[1])))
+        return tuple(frozen)
+
     def finish(self, key: tuple, algo: str, shape: Tuple[int, ...],
                out_shape: Tuple[int, int], dtype,
-               ws_shape: Optional[Tuple[int, int, int]]) -> ExecutionPlan:
+               ws_shape: Optional[Tuple[int, int, int]],
+               build_dag: bool = False) -> ExecutionPlan:
         needs_ws = self.p.high_water or self.q.high_water or self.m.high_water
         requirement = None
         if needs_ws:
-            requirement = _Requirement(p_elements=self.p.high_water,
-                                       q_elements=self.q.high_water,
-                                       m_elements=self.m.high_water,
-                                       depth=0)
+            # per-lane requirements summed: lanes are stacked back to back,
+            # so concurrently executing steps address disjoint scratch
+            per_lane = [_Requirement(p_elements=self.p.high_waters[lane],
+                                     q_elements=self.q.high_waters[lane],
+                                     m_elements=self.m.high_waters[lane],
+                                     depth=0)
+                        for lane in range(self.lanes)]
+            requirement = per_lane[0]
+            for extra in per_lane[1:]:
+                requirement = requirement + extra
+        dag = _build_dag(self.steps) if build_dag else None
         return ExecutionPlan(
             key=key, algo=algo, shape=shape, out_shape=out_shape,
-            dtype=np.dtype(dtype), steps=tuple(self.steps),
+            dtype=np.dtype(dtype), steps=self._freeze_steps(),
             requirement=requirement,
             ws_shape=ws_shape if needs_ws else None,
             kernel_counters=tuple((cat, t[0], t[1], t[2])
                                   for cat, t in self.kernel_totals.items()),
             step_counters=tuple(self.step_totals.items()),
+            lanes=self.lanes, dag=dag,
         )
 
 
 def compile_plan(algo: str, shape: Tuple[int, ...], dtype, model: CacheModel,
-                 key: Optional[tuple] = None) -> ExecutionPlan:
+                 key: Optional[tuple] = None, lanes: int = 1,
+                 build_dag: Optional[bool] = None) -> ExecutionPlan:
     """Compile one execution plan.
 
     Parameters
@@ -427,10 +741,22 @@ def compile_plan(algo: str, shape: Tuple[int, ...], dtype, model: CacheModel,
         would.
     key:
         The cache key to stamp on the plan (defaults to a local tuple).
+    lanes:
+        Scratch lanes to spread arena allocations over (``1`` reproduces
+        the sequential LIFO layout; more lanes decouple scratch reuse so
+        the DAG executor can overlap Strassen products, at the cost of up
+        to ``lanes``× the sequential workspace).
+    build_dag:
+        Whether to derive the step dependency graph; defaults to
+        ``lanes > 1``.  Sequential replay ignores the DAG either way.
     """
     if algo not in PLAN_KINDS:
         raise ShapeError(f"unknown plan kind {algo!r}; expected one of {PLAN_KINDS}")
-    comp = _Compiler(model)
+    if lanes < 1:
+        raise ConfigurationError(f"scratch lanes must be >= 1, got {lanes}")
+    if build_dag is None:
+        build_dag = lanes > 1
+    comp = _Compiler(model, lanes=lanes)
     if algo in ("syrk", "ata", "tiled"):
         m, n = shape
         a = _Region.whole(_BASE_A, m, n)
@@ -461,8 +787,9 @@ def compile_plan(algo: str, shape: Tuple[int, ...], dtype, model: CacheModel,
         else:
             comp.recursive_gemm(a, b, c, depth=0)
     if key is None:
-        key = (algo, shape, np.dtype(dtype).str, model.capacity_words)
-    return comp.finish(key, algo, tuple(shape), out_shape, dtype, ws_shape)
+        key = (algo, shape, np.dtype(dtype).str, model.capacity_words, lanes)
+    return comp.finish(key, algo, tuple(shape), out_shape, dtype, ws_shape,
+                       build_dag=build_dag)
 
 
 #: Shared cache of np.tril_indices results keyed by n, bounded both in
@@ -504,16 +831,70 @@ def _resolve(ref, a, b, c, p, q, m):
     return view if window is None else view[window]
 
 
+def run_step(step, a, b, c, p, q, m, alpha: float) -> None:
+    """Execute one frozen plan step against live operands.
+
+    The kernel expressions reproduce the base-case kernels of
+    :mod:`repro.blas.kernels` exactly (same numpy expressions, same
+    ``alpha == 1.0`` short-circuits), which is what keeps plan execution —
+    sequential or DAG-scheduled — bit-for-bit identical to the direct
+    recursions.  Both :func:`execute_plan` and the
+    :class:`~repro.engine.dag.DagExecutor` route every step through this
+    single function so the two paths cannot drift apart.
+    """
+    op = step[0]
+    if op == OP_GEMM:
+        av = _resolve(step[1], a, b, c, p, q, m)
+        bv = _resolve(step[2], a, b, c, p, q, m)
+        cv = _resolve(step[3], a, b, c, p, q, m)
+        coef = alpha if step[4] else 1.0
+        if coef == 1.0:
+            cv += av.T @ bv
+        else:
+            cv += coef * (av.T @ bv)
+    elif op == OP_ADD:
+        dst = _resolve(step[1], a, b, c, p, q, m)
+        src = _resolve(step[2], a, b, c, p, q, m)
+        coef = step[3] * (alpha if step[4] else 1.0)
+        if coef == 1.0:
+            dst += src
+        else:
+            dst += coef * src
+    elif op == OP_SYRK:
+        av = _resolve(step[1], a, b, c, p, q, m)
+        cv = _resolve(step[2], a, b, c, p, q, m)
+        idx = _tril_indices(step[3])
+        product = av.T @ av
+        cv[idx] += alpha * product[idx]
+    else:  # OP_ZERO
+        _resolve(step[1], a, b, c, p, q, m)[...] = 0
+
+
+def record_plan_counters(plan: ExecutionPlan, itemsize: int) -> None:
+    """Record a plan's pre-aggregated counter totals in one shot.
+
+    Shared by the sequential and DAG executors so both report identical
+    accounting regardless of scheduling.
+    """
+    from ..blas import counters  # local import to keep module import light
+
+    if get_config().count_flops and plan.kernel_counters:
+        for category, calls, flops, byte_elements in plan.kernel_counters:
+            counters.record(category, flops=flops,
+                            bytes=byte_elements * itemsize, calls=calls)
+    for category, calls in plan.step_counters:
+        counters.record(category, calls=calls)
+
+
 def execute_plan(plan: ExecutionPlan, a: np.ndarray, c: np.ndarray,
                  alpha: float = 1.0, workspace=None,
                  b: Optional[np.ndarray] = None) -> np.ndarray:
-    """Replay a compiled plan on concrete operands.
+    """Replay a compiled plan on concrete operands, in plan order.
 
     The step expressions reproduce the base-case kernels of
-    :mod:`repro.blas.kernels` exactly (same numpy expressions, same
-    ``alpha == 1.0`` short-circuits), so the result is bit-for-bit
-    identical to running the original recursion; validation and counter
-    bookkeeping are hoisted out of the per-step loop.
+    :mod:`repro.blas.kernels` exactly (see :func:`run_step`), so the result
+    is bit-for-bit identical to running the original recursion; validation
+    and counter bookkeeping are hoisted out of the per-step loop.
 
     Parameters
     ----------
@@ -530,8 +911,6 @@ def execute_plan(plan: ExecutionPlan, a: np.ndarray, c: np.ndarray,
         ``plan.needs_workspace``).  The plan addresses the arenas by raw
         offset, so the workspace's own stack bookkeeping is bypassed.
     """
-    from ..blas import counters  # local import to keep module import light
-
     p = q = m = None
     if plan.needs_workspace:
         if workspace is None:
@@ -540,38 +919,7 @@ def execute_plan(plan: ExecutionPlan, a: np.ndarray, c: np.ndarray,
         p, q, m = workspace.flat_buffers()
 
     for step in plan.steps:
-        op = step[0]
-        if op == OP_GEMM:
-            av = _resolve(step[1], a, b, c, p, q, m)
-            bv = _resolve(step[2], a, b, c, p, q, m)
-            cv = _resolve(step[3], a, b, c, p, q, m)
-            coef = alpha if step[4] else 1.0
-            if coef == 1.0:
-                cv += av.T @ bv
-            else:
-                cv += coef * (av.T @ bv)
-        elif op == OP_ADD:
-            dst = _resolve(step[1], a, b, c, p, q, m)
-            src = _resolve(step[2], a, b, c, p, q, m)
-            coef = step[3] * (alpha if step[4] else 1.0)
-            if coef == 1.0:
-                dst += src
-            else:
-                dst += coef * src
-        elif op == OP_SYRK:
-            av = _resolve(step[1], a, b, c, p, q, m)
-            cv = _resolve(step[2], a, b, c, p, q, m)
-            idx = _tril_indices(step[3])
-            product = av.T @ av
-            cv[idx] += alpha * product[idx]
-        else:  # OP_ZERO
-            _resolve(step[1], a, b, c, p, q, m)[...] = 0
+        run_step(step, a, b, c, p, q, m, alpha)
 
-    if get_config().count_flops and plan.kernel_counters:
-        itemsize = a.dtype.itemsize
-        for category, calls, flops, byte_elements in plan.kernel_counters:
-            counters.record(category, flops=flops,
-                            bytes=byte_elements * itemsize, calls=calls)
-    for category, calls in plan.step_counters:
-        counters.record(category, calls=calls)
+    record_plan_counters(plan, a.dtype.itemsize)
     return c

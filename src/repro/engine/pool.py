@@ -8,10 +8,20 @@ exact :class:`~repro.core.workspace._Requirement` they can serve — plans
 address the arenas by precompiled flat offsets, so a larger recycled
 workspace is just as good as an exact-fit one.
 
+Under mixed-shape traffic the pool is **best-fit** on both sides: an
+acquisition takes the *smallest* idle workspace that can serve the plan
+(leaving the large ones for the plans that actually need them), and a
+release that finds the idle list full evicts the smallest idle workspace
+when the released one is larger (retaining the workspaces most likely to
+serve future requests, instead of repeatedly dropping a large workspace
+and re-allocating it on the next large plan — which is what drives peak
+memory).
+
 The pool is thread-safe: concurrent executions each acquire a *distinct*
 workspace (a workspace is never shared while checked out), which is what
-makes the engine safe to call from the shared-memory scheduler's worker
-threads.
+makes both the engine's cross-thread use and the DAG executor's
+concurrent steps safe — each DAG run owns one workspace whose lane
+layout keeps concurrent steps on disjoint offsets.
 """
 
 from __future__ import annotations
@@ -42,6 +52,11 @@ class WorkspacePool:
         Workspaces created because no idle one could serve the request.
     reuses:
         Acquisitions served from the idle list without allocating.
+    evictions:
+        Smaller idle workspaces dropped to admit a larger released one.
+    drops:
+        Released workspaces discarded because the idle list was full of
+        workspaces at least as large.
     """
 
     def __init__(self, max_idle: int = 8) -> None:
@@ -52,34 +67,65 @@ class WorkspacePool:
         self._lock = threading.Lock()
         self.allocations = 0
         self.reuses = 0
+        self.evictions = 0
+        self.drops = 0
 
     @property
     def idle_count(self) -> int:
         return len(self._idle)
 
+    def idle_sizes(self) -> List[int]:
+        """Total elements of each idle workspace (for tests/diagnostics)."""
+        with self._lock:
+            return [ws.total_elements for ws in self._idle]
+
     def acquire(self, plan: ExecutionPlan, dtype) -> Optional[StrassenWorkspace]:
-        """Check out a workspace able to serve ``plan`` (``None`` if the
-        plan needs no scratch space)."""
+        """Check out the *smallest* idle workspace able to serve ``plan``
+        (``None`` if the plan needs no scratch space)."""
         if not plan.needs_workspace:
             return None
         req: _Requirement = plan.requirement
         dtype = np.dtype(dtype)
         with self._lock:
+            best = -1
+            best_total = -1
             for index, ws in enumerate(self._idle):
                 if ws.dtype == dtype and ws.can_serve(req):
-                    self.reuses += 1
-                    return self._idle.pop(index)
+                    total = ws.total_elements
+                    if best < 0 or total < best_total:
+                        best, best_total = index, total
+            if best >= 0:
+                self.reuses += 1
+                return self._idle.pop(best)
             self.allocations += 1
         m, n, k = plan.ws_shape
         return StrassenWorkspace(m, n, k, dtype=dtype, requirement=req)
 
     def release(self, workspace: Optional[StrassenWorkspace]) -> None:
-        """Return a workspace to the idle list (no-op for ``None``)."""
+        """Return a workspace to the idle list (no-op for ``None``).
+
+        When the idle list is full, the smallest idle workspace is evicted
+        if the released one is larger; otherwise the released workspace is
+        dropped.  Either way the pool retains the ``max_idle`` largest
+        workspaces seen recently, which minimises future allocations (and
+        hence peak memory) under mixed-shape traffic.
+        """
         if workspace is None:
             return
         with self._lock:
             if len(self._idle) < self.max_idle:
                 self._idle.append(workspace)
+                return
+            if not self._idle:  # max_idle == 0
+                self.drops += 1
+                return
+            smallest = min(range(len(self._idle)),
+                           key=lambda i: self._idle[i].total_elements)
+            if self._idle[smallest].total_elements < workspace.total_elements:
+                self._idle[smallest] = workspace
+                self.evictions += 1
+            else:
+                self.drops += 1
 
     def clear(self) -> int:
         """Drop all idle workspaces; returns how many were dropped."""
@@ -89,6 +135,6 @@ class WorkspacePool:
             return dropped
 
     def clear_stats(self) -> None:
-        """Reset the allocation/reuse counters."""
+        """Reset the allocation/reuse/eviction counters."""
         with self._lock:
-            self.allocations = self.reuses = 0
+            self.allocations = self.reuses = self.evictions = self.drops = 0

@@ -1,0 +1,404 @@
+"""Tests for DAG-parallel plan execution (:mod:`repro.engine.dag`).
+
+The contract under test is ISSUE 2's hard constraint: DAG execution must
+be **bit-identical** (``np.array_equal``, not ``allclose``) to the
+sequential plan replay and to the direct recursions, for every algorithm,
+under any worker count — because the dependency graph orders every pair of
+conflicting steps (accumulation chains in particular) exactly as the
+sequential replay does, and provably disjoint steps cannot affect each
+other's bits no matter how they interleave.
+
+Also covered: the DAG's structural invariants (forward edges, consistent
+predecessor counts, critical path/width accounting), the scratch-lane
+layout (disjoint per-lane offsets, requirement = sum of lanes), engine
+wiring (modes, stats, per-call override), a many-thread stress test on one
+shared engine, and the workspace pool's best-fit/eviction policy.
+"""
+
+import concurrent.futures
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.model import CacheModel
+from repro.config import configured
+from repro.core.ata import ata
+from repro.core.recursive_gemm import recursive_gemm
+from repro.core.strassen import fast_strassen
+from repro.core.workspace import StrassenWorkspace, _Requirement
+from repro.engine import (
+    DagExecutor,
+    ExecutionEngine,
+    WorkspacePool,
+    compile_plan,
+    execute_plan,
+)
+from repro.errors import ConfigurationError, ShapeError
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0xDA6)
+
+
+def _dag_result(plan, a, b, out_shape, workers, alpha=1.0):
+    """Run one plan through a fresh DagExecutor on a dirtied workspace."""
+    executor = DagExecutor(workers)
+    workspace = None
+    if plan.needs_workspace:
+        workspace = StrassenWorkspace(*plan.ws_shape, dtype=a.dtype,
+                                      requirement=plan.requirement)
+        for buf in workspace.flat_buffers():
+            buf[...] = np.nan  # aliasing or missing zero-fill would surface
+    c = np.zeros(out_shape, dtype=a.dtype)
+    try:
+        executor.execute(plan, a, c, alpha, workspace, b=b)
+    finally:
+        executor.shutdown()
+    return c
+
+
+class TestBitIdentity:
+    """DAG execution == sequential replay == direct recursion, bitwise."""
+
+    @given(m=st.integers(1, 70), n=st.integers(1, 70),
+           workers=st.sampled_from([1, 2, 8]),
+           lanes=st.sampled_from([1, 2, 4]))
+    @settings(max_examples=25, deadline=None)
+    def test_ata_shape_sweep(self, m, n, workers, lanes):
+        a = np.random.default_rng(m * 1000 + n).standard_normal((m, n))
+        with configured(base_case_elements=64):
+            model = CacheModel(capacity_words=64)
+            plan = compile_plan("ata", (m, n), a.dtype, model,
+                                lanes=lanes, build_dag=True)
+            expected = ata(a.copy())
+            sequential = np.zeros((n, n))
+            ws = (StrassenWorkspace(*plan.ws_shape, dtype=a.dtype,
+                                    requirement=plan.requirement)
+                  if plan.needs_workspace else None)
+            execute_plan(plan, a, sequential, 1.0, ws)
+            got = _dag_result(plan, a, None, (n, n), workers)
+        assert np.array_equal(sequential, expected)
+        assert np.array_equal(got, expected)
+
+    @pytest.mark.parametrize("algo", ["strassen", "recursive_gemm"])
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    def test_atb_algorithms(self, rng, algo, workers):
+        a = rng.standard_normal((45, 23))
+        b = rng.standard_normal((45, 31))
+        with configured(base_case_elements=64):
+            model = CacheModel(capacity_words=64)
+            plan = compile_plan(algo, (45, 23, 31), a.dtype, model,
+                                lanes=4, build_dag=True)
+            direct = (fast_strassen(a, b) if algo == "strassen"
+                      else recursive_gemm(a, b))
+            got = _dag_result(plan, a, b, (23, 31), workers)
+        assert np.array_equal(got, direct)
+
+    @pytest.mark.parametrize("algo", ["tiled", "syrk"])
+    def test_workspace_free_plans(self, rng, algo):
+        a = rng.standard_normal((40, 28))
+        with configured(base_case_elements=64):
+            model = CacheModel(capacity_words=64)
+            plan = compile_plan(algo, (40, 28), a.dtype, model,
+                                lanes=2, build_dag=True)
+            sequential = execute_plan(plan, a, np.zeros((28, 28)), 1.0)
+            got = _dag_result(plan, a, None, (28, 28), workers=4)
+        assert np.array_equal(got, sequential)
+
+    def test_alpha_propagates_identically(self, rng):
+        a = rng.standard_normal((50, 30))
+        with configured(base_case_elements=64):
+            model = CacheModel(capacity_words=64)
+            plan = compile_plan("ata", (50, 30), a.dtype, model,
+                                lanes=2, build_dag=True)
+            ws = StrassenWorkspace(*plan.ws_shape, dtype=a.dtype,
+                                   requirement=plan.requirement)
+            sequential = execute_plan(plan, a, np.zeros((30, 30)), 2.5, ws)
+            got = _dag_result(plan, a, None, (30, 30), workers=4, alpha=2.5)
+        assert np.array_equal(got, sequential)
+
+
+class TestStepDagStructure:
+    def _plan(self, algo="ata", shape=(64, 64), lanes=2, bce=64):
+        with configured(base_case_elements=bce):
+            return compile_plan(algo, shape, np.float64,
+                                CacheModel(capacity_words=bce),
+                                lanes=lanes, build_dag=True)
+
+    def test_edges_point_forward_and_counts_match(self):
+        dag = self._plan().dag
+        seen_edges = 0
+        pred_counts = [0] * dag.n_steps
+        for u, succs in enumerate(dag.succs):
+            for v in succs:
+                assert v > u, "dependency edges must point forward in plan order"
+                pred_counts[v] += 1
+                seen_edges += 1
+        assert seen_edges == dag.n_edges
+        assert tuple(pred_counts) == dag.preds
+
+    def test_critical_path_and_width_bounds(self):
+        dag = self._plan().dag
+        assert 1 <= dag.critical_path <= dag.n_steps
+        assert 1 <= dag.max_width <= dag.n_steps
+        assert dag.parallelism >= 1.0
+
+    def test_accumulation_chain_is_ordered(self):
+        """Two syrk leaves accumulating into the same C block must carry a
+        dependency (the deterministic-accumulation rule)."""
+        from repro.engine.plan import OP_SYRK
+        plan = self._plan(shape=(32, 8), bce=64)
+        syrk_by_ref = {}
+        for idx, step in enumerate(plan.steps):
+            if step[0] == OP_SYRK:
+                syrk_by_ref.setdefault(repr(step[2]), []).append(idx)
+        chains = [idxs for idxs in syrk_by_ref.values() if len(idxs) > 1]
+        assert chains, "expected at least one accumulation chain"
+        for idxs in chains:
+            for earlier, later in zip(idxs, idxs[1:]):
+                # later must be reachable from earlier; with direct
+                # conflict tracking the edge is immediate
+                assert later in plan.dag.succs[earlier]
+
+    def test_single_step_plan(self):
+        plan = self._plan(algo="syrk", shape=(8, 8))
+        assert plan.dag.n_steps == 1
+        assert plan.dag.n_edges == 0
+        assert plan.dag.critical_path == 1
+
+    def test_sequential_compile_skips_dag(self):
+        with configured(base_case_elements=64):
+            plan = compile_plan("ata", (48, 48), np.float64,
+                                CacheModel(capacity_words=64))
+        assert plan.dag is None and plan.lanes == 1
+
+    def test_executor_rejects_dagless_plan(self, rng):
+        with configured(base_case_elements=64):
+            plan = compile_plan("ata", (48, 48), np.float64,
+                                CacheModel(capacity_words=64))
+            ws = StrassenWorkspace(*plan.ws_shape, dtype=np.float64,
+                                   requirement=plan.requirement)
+            with pytest.raises(ShapeError):
+                DagExecutor(2).execute(plan, rng.standard_normal((48, 48)),
+                                       np.zeros((48, 48)), 1.0, ws)
+
+
+class TestScratchLanes:
+    def test_lane_requirement_is_sum_of_lanes(self):
+        with configured(base_case_elements=64):
+            model = CacheModel(capacity_words=64)
+            narrow = compile_plan("ata", (64, 64), np.float64, model)
+            wide = compile_plan("ata", (64, 64), np.float64, model, lanes=4)
+        assert wide.requirement.total_elements > narrow.requirement.total_elements
+        assert (wide.requirement.total_elements
+                <= 4 * narrow.requirement.total_elements)
+
+    def test_lanes_raise_available_parallelism(self):
+        with configured(base_case_elements=64):
+            model = CacheModel(capacity_words=64)
+            narrow = compile_plan("ata", (96, 96), np.float64, model,
+                                  lanes=1, build_dag=True)
+            wide = compile_plan("ata", (96, 96), np.float64, model,
+                                lanes=4, build_dag=True)
+        assert wide.dag.critical_path < narrow.dag.critical_path
+        assert wide.dag.parallelism > narrow.dag.parallelism
+
+    def test_requirement_addition(self):
+        left = _Requirement(p_elements=3, q_elements=5, m_elements=7, depth=2)
+        right = _Requirement(p_elements=11, q_elements=13, m_elements=17, depth=4)
+        total = left + right
+        assert total == _Requirement(14, 18, 24, 4)
+
+
+class TestEngineWiring:
+    def test_modes_and_worker_counts_bit_identical(self, rng):
+        a = rng.standard_normal((96, 64))
+        with configured(base_case_elements=64):
+            expected = ata(a.copy())
+            for workers in (1, 2, 8):
+                for mode in ("auto", "dag", "off"):
+                    engine = ExecutionEngine(workers=workers, parallel=mode)
+                    try:
+                        assert np.array_equal(engine.matmul_ata(a), expected), \
+                            (workers, mode)
+                    finally:
+                        engine.close()
+
+    def test_forced_dag_runs_update_stats(self, rng):
+        engine = ExecutionEngine(workers=2, parallel="dag")
+        a = rng.standard_normal((96, 64))
+        with configured(base_case_elements=64):
+            engine.matmul_ata(a)
+            engine.matmul_ata(a)
+        stats = engine.stats()
+        assert stats.dag_runs == 2
+        assert stats.dag_steps > 0
+        assert stats.sequential_runs == 0
+        engine.close()
+
+    def test_per_call_override_to_sequential(self, rng):
+        engine = ExecutionEngine(workers=2, parallel="dag")
+        a = rng.standard_normal((96, 64))
+        with configured(base_case_elements=64):
+            engine.matmul_ata(a, parallel="off")
+        stats = engine.stats()
+        assert stats.dag_runs == 0 and stats.sequential_runs == 1
+        engine.close()
+
+    def test_dag_override_on_sequential_engine_rejected(self, rng):
+        engine = ExecutionEngine()  # workers=1, not DAG-capable
+        with pytest.raises(ConfigurationError):
+            engine.matmul_ata(rng.standard_normal((32, 32)), parallel="dag")
+
+    def test_invalid_parallel_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionEngine(parallel="eventually")
+        with pytest.raises(ConfigurationError):
+            ExecutionEngine(workers=0)
+        with pytest.raises(ConfigurationError):
+            DagExecutor(0)
+
+    def test_scratch_lanes_on_sequential_engine_rejected(self):
+        # lanes would be silently ignored on a sequential engine: reject
+        with pytest.raises(ConfigurationError):
+            ExecutionEngine(scratch_lanes=4)
+        with pytest.raises(ConfigurationError):
+            ExecutionEngine(workers=2, scratch_lanes=0)
+        engine = ExecutionEngine(workers=2, scratch_lanes=2)  # capable: fine
+        engine.close()
+
+    def test_run_batch_matches_loop_under_dag(self, rng):
+        mats = [rng.standard_normal((52, 36)) for _ in range(4)]
+        with configured(base_case_elements=64):
+            loop = [ExecutionEngine().matmul_ata(m) for m in mats]
+            engine = ExecutionEngine(workers=4, parallel="dag")
+            try:
+                batch = engine.run_batch(mats)
+            finally:
+                engine.close()
+        for expected, got in zip(loop, batch):
+            assert np.array_equal(expected, got)
+
+    def test_atb_through_engine_under_dag(self, rng):
+        a = rng.standard_normal((45, 23))
+        b = rng.standard_normal((45, 31))
+        with configured(base_case_elements=64):
+            expected = fast_strassen(a, b)
+            engine = ExecutionEngine(workers=4, parallel="dag")
+            try:
+                got = engine.matmul_atb(a, b)
+            finally:
+                engine.close()
+        assert np.array_equal(expected, got)
+
+
+class TestStress:
+    def test_many_threads_hammer_one_dag_engine(self, rng):
+        """Concurrent DAG runs on one engine: distinct workspaces per run
+        (no aliasing) and coherent stats."""
+        engine = ExecutionEngine(workers=4, parallel="dag", pool_size=4)
+        shapes = [(96, 64), (80, 80), (64, 96)]
+        mats = {shape: rng.standard_normal(shape) for shape in shapes}
+        calls = 24
+        with configured(base_case_elements=64):
+            expected = {shape: ata(mats[shape].copy()) for shape in shapes}
+
+            def work(i):
+                shape = shapes[i % len(shapes)]
+                return shape, engine.matmul_ata(mats[shape])
+
+            try:
+                with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+                    for shape, got in pool.map(work, range(calls)):
+                        assert np.array_equal(expected[shape], got)
+            finally:
+                engine.close()
+        stats = engine.stats()
+        assert stats.dag_runs == calls
+        assert stats.plan_hits + stats.plan_misses == calls
+        # threads racing on a cold key may each count a miss (documented
+        # PlanCache behaviour: first insert wins), but never fewer than
+        # one per distinct shape, and exactly one plan per shape survives
+        assert stats.plan_misses >= len(shapes)
+        assert stats.cached_plans == len(shapes)
+        # every checked-out workspace went back through the pool
+        assert stats.pool_allocations + stats.pool_reuses == calls
+
+    def test_exception_in_step_propagates_and_engine_survives(self, rng):
+        engine = ExecutionEngine(workers=4, parallel="dag")
+        a = rng.standard_normal((96, 64))
+        with configured(base_case_elements=64):
+            expected = ata(a.copy())
+            bad = np.zeros((1, 1))  # wrong C shape: kernels must blow up
+            with pytest.raises(Exception):
+                from repro.engine.plan import compile_plan as _cp
+                model = CacheModel(capacity_words=64)
+                plan = _cp("ata", (96, 64), a.dtype, model, lanes=2,
+                           build_dag=True)
+                engine.dag.execute(plan, a, bad, 1.0,
+                                   StrassenWorkspace(*plan.ws_shape,
+                                                     dtype=a.dtype,
+                                                     requirement=plan.requirement))
+            # the executor must remain usable after a failed run
+            got = engine.matmul_ata(a)
+        assert np.array_equal(expected, got)
+        engine.close()
+
+
+class TestPoolBestFit:
+    def _plan_for(self, n, bce=64, lanes=1):
+        with configured(base_case_elements=bce):
+            return compile_plan("ata", (n, n), np.float64,
+                                CacheModel(capacity_words=bce), lanes=lanes)
+
+    def test_acquire_prefers_smallest_serving_workspace(self):
+        pool = WorkspacePool(max_idle=4)
+        small_plan, big_plan = self._plan_for(48), self._plan_for(96)
+        small = pool.acquire(small_plan, np.float64)
+        big = pool.acquire(big_plan, np.float64)
+        pool.release(big)
+        pool.release(small)
+        served = pool.acquire(small_plan, np.float64)
+        assert served is small, "best-fit must pick the smallest serving workspace"
+        assert pool.reuses == 1
+
+    def test_release_evicts_smaller_idle_workspace(self):
+        pool = WorkspacePool(max_idle=1)
+        small_plan, big_plan = self._plan_for(48), self._plan_for(96)
+        small = pool.acquire(small_plan, np.float64)
+        big = pool.acquire(big_plan, np.float64)
+        pool.release(small)            # idle: [small]
+        pool.release(big)              # full: small evicted, big admitted
+        assert pool.evictions == 1
+        assert pool.idle_sizes() == [big.total_elements]
+        # the retained large workspace now serves the big plan with no
+        # fresh allocation — the peak-memory win under mixed-shape traffic
+        assert pool.acquire(big_plan, np.float64) is big
+        assert pool.allocations == 2
+
+    def test_release_drops_when_not_larger(self):
+        pool = WorkspacePool(max_idle=1)
+        small_plan, big_plan = self._plan_for(48), self._plan_for(96)
+        small = pool.acquire(small_plan, np.float64)
+        big = pool.acquire(big_plan, np.float64)
+        pool.release(big)              # idle: [big]
+        pool.release(small)            # smaller: dropped
+        assert pool.drops == 1 and pool.evictions == 0
+        assert pool.idle_sizes() == [big.total_elements]
+
+    def test_zero_capacity_pool_counts_drops(self):
+        pool = WorkspacePool(max_idle=0)
+        ws = pool.acquire(self._plan_for(48), np.float64)
+        pool.release(ws)
+        assert pool.idle_count == 0 and pool.drops == 1
+
+    def test_clear_stats_resets_new_counters(self):
+        pool = WorkspacePool(max_idle=1)
+        ws = pool.acquire(self._plan_for(48), np.float64)
+        pool.release(ws)
+        pool.release(pool.acquire(self._plan_for(48), np.float64))
+        pool.clear_stats()
+        assert pool.evictions == pool.drops == 0
+        assert pool.allocations == pool.reuses == 0

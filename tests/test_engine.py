@@ -141,7 +141,7 @@ class TestPlanCache:
     def test_small_shapes_dispatch_to_syrk_plan(self, engine, rng):
         a = rng.standard_normal((8, 8))  # fits the default base case
         engine.matmul_ata(a)
-        (plan,) = engine.plans._plans.values()
+        (plan,) = engine.plans.snapshot()
         assert plan.algo == "syrk"
         assert not plan.needs_workspace
 
