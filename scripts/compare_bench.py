@@ -11,8 +11,13 @@ Usage::
     python scripts/compare_bench.py --baseline BENCH_engine.json \
         --current bench-results.json [--tolerance 0.20]
 
-Benchmarks present on only one side are reported but do not fail the
-comparison (new benchmarks land before their baseline is refreshed).
+Benchmarks present only in the current run are reported as NEW and never
+fail (new benchmark groups land before their baseline is refreshed).
+Benchmarks present only in the *baseline* mean coverage disappeared and
+fail the comparison unless ``--allow-missing`` is passed.  CI passes the
+flag because its benchmark step is advisory (``continue-on-error``:
+timing assertions flake on shared runners), so a partially recorded JSON
+is expected there; run strict locally and when refreshing baselines.
 Refresh the baseline by committing a new JSON produced with::
 
     PYTHONPATH=src python -m pytest benchmarks/test_engine_dag.py \
@@ -49,6 +54,10 @@ def main(argv=None) -> int:
                         help="freshly produced --benchmark-json output")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed fractional regression (default 0.20)")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="do not fail when a baseline benchmark is "
+                             "missing from the current run (disappearing "
+                             "coverage fails by default)")
     parser.add_argument("--ignore-machine", action="store_true",
                         help="gate even when the baseline was recorded on "
                              "different hardware (absolute wall-clock medians "
@@ -80,6 +89,7 @@ def main(argv=None) -> int:
         return 0
 
     failures = []
+    missing = []
     for name in sorted(set(baseline) | set(current)):
         base = baseline.get(name)
         now = current.get(name)
@@ -87,7 +97,10 @@ def main(argv=None) -> int:
             print(f"NEW      {name}: {now * 1e3:.3f}ms (no baseline)")
             continue
         if now is None:
-            print(f"MISSING  {name}: present in baseline only")
+            missing.append(name)
+            print(f"MISSING  {name}: present in baseline only"
+                  + ("" if args.allow_missing else " (failing; pass "
+                     "--allow-missing to tolerate)"))
             continue
         ratio = now / base if base else float("inf")
         status = "OK"
@@ -101,6 +114,10 @@ def main(argv=None) -> int:
         worst = max(ratio for _, ratio in failures)
         print(f"\n{len(failures)} benchmark(s) regressed beyond "
               f"{args.tolerance:.0%} (worst {worst:.2f}x)")
+        return 1
+    if missing and not args.allow_missing:
+        print(f"\n{len(missing)} baseline benchmark(s) missing from the "
+              "current run; pass --allow-missing if this is expected")
         return 1
     print(f"\nall benchmarks within {args.tolerance:.0%} of baseline")
     return 0

@@ -1,4 +1,5 @@
-"""Engine experiments: plan-cache amortisation and DAG-parallel execution.
+"""Engine experiments: plan-cache amortisation, DAG-parallel execution and
+measured backend auto-tuning.
 
 ``engine_plan_cache`` measures compile-once/execute-many: under repeated
 traffic the recursion walk, the cache-fit checks and the workspace
@@ -34,12 +35,15 @@ import time
 from typing import List, Optional, Sequence
 
 from ..config import configured
-from ..engine import ExecutionEngine
+from ..engine import BackendTuner, ExecutionEngine
+from ..engine.backends import candidates
+from ..cache.model import default_cache_model
 from .harness import register
 from .reporting import ExperimentTable
 from .workloads import random_matrix
 
-__all__ = ["engine_plan_cache", "engine_dag_parallel"]
+__all__ = ["engine_plan_cache", "engine_dag_parallel",
+           "engine_backend_tuner"]
 
 
 def _best_of(fn, repeats: int) -> float:
@@ -154,4 +158,73 @@ def engine_dag_parallel(sizes: Optional[Sequence[int]] = None,
                    "steps retire in plan order), so the speedup column is "
                    "a pure scheduling effect; expect <= 1x without real "
                    "cores to overlap the GIL-releasing kernels")
+    return [table]
+
+
+@register("engine_backend_tuner",
+          "Measured per-backend AtA timings and the backend the auto-tuner "
+          "converges on, per shape",
+          "Engine architecture (DESIGN.md)")
+def engine_backend_tuner(sizes: Optional[Sequence[int]] = None,
+                         repeats: int = 5,
+                         base_case_elements: int = 256) -> List[ExperimentTable]:
+    """Measure every registered AtA backend and show the tuner's verdict.
+
+    For each size, every backend in the candidate set (``syrk``, ``ata``,
+    ``tiled``, ``recursive_gemm``, and ``blas_direct`` where a provider
+    could be bound) is timed on warm plans; the same timings are fed into
+    an in-memory :class:`~repro.engine.BackendTuner`, whose exploit choice
+    is the backend ``algo="auto"`` traffic converges on.  The point of the
+    experiment is the paper's own lesson applied to serving: which backend
+    wins depends on the shape *and the machine*, so the engine measures
+    instead of modeling.
+
+    Parameters
+    ----------
+    sizes:
+        Square problem sizes to sweep.
+    repeats:
+        Timing repeats per backend; the fastest run is kept (and recorded
+        into the tuner table).
+    base_case_elements:
+        Base-case threshold for the sweep.
+    """
+    table = ExperimentTable(
+        "engine_backend_tuner",
+        "best measured seconds per backend; 'winner' is the "
+        "measured-fastest backend at that size (the tuner's exploit "
+        "choice when the size has its own shape bucket)",
+        ["n", "backend", "best_seconds", "vs_winner", "winner"])
+    sizes = sizes if sizes is not None else [96, 192, 384]
+    bucket_picks: List[str] = []
+    with configured(base_case_elements=base_case_elements):
+        tuner = BackendTuner(persist=False)
+        for n in sizes:
+            a = random_matrix(n, n, seed=n)
+            model = default_cache_model(a.dtype)
+            pool = candidates("ata", (n, n), a.dtype, model)
+            engine = ExecutionEngine()
+            measured = {}
+            for backend in pool:
+                engine.matmul_ata(a, algo=backend.name)  # warm the plan
+                best = _best_of(
+                    lambda: engine.matmul_ata(a, algo=backend.name), repeats)
+                measured[backend.name] = best
+                tuner.record("ata", (n, n), a.dtype, backend.name, best)
+            # the per-size winner comes from this size's own measurements:
+            # tuner.best() answers per power-of-two *bucket*, which custom
+            # size lists may share across rows
+            winner = min(measured, key=measured.get)
+            bucket_picks.append(
+                f"n={n}->{tuner.best('ata', (n, n), a.dtype)}")
+            for name, best in sorted(measured.items(), key=lambda kv: kv[1]):
+                table.add_row(n, name, best, best / measured[winner], winner)
+    table.add_note("timings feed the same per-(shape-bucket, dtype) table "
+                   "algo='auto' consults when a tuner is attached "
+                   "(ExecutionEngine(tuner='measured')); the table persists "
+                   "across runs at ~/.cache/repro/tuner.json "
+                   "($REPRO_TUNER_PATH) with config-fingerprint invalidation")
+    table.add_note("tuner exploit picks per power-of-two bucket (sizes "
+                   "sharing a bucket share samples): "
+                   + "; ".join(bucket_picks))
     return [table]

@@ -8,6 +8,7 @@ communication of symmetric blocks.
 """
 
 from .counters import CounterSet, GLOBAL_COUNTERS, counting, record
+from .direct import direct_gemm_t, direct_syrk
 from .kernels import (
     add_into,
     axpy,
@@ -37,6 +38,8 @@ __all__ = [
     "GLOBAL_COUNTERS",
     "counting",
     "record",
+    "direct_gemm_t",
+    "direct_syrk",
     "add_into",
     "axpy",
     "gemm",

@@ -1,0 +1,306 @@
+"""BLAS-direct bindings: call ``?syrk``/``?gemm`` in a real BLAS library.
+
+The instrumented kernels in :mod:`repro.blas.kernels` express every product
+through numpy's ``@`` operator, which costs an extra temporary and a
+Python-level triangle fold per call.  This module goes one layer lower and
+binds the vendor routines themselves, through two providers tried in
+order:
+
+``ctypes``
+    A CBLAS shared library (OpenBLAS / reference BLAS / MKL, plus the
+    private copies numpy and scipy vendor under ``numpy.libs`` /
+    ``scipy.libs``) located with :func:`ctypes.util.find_library` or a
+    filesystem probe, bound with row-major CBLAS prototypes so our
+    C-contiguous arrays are updated **in place** with no copies.
+``scipy``
+    The f2py wrappers in :mod:`scipy.linalg.blas` (``dsyrk``/``ssyrk``,
+    ``dgemm``/``sgemm``) when scipy is importable; operands are copied to
+    Fortran order by the wrapper, so this path trades copies for
+    portability.
+
+When neither provider is importable the module stays cleanly absent:
+:func:`is_available` returns ``False`` and the ``blas_direct`` execution
+backend (see :mod:`repro.engine.backends`) drops out of the candidate set
+instead of erroring.  Set ``REPRO_BLAS_DIRECT=0`` to force that state.
+
+Only real ``float32``/``float64`` operands are supported — exactly the
+dtypes the paper's MKL experiments use.  Results are deterministic per
+provider (repeated calls are bit-identical) but are *not* bit-identical to
+:func:`repro.blas.kernels.syrk`: a different BLAS kernel rounds
+differently, which is precisely why the auto-tuner compares backends by
+measured time, never by mixing their outputs.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import ctypes.util
+import glob
+import os
+import sys
+from typing import Optional
+
+import numpy as np
+
+from ..config import get_config
+from ..errors import DTypeError, ShapeError
+from . import counters
+from .kernels import gemm_flops, syrk_flops, validate_matrix
+
+__all__ = ["is_available", "provider", "direct_syrk", "direct_gemm_t",
+           "supported_dtype"]
+
+# CBLAS enums (row-major convention keeps our C-contiguous arrays in place)
+_CBLAS_ROW_MAJOR = 101
+_CBLAS_NO_TRANS = 111
+_CBLAS_TRANS = 112
+_CBLAS_LOWER = 122
+
+_SUPPORTED = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def supported_dtype(dtype) -> bool:
+    """Whether the BLAS-direct path handles ``dtype`` (real f4/f8 only)."""
+    return np.dtype(dtype) in _SUPPORTED
+
+
+class _CtypesProvider:
+    """Row-major CBLAS ``?syrk``/``?gemm`` bound through :mod:`ctypes`."""
+
+    name = "ctypes"
+
+    def __init__(self, lib: ctypes.CDLL) -> None:
+        self._fns = {}
+        for sym, scalar in (("cblas_dsyrk", ctypes.c_double),
+                            ("cblas_ssyrk", ctypes.c_float)):
+            fn = getattr(lib, sym)
+            fn.restype = None
+            fn.argtypes = [ctypes.c_int, ctypes.c_int, ctypes.c_int,
+                           ctypes.c_int, ctypes.c_int, scalar,
+                           ctypes.c_void_p, ctypes.c_int, scalar,
+                           ctypes.c_void_p, ctypes.c_int]
+            self._fns[sym] = fn
+        for sym, scalar in (("cblas_dgemm", ctypes.c_double),
+                            ("cblas_sgemm", ctypes.c_float)):
+            fn = getattr(lib, sym)
+            fn.restype = None
+            fn.argtypes = [ctypes.c_int, ctypes.c_int, ctypes.c_int,
+                           ctypes.c_int, ctypes.c_int, ctypes.c_int, scalar,
+                           ctypes.c_void_p, ctypes.c_int,
+                           ctypes.c_void_p, ctypes.c_int, scalar,
+                           ctypes.c_void_p, ctypes.c_int]
+            self._fns[sym] = fn
+
+    @staticmethod
+    def _ptr(a: np.ndarray) -> ctypes.c_void_p:
+        return ctypes.c_void_p(a.ctypes.data)
+
+    def syrk(self, a: np.ndarray, c: np.ndarray, alpha: float) -> None:
+        m, n = a.shape
+        sym = "cblas_dsyrk" if a.dtype == np.float64 else "cblas_ssyrk"
+        self._fns[sym](_CBLAS_ROW_MAJOR, _CBLAS_LOWER, _CBLAS_TRANS,
+                       n, m, alpha, self._ptr(a), n, 1.0, self._ptr(c), n)
+
+    def gemm_t(self, a: np.ndarray, b: np.ndarray, c: np.ndarray,
+               alpha: float) -> None:
+        m, n = a.shape
+        k = b.shape[1]
+        sym = "cblas_dgemm" if a.dtype == np.float64 else "cblas_sgemm"
+        self._fns[sym](_CBLAS_ROW_MAJOR, _CBLAS_TRANS, _CBLAS_NO_TRANS,
+                       n, k, m, alpha, self._ptr(a), n,
+                       self._ptr(b), k, 1.0, self._ptr(c), k)
+
+
+class _ScipyProvider:
+    """``scipy.linalg.blas`` f2py wrappers (copying, but always importable
+    wherever scipy is)."""
+
+    name = "scipy"
+
+    def __init__(self, blas_module) -> None:
+        self._syrk = {np.dtype(np.float64): blas_module.dsyrk,
+                      np.dtype(np.float32): blas_module.ssyrk}
+        self._gemm = {np.dtype(np.float64): blas_module.dgemm,
+                      np.dtype(np.float32): blas_module.sgemm}
+
+    def syrk(self, a: np.ndarray, c: np.ndarray, alpha: float) -> None:
+        n = a.shape[1]
+        product = self._syrk[a.dtype](alpha, a, trans=1, lower=1)
+        idx = np.tril_indices(n)
+        c[idx] += product[idx]
+
+    def gemm_t(self, a: np.ndarray, b: np.ndarray, c: np.ndarray,
+               alpha: float) -> None:
+        c += self._gemm[a.dtype](alpha, a, b, trans_a=1)
+
+
+def _candidate_libraries() -> list:
+    """Shared-library paths that may expose CBLAS symbols, best first.
+
+    Libraries advertising an ILP64 build (``openblas64``, ``ilp64``) are
+    excluded: their 64-bit integer ABI silently mismatches the 32-bit
+    ``c_int`` prototypes bound below.
+    """
+    paths = []
+    for stem in ("openblas", "cblas", "blas", "mkl_rt"):
+        found = ctypes.util.find_library(stem)
+        if found:
+            paths.append(found)
+    # numpy/scipy vendor private BLAS builds next to their packages
+    for module in ("numpy", "scipy"):
+        mod = sys.modules.get(module)
+        if mod is None or not getattr(mod, "__file__", None):
+            continue
+        site = os.path.dirname(os.path.dirname(mod.__file__))
+        for pattern in (f"{module}.libs/*openblas*", f"{module}/.libs/*openblas*",
+                        f"{module}.libs/*blas*"):
+            paths.extend(sorted(glob.glob(os.path.join(site, pattern))))
+    return [p for p in paths
+            if "64" not in os.path.basename(p).replace("x86_64", "")]
+
+
+def _selftest(active) -> bool:
+    """Reject a provider whose bound symbols do not compute what we think
+    they compute (e.g. an unexpected ABI): one tiny syrk and gemm checked
+    against numpy, in **both** supported precisions — float32 traffic uses
+    the ``ssyrk``/``sgemm`` symbols, which must be vetted independently of
+    their double-precision siblings."""
+    try:
+        for dtype in (np.float64, np.float32):
+            a = np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]], dtype=dtype)
+            c = np.zeros((2, 2), dtype=dtype)
+            active.syrk(a, c, 1.0)
+            if not np.allclose(np.tril(c), np.tril(a.T @ a), rtol=1e-5):
+                return False
+            b = np.array([[1.0], [0.5], [-1.0]], dtype=dtype)
+            d = np.zeros((2, 1), dtype=dtype)
+            active.gemm_t(a, b, d, 2.0)
+            if not np.allclose(d, 2.0 * (a.T @ b), rtol=1e-5):
+                return False
+        return True
+    except Exception:
+        return False
+
+
+def _load_provider() -> Optional[object]:
+    if os.environ.get("REPRO_BLAS_DIRECT", "1") in ("0", "false", ""):
+        return None
+    for path in _candidate_libraries():
+        try:
+            candidate = _CtypesProvider(ctypes.CDLL(path))
+        except (OSError, AttributeError):
+            continue  # unloadable, or loadable but without CBLAS symbols
+        if _selftest(candidate):
+            return candidate
+    try:
+        from scipy.linalg import blas as scipy_blas
+        candidate = _ScipyProvider(scipy_blas)
+    except Exception:
+        return None
+    return candidate if _selftest(candidate) else None
+
+
+_PROVIDER: Optional[object] = None
+_LOADED = False
+
+
+def _provider() -> Optional[object]:
+    global _PROVIDER, _LOADED
+    if not _LOADED:
+        _PROVIDER = _load_provider()
+        _LOADED = True
+    return _PROVIDER
+
+
+def is_available() -> bool:
+    """Whether a BLAS-direct provider could be bound on this host."""
+    return _provider() is not None
+
+
+def provider() -> Optional[str]:
+    """Name of the active provider (``"ctypes"`` / ``"scipy"``) or ``None``."""
+    active = _provider()
+    return active.name if active is not None else None
+
+
+def _require(a: np.ndarray) -> None:
+    if not supported_dtype(a.dtype):
+        raise DTypeError(
+            f"BLAS-direct kernels support float32/float64 only, got {a.dtype}")
+
+
+def _dense(a: np.ndarray) -> np.ndarray:
+    """The ctypes prototypes address raw memory, so operands must be
+    C-contiguous; copies here are the exception (engine traffic is
+    contiguous), not the rule."""
+    return a if a.flags.c_contiguous else np.ascontiguousarray(a)
+
+
+def direct_syrk(a: np.ndarray, c: np.ndarray, alpha: float = 1.0, *,
+                count: Optional[bool] = None) -> np.ndarray:
+    """Lower-triangular ``C += alpha * A^T A`` through the bound BLAS.
+
+    Same contract as :func:`repro.blas.kernels.syrk` (``lower=True``);
+    raises :class:`RuntimeError` when no provider is available — callers
+    are expected to gate on :func:`is_available`.
+    """
+    active = _provider()
+    if active is None:
+        raise RuntimeError("no BLAS-direct provider available on this host")
+    validate_matrix(a, "A")
+    validate_matrix(c, "C")
+    _require(a)
+    m, n = a.shape
+    if c.shape != (n, n):
+        raise ShapeError(f"C must have shape ({n}, {n}) for A of shape "
+                         f"{a.shape}, got {c.shape}")
+    if a.dtype != c.dtype:
+        raise DTypeError(f"A and C must share a dtype, got {a.dtype} and {c.dtype}")
+    a = _dense(a)
+    if c.flags.c_contiguous:
+        active.syrk(a, c, float(alpha))
+    else:
+        dense = np.ascontiguousarray(c)
+        active.syrk(a, dense, float(alpha))
+        c[...] = dense
+    if count if count is not None else get_config().count_flops:
+        itemsize = a.dtype.itemsize
+        counters.record("syrk", flops=syrk_flops(m, n),
+                        bytes=itemsize * (m * n + n * (n + 1) // 2))
+    return c
+
+
+def direct_gemm_t(a: np.ndarray, b: np.ndarray, c: np.ndarray,
+                  alpha: float = 1.0, *,
+                  count: Optional[bool] = None) -> np.ndarray:
+    """``C += alpha * A^T B`` through the bound BLAS (see
+    :func:`repro.blas.kernels.gemm_t` for the shape contract)."""
+    active = _provider()
+    if active is None:
+        raise RuntimeError("no BLAS-direct provider available on this host")
+    validate_matrix(a, "A")
+    validate_matrix(b, "B")
+    validate_matrix(c, "C")
+    _require(a)
+    m, n = a.shape
+    mb, k = b.shape
+    if mb != m:
+        raise ShapeError(f"A and B must share their first dimension, "
+                         f"got {a.shape} and {b.shape}")
+    if c.shape != (n, k):
+        raise ShapeError(f"C must have shape ({n}, {k}), got {c.shape}")
+    if not (a.dtype == b.dtype == c.dtype):
+        raise DTypeError("operands must share a dtype, got "
+                         f"{sorted({str(a.dtype), str(b.dtype), str(c.dtype)})}")
+    a, b = _dense(a), _dense(b)
+    if c.flags.c_contiguous:
+        active.gemm_t(a, b, c, float(alpha))
+    else:
+        dense = np.ascontiguousarray(c)
+        active.gemm_t(a, b, dense, float(alpha))
+        c[...] = dense
+    if count if count is not None else get_config().count_flops:
+        itemsize = a.dtype.itemsize
+        counters.record("gemm", flops=gemm_flops(m, n, k),
+                        bytes=itemsize * (m * n + m * k + n * k))
+    return c

@@ -45,6 +45,19 @@ DEFAULT_DTYPE = np.float64
 #: Default seed used by the workload generators in :mod:`repro.bench`.
 DEFAULT_SEED = 0x5EED
 
+#: Backend names the ``backend`` field / ``REPRO_BACKEND`` env var accept.
+#: Mirrors the built-in registry of :mod:`repro.engine.backends` ("auto"
+#: means "let dispatch choose").  Custom backends registered at runtime
+#: are selected per call via ``algo=<name>`` instead of through the
+#: process-wide configuration, which keeps this validation closed.
+KNOWN_BACKENDS = ("auto", "syrk", "ata", "tiled", "recursive_gemm",
+                  "strassen", "blas_direct")
+
+#: Default exploration budget of the measured auto-tuner: how many timed
+#: samples each candidate backend gets per shape bucket before the tuner
+#: starts exploiting the measured-fastest one.
+DEFAULT_TUNER_EXPLORE = 3
+
 
 @dataclasses.dataclass
 class Config:
@@ -74,6 +87,25 @@ class Config:
         Safety valve against pathological configurations (e.g. a base case
         of 0 elements).  The recursion depth of a well-formed call is
         bounded by ``ceil(log2(max(m, n)))``; this limit is far above that.
+    backend:
+        Forces ``algo="auto"`` dispatch in :mod:`repro.engine` onto one
+        named backend (one of :data:`KNOWN_BACKENDS`).  ``"auto"``
+        (default) lets the engine choose — heuristically, or by measured
+        timings when a tuner is attached.  A forced backend that does not
+        support a given operation/dtype is skipped for that call (e.g.
+        ``blas_direct`` on a host without BLAS symbols).
+    tuner_path:
+        Filesystem path of the measured auto-tuner's persisted timing
+        table.  ``None`` resolves to ``~/.cache/repro/tuner.json`` (or
+        ``$REPRO_TUNER_PATH``).
+    tuner_explore:
+        Exploration budget of the measured auto-tuner: timed samples each
+        candidate backend receives per shape bucket before the tuner
+        exploits the fastest.  Budgets ≥ 2 are recommended for real
+        traffic — the first sample on a plan-compiled backend includes
+        its one-off compile cost, which ``best-of-budget`` filters out
+        from the second sample on (a budget of 1 is mainly for tests
+        driving the tuner with an injected clock).
     """
 
     base_case_elements: int = DEFAULT_BASE_CASE_ELEMENTS
@@ -82,6 +114,9 @@ class Config:
     strict_finite: bool = False
     seed: int = DEFAULT_SEED
     max_recursion_depth: int = 64
+    backend: str = "auto"
+    tuner_path: Any = None
+    tuner_explore: int = DEFAULT_TUNER_EXPLORE
 
     def __post_init__(self) -> None:
         self.validate()
@@ -101,6 +136,16 @@ class Config:
             raise ConfigurationError(
                 f"default_dtype must be a floating or complex dtype, got {dt}"
             )
+        if self.backend not in KNOWN_BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; expected one of "
+                f"{KNOWN_BACKENDS} (custom backends are selected per call "
+                "via algo=<name>)"
+            )
+        if self.tuner_explore < 1:
+            raise ConfigurationError(
+                f"tuner_explore must be >= 1, got {self.tuner_explore}"
+            )
 
     def replace(self, **changes: Any) -> "Config":
         """Return a copy of this configuration with ``changes`` applied."""
@@ -115,6 +160,10 @@ def _config_from_env() -> Config:
     ``REPRO_BASE_CASE``     integer, base-case element count.
     ``REPRO_COUNT_FLOPS``   "0"/"1", toggle instrumentation.
     ``REPRO_SEED``          integer, default workload seed.
+    ``REPRO_BACKEND``       backend name forcing ``algo="auto"`` dispatch
+                            (one of :data:`KNOWN_BACKENDS`); unknown names
+                            raise :class:`ConfigurationError`.
+    ``REPRO_TUNER_PATH``    path of the auto-tuner's persisted timing table.
     """
     kwargs: dict[str, Any] = {}
     if "REPRO_BASE_CASE" in os.environ:
@@ -123,6 +172,10 @@ def _config_from_env() -> Config:
         kwargs["count_flops"] = os.environ["REPRO_COUNT_FLOPS"] not in ("0", "false", "")
     if "REPRO_SEED" in os.environ:
         kwargs["seed"] = int(os.environ["REPRO_SEED"])
+    if "REPRO_BACKEND" in os.environ:
+        kwargs["backend"] = os.environ["REPRO_BACKEND"]
+    if "REPRO_TUNER_PATH" in os.environ:
+        kwargs["tuner_path"] = os.environ["REPRO_TUNER_PATH"]
     return Config(**kwargs)
 
 

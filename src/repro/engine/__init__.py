@@ -26,9 +26,24 @@ dispatch) builds on:
   persistent worker pool — bit-identically to the sequential replay,
   because conflicting steps (in particular accumulation chains into a
   shared output region) retire in plan order under any worker count;
+* :mod:`repro.engine.backends` — the **backend registry**: every
+  execution path (``syrk`` / ``ata`` / ``tiled`` / ``recursive_gemm`` /
+  ``strassen`` plan backends, plus the ``blas_direct`` vendor-BLAS
+  backend where bindable) is a registered
+  :class:`~repro.engine.backends.Backend` with ``supports``/``cost``/
+  ``run`` hooks; custom backends plug in via
+  :func:`~repro.engine.backends.register_backend` and are immediately
+  dispatchable by name;
+* :mod:`repro.engine.tuner` — the **measured auto-tuner**:
+  :class:`~repro.engine.tuner.BackendTuner` feeds a per-(shape-bucket,
+  dtype) timing table from real executions, explores under-sampled
+  backends within a bounded budget, then dispatches ``algo="auto"``
+  traffic to the measured-fastest backend; the table persists as JSON
+  with config-fingerprint invalidation mirroring the plan cache;
 * :mod:`repro.engine.dispatch` — the **front-end**:
-  :func:`~repro.engine.dispatch.matmul_ata` auto-selects among
-  ``syrk`` / ``ata`` / ``recursive_gemm`` / ``tiled`` paths by shape,
+  :func:`~repro.engine.dispatch.matmul_ata` resolves each request
+  through explicit ``algo=`` > ``Config.backend``/``REPRO_BACKEND`` >
+  measured tuner > modeled-cost heuristic,
   :func:`~repro.engine.dispatch.run_batch` executes a homogeneous batch
   against a single compiled plan and checked-out workspace, and
   ``ExecutionEngine(workers=N)`` turns on DAG scheduling
@@ -38,10 +53,13 @@ The plan-key contract
 ---------------------
 A compiled plan is a pure function of its key::
 
-    (algo, shape, dtype.str, cache_model.capacity_words,
+    (backend, plan_kind, shape, dtype.str, cache_model.capacity_words,
      cache_model.line_words, scratch_lanes)
 
-plus the *plan-affecting configuration fields* ``base_case_elements`` and
+The key leads with the **backend id** so two backends compiling the same
+plan kind (possible for registered custom backends) can never collide in
+the cache.  A plan additionally depends on
+the *plan-affecting configuration fields* ``base_case_elements`` and
 ``max_recursion_depth``.  Those two fields are deliberately **not** in the
 key; instead the plan cache fingerprints them and drops every cached plan
 the first time it observes a change (see
@@ -65,6 +83,17 @@ Quickstart
 >>> cs = run_batch([a, a, a])          # one plan, one workspace, three results
 """
 
+from .backends import (
+    Backend,
+    BlasDirectBackend,
+    PlanBackend,
+    backend_names,
+    backends_for,
+    choose_heuristic,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
 from .cache import PlanCache
 from .dag import DagExecutor, DagRunStats
 from .dispatch import (
@@ -77,6 +106,7 @@ from .dispatch import (
 )
 from .plan import ExecutionPlan, StepDag, compile_plan, execute_plan, PLAN_KINDS
 from .pool import WorkspacePool
+from .tuner import BackendTuner, default_tuner_path, shape_bucket
 
 __all__ = [
     "ExecutionEngine",
@@ -88,6 +118,18 @@ __all__ = [
     "PlanCache",
     "WorkspacePool",
     "PLAN_KINDS",
+    "Backend",
+    "PlanBackend",
+    "BlasDirectBackend",
+    "BackendTuner",
+    "backend_names",
+    "backends_for",
+    "choose_heuristic",
+    "get_backend",
+    "register_backend",
+    "unregister_backend",
+    "default_tuner_path",
+    "shape_bucket",
     "compile_plan",
     "execute_plan",
     "default_engine",

@@ -23,12 +23,20 @@ from typing import Callable, Optional, Tuple
 from ..config import Config, get_config
 from .plan import ExecutionPlan
 
-__all__ = ["PlanCache"]
+__all__ = ["PlanCache", "plan_config_fingerprint"]
 
 
-def _config_fingerprint(cfg: Config) -> Tuple[int, int]:
-    """The config fields a compiled plan can depend on."""
+def plan_config_fingerprint(cfg: Config) -> Tuple[int, int]:
+    """The config fields a compiled plan can depend on.
+
+    Shared with :mod:`repro.engine.tuner`: a change in these fields means
+    a backend executes a structurally different plan, so both the plan
+    cache and the tuner's timing table must invalidate on the same pair.
+    """
     return (cfg.base_case_elements, cfg.max_recursion_depth)
+
+
+_config_fingerprint = plan_config_fingerprint
 
 
 class PlanCache:

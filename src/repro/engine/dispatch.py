@@ -1,12 +1,29 @@
-"""Dispatch front-end: shape-aware algorithm selection over cached plans.
+"""Dispatch front-end: registry-driven backend selection over cached plans.
 
-:class:`ExecutionEngine` ties the three engine pieces together: it builds
-the plan key for a request, fetches (or compiles) the plan through the
-:class:`~repro.engine.cache.PlanCache`, checks a workspace out of the
-:class:`~repro.engine.pool.WorkspacePool`, executes, and returns the
-workspace.  A module-level default engine serves the library's own rewired
-call sites (:mod:`repro.apps`, :mod:`repro.parallel.ata_shared`,
-:mod:`repro.bench`); tests and benchmarks can construct isolated engines.
+:class:`ExecutionEngine` ties the engine pieces together: it resolves each
+request to an execution :class:`~repro.engine.backends.Backend` (explicit
+``algo=``, the configured ``Config.backend`` / ``REPRO_BACKEND`` override,
+a measured :class:`~repro.engine.tuner.BackendTuner` decision, or the
+deterministic modeled-cost heuristic — in that order), and provides the
+services backends execute through: the plan cache, the workspace pool and
+the sequential/DAG schedulers.  A module-level default engine serves the
+library's own rewired call sites (:mod:`repro.apps`,
+:mod:`repro.parallel.ata_shared`, :mod:`repro.bench`); tests and
+benchmarks construct isolated engines.
+
+Algorithm selection is **pluggable**: nothing in this module enumerates
+algorithms.  ``algo=`` strings are looked up in the backend registry
+(:mod:`repro.engine.backends`), so a backend registered at runtime is
+immediately dispatchable, and the set a given operation accepts is exactly
+``backend_names(op)``.
+
+With ``tuner="measured"`` (or an explicit :class:`BackendTuner`),
+``algo="auto"`` consults the tuner's per-(shape-bucket, dtype) timing
+table: under-sampled backends are explored with real traffic until the
+exploration budget is met, after which every call dispatches to the
+measured-fastest backend; timings persist across processes (see
+:mod:`repro.engine.tuner`).  The tuner only reorders *which* backend wins
+— each backend's output remains bit-identical to its direct call.
 """
 
 from __future__ import annotations
@@ -14,24 +31,32 @@ from __future__ import annotations
 import dataclasses
 import os
 import threading
-from typing import Iterable, List, Literal, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..blas.kernels import scale, validate_matrix
 from ..cache.model import CacheModel, default_cache_model
+from ..config import get_config
 from ..errors import ConfigurationError, DTypeError, ShapeError
+from .backends import Backend, candidates, choose_heuristic, get_backend
 from .cache import PlanCache
 from .dag import DagExecutor
 from .plan import ExecutionPlan, compile_plan, execute_plan
 from .pool import WorkspacePool
+from .tuner import BackendTuner
 
 __all__ = ["ExecutionEngine", "EngineStats", "default_engine",
            "matmul_ata", "matmul_atb", "run_batch"]
 
-AtaAlgo = Literal["auto", "syrk", "ata", "recursive_gemm", "tiled"]
-AtbAlgo = Literal["auto", "strassen", "recursive_gemm"]
-ParallelMode = Literal["auto", "dag", "off"]
+#: Algorithm selectors are backend names now — plain strings resolved in
+#: the registry — not closed ``Literal`` unions.  The aliases survive for
+#: annotation compatibility.
+AtaAlgo = str
+AtbAlgo = str
+ParallelMode = str
+
+_PARALLEL_MODES = ("auto", "dag", "off")
 
 #: "auto" falls back to sequential replay below this step count: the
 #: scheduling machinery costs more than it can overlap on tiny plans.
@@ -40,8 +65,8 @@ _DAG_MIN_STEPS = 8
 
 @dataclasses.dataclass(frozen=True)
 class EngineStats:
-    """A point-in-time snapshot of an engine's cache, pool and scheduler
-    accounting."""
+    """A point-in-time snapshot of an engine's cache, pool, scheduler,
+    backend and tuner accounting."""
 
     plan_hits: int
     plan_misses: int
@@ -55,11 +80,22 @@ class EngineStats:
     dag_runs: int = 0
     dag_steps: int = 0
     sequential_runs: int = 0
+    #: executions per backend name (every completed matmul_* increments
+    #: exactly one bucket)
+    backend_runs: Mapping[str, int] = dataclasses.field(default_factory=dict)
+    #: tuner decisions served from the measured table (exploit)
+    tuner_hits: int = 0
+    #: tuner decisions that sampled an under-measured backend (explore)
+    tuner_explores: int = 0
 
     @property
     def plan_hit_rate(self) -> float:
         total = self.plan_hits + self.plan_misses
         return self.plan_hits / total if total else 0.0
+
+    @property
+    def total_backend_runs(self) -> int:
+        return sum(self.backend_runs.values())
 
 
 class ExecutionEngine:
@@ -86,23 +122,33 @@ class ExecutionEngine:
         More lanes decouple Strassen scratch reuse — raising available
         parallelism — at the cost of up to ``lanes``× the sequential
         workspace.
+    tuner:
+        Backend auto-tuning for ``algo="auto"`` requests.  ``None`` /
+        ``"off"`` (default) uses the deterministic modeled-cost heuristic;
+        ``"measured"`` attaches a :class:`~repro.engine.tuner.BackendTuner`
+        persisting to the configured table path; an explicit
+        :class:`BackendTuner` instance is used as-is (several engines may
+        share one).
 
     Notes
     -----
-    Results are bit-for-bit identical to the direct calls
+    Results are bit-for-bit identical to each backend's direct call
     (:func:`repro.core.ata.ata`, :func:`repro.core.strassen.fast_strassen`,
-    :func:`repro.core.recursive_gemm.recursive_gemm`) because plans replay
-    the exact kernel sequence of the recursion, and DAG scheduling orders
-    every pair of conflicting steps exactly as the sequential replay does
-    (see :mod:`repro.engine.dag`).  The engine is safe to use from
-    multiple threads: plans are immutable and each concurrent execution
-    checks out its own workspace.
+    :func:`repro.core.recursive_gemm.recursive_gemm`,
+    :func:`repro.blas.direct.direct_syrk`) because plans replay the exact
+    kernel sequence of the recursion, and DAG scheduling orders every pair
+    of conflicting steps exactly as the sequential replay does (see
+    :mod:`repro.engine.dag`).  The tuner never perturbs a backend's
+    output; it only selects among backends.  The engine is safe to use
+    from multiple threads: plans are immutable and each concurrent
+    execution checks out its own workspace.
     """
 
     def __init__(self, plan_capacity: int = 128, pool_size: int = 8,
                  workers: int = 1, parallel: ParallelMode = "auto",
-                 scratch_lanes: Optional[int] = None) -> None:
-        if parallel not in ("auto", "dag", "off"):
+                 scratch_lanes: Optional[int] = None,
+                 tuner: Union[str, BackendTuner, None] = None) -> None:
+        if parallel not in _PARALLEL_MODES:
             raise ConfigurationError(f"unknown parallel mode {parallel!r}; "
                                      "expected 'auto', 'dag' or 'off'")
         if workers < 1:
@@ -129,24 +175,135 @@ class ExecutionEngine:
         # dispatch and DAG scheduling would only add overhead ("dag" still
         # forces it, which is what the determinism tests rely on)
         self._auto_workers = min(self.workers, os.cpu_count() or 1)
+        if tuner is None or tuner == "off":
+            self.tuner: Optional[BackendTuner] = None
+        elif tuner == "measured":
+            self.tuner = BackendTuner()
+        elif isinstance(tuner, BackendTuner):
+            self.tuner = tuner
+        else:
+            raise ConfigurationError(
+                f"unknown tuner {tuner!r}; expected 'off', 'measured' or a "
+                "BackendTuner instance")
+        # timings from a DAG-parallel engine describe different executions
+        # than a sequential engine's, so tuner cells key on this signature
+        # (None = sequential) and engines with different scheduling never
+        # cross-pollute a shared table
+        self._tuner_sched = (f"w{self.workers}l{self._lanes}"
+                             if self._dag_capable else None)
         self._sequential_runs = 0
+        self._backend_runs: Dict[str, int] = {}
+        # per-engine tuner accounting: a shared BackendTuner's lifetime
+        # counters would misattribute other engines' decisions
+        self._tuner_hits = 0
+        self._tuner_explores = 0
         self._stats_lock = threading.Lock()
 
     # -- plan acquisition ---------------------------------------------------
-    def _plan(self, algo: str, shape: tuple, dtype, model: CacheModel) -> ExecutionPlan:
+    def _plan(self, backend: str, kind: str, shape: tuple, dtype,
+              model: CacheModel) -> ExecutionPlan:
+        """Fetch (or compile) the plan for ``(backend, kind, shape)``.
+
+        The key leads with the backend id, so two backends compiling the
+        same plan kind can never collide in the cache.
+        """
         lanes = self._lanes if self._dag_capable else 1
-        key = (algo, shape, np.dtype(dtype).str,
+        key = (backend, kind, shape, np.dtype(dtype).str,
                model.capacity_words, model.line_words, lanes)
         return self.plans.get_or_compile(
-            key, lambda: compile_plan(algo, shape, dtype, model, key=key,
+            key, lambda: compile_plan(kind, shape, dtype, model, key=key,
                                       lanes=lanes,
                                       build_dag=self._dag_capable))
 
+    # -- backend resolution -------------------------------------------------
+    def _effective_sched(self, parallel: Optional[str]) -> Optional[str]:
+        """Tuner cell signature for this call.
+
+        An explicit per-call ``parallel="off"`` override executes
+        sequentially whatever the engine's configuration, so its timings
+        belong in the sequential cell.  (``"auto"``'s small-plan fallback
+        is not modelled here — which schedule it takes depends on the
+        compiled plan, unknown before the backend is chosen — so tiny
+        plans on a DAG engine are approximated by the engine signature.)
+        """
+        if self._tuner_sched is None:
+            return None
+        if self._resolve_parallel(parallel) == "off":
+            return None
+        return self._tuner_sched
+
+    def _resolve_backend(self, op: str, shape: Tuple[int, ...], dtype,
+                         model: CacheModel, algo: str,
+                         parallel: Optional[str] = None
+                         ) -> Tuple[Backend, bool, Optional[str]]:
+        """Resolve a request to a backend.
+
+        Returns ``(backend, measured, sched)`` where ``measured`` marks a
+        tuner decision whose execution should be timed, and ``sched`` is
+        the scheduling signature that decision was filed under (threaded
+        through to the matching ``record`` so the two can never disagree).
+        Precedence: explicit ``algo`` > configured ``Config.backend`` >
+        tuner > modeled-cost heuristic.
+        """
+        if algo != "auto":
+            backend = get_backend(algo, op)
+            if not backend.supports(op, shape, dtype, model):
+                raise ShapeError(
+                    f"backend {algo!r} cannot serve {op!r} on shape {shape} "
+                    f"with dtype {np.dtype(dtype)} on this host")
+            return backend, False, None
+        forced = get_config().backend
+        if forced != "auto":
+            try:
+                backend = get_backend(forced, op)
+            except ShapeError:
+                backend = None  # forced backend does not serve this op
+            if backend is not None and backend.supports(op, shape, dtype, model):
+                return backend, False, None
+        pool = candidates(op, shape, dtype, model)
+        if self.tuner is not None and len(pool) > 1:
+            sched = self._effective_sched(parallel)
+            name, explored = self.tuner.choose(op, shape, dtype,
+                                               tuple(b.name for b in pool),
+                                               model=model, sched=sched)
+            with self._stats_lock:
+                if explored:
+                    self._tuner_explores += 1
+                else:
+                    self._tuner_hits += 1
+            # only explore decisions are timed: recording further samples
+            # for an already-converged winner can only lower its own best
+            # time, never flip the decision, so exploit calls skip the
+            # measurement overhead entirely
+            return next(b for b in pool if b.name == name), explored, sched
+        return choose_heuristic(op, shape, dtype, model, pool), False, None
+
+    def _run_backend(self, backend: Backend, op: str, shape: Tuple[int, ...],
+                     a: np.ndarray, c: np.ndarray, alpha: float,
+                     b: Optional[np.ndarray], model: CacheModel,
+                     parallel: Optional[str], measured: bool,
+                     sched: Optional[str] = None,
+                     held: Optional[dict] = None) -> None:
+        """Execute through ``backend``, timing the call into the tuner's
+        table when it was a tuner explore decision (``sched`` is the cell
+        signature the decision was filed under)."""
+        if measured and self.tuner is not None:
+            start = self.tuner.timer()
+            backend.run(self, op, a, c, alpha, b, model, parallel, held)
+            self.tuner.record(op, shape, a.dtype, backend.name,
+                              self.tuner.timer() - start, model=model,
+                              sched=sched)
+        else:
+            backend.run(self, op, a, c, alpha, b, model, parallel, held)
+        with self._stats_lock:
+            self._backend_runs[backend.name] = \
+                self._backend_runs.get(backend.name, 0) + 1
+
     # -- scheduling ---------------------------------------------------------
-    def _resolve_parallel(self, parallel: Optional[ParallelMode]) -> ParallelMode:
+    def _resolve_parallel(self, parallel: Optional[str]) -> str:
         if parallel is None:
             return self.parallel
-        if parallel not in ("auto", "dag", "off"):
+        if parallel not in _PARALLEL_MODES:
             raise ConfigurationError(f"unknown parallel mode {parallel!r}; "
                                      "expected 'auto', 'dag' or 'off'")
         if parallel == "dag" and not self._dag_capable:
@@ -159,7 +316,7 @@ class ExecutionEngine:
 
     def _execute(self, plan: ExecutionPlan, a: np.ndarray, c: np.ndarray,
                  alpha: float, workspace, b: Optional[np.ndarray],
-                 parallel: Optional[ParallelMode]) -> None:
+                 parallel: Optional[str]) -> None:
         mode = self._resolve_parallel(parallel)
         use_dag = (self.dag is not None and plan.dag is not None
                    and mode != "off"
@@ -184,7 +341,7 @@ class ExecutionEngine:
                    algo: AtaAlgo = "auto",
                    cache: Optional[CacheModel] = None,
                    parallel: Optional[ParallelMode] = None) -> np.ndarray:
-        """Lower-triangular ``C = alpha * A^T A + beta * C`` via a cached plan.
+        """Lower-triangular ``C = alpha * A^T A + beta * C`` via a backend.
 
         Parameters
         ----------
@@ -196,11 +353,12 @@ class ExecutionEngine:
         alpha, beta:
             BLAS-style scaling factors (``beta`` pre-scales ``c``).
         algo:
-            ``"auto"`` picks ``syrk`` when the operand fits the cache model
-            and the Algorithm 1 plan otherwise.  ``"ata"``, ``"syrk"``,
-            ``"tiled"`` and ``"recursive_gemm"`` force a specific path
-            (``recursive_gemm`` computes the full product out of place and
-            folds its lower triangle into ``c`` — an oracle/fallback path).
+            ``"auto"`` resolves through the configured backend override,
+            the measured tuner (when attached) or the modeled-cost
+            heuristic (``syrk`` when the operand fits the cache model, the
+            Algorithm 1 plan otherwise).  Any registered backend name
+            (``"ata"``, ``"syrk"``, ``"tiled"``, ``"recursive_gemm"``,
+            ``"blas_direct"``, …) forces that path.
         cache:
             Cache model for the base-case predicates; defaults to the
             configured model for ``a``'s dtype.
@@ -221,27 +379,11 @@ class ExecutionEngine:
             raise ShapeError(f"A and C must share a dtype, got {a.dtype} and {c.dtype}")
 
         model = cache if cache is not None else default_cache_model(a.dtype)
-        if algo == "auto":
-            algo = "syrk" if (model.fits_ata(m, n) or (m <= 1 and n <= 1)) else "ata"
-        if algo not in ("syrk", "ata", "tiled", "recursive_gemm"):
-            raise ShapeError(f"unknown AtA algorithm {algo!r}")
-
+        backend, measured, sched = self._resolve_backend(
+            "ata", (m, n), a.dtype, model, algo, parallel)
         scale(c, beta)
-
-        if algo == "recursive_gemm":
-            plan = self._plan("recursive_gemm", (m, n, n), a.dtype, model)
-            full = np.zeros((n, n), dtype=a.dtype)
-            self._execute(plan, a, full, alpha, None, a, parallel)
-            idx = np.tril_indices(n)
-            c[idx] += full[idx]
-            return c
-
-        plan = self._plan(algo, (m, n), a.dtype, model)
-        workspace = self.pool.acquire(plan, a.dtype)
-        try:
-            self._execute(plan, a, c, alpha, workspace, None, parallel)
-        finally:
-            self.pool.release(workspace)
+        self._run_backend(backend, "ata", (m, n), a, c, alpha, None, model,
+                          parallel, measured, sched)
         return c
 
     # -- A^T B --------------------------------------------------------------
@@ -250,12 +392,13 @@ class ExecutionEngine:
                    algo: AtbAlgo = "auto",
                    cache: Optional[CacheModel] = None,
                    parallel: Optional[ParallelMode] = None) -> np.ndarray:
-        """``C = alpha * A^T B + C`` via a cached plan.
+        """``C = alpha * A^T B + C`` via a backend.
 
-        ``algo="auto"`` uses a single ``gemm_t`` kernel when the operands
-        fit the cache model and FastStrassen otherwise;
-        ``"recursive_gemm"`` forces the classical Algorithm 2 recursion.
-        ``parallel`` overrides the engine's scheduling mode per call.
+        ``algo="auto"`` resolves through the same precedence as
+        :meth:`matmul_ata` (the heuristic picks FastStrassen);
+        ``"recursive_gemm"`` forces the classical Algorithm 2 recursion
+        and ``"blas_direct"`` a bound vendor ``?gemm``.  ``parallel``
+        overrides the engine's scheduling mode per call.
         """
         validate_matrix(a, "A")
         validate_matrix(b, "B")
@@ -277,17 +420,10 @@ class ExecutionEngine:
                              f"{sorted({str(a.dtype), str(b.dtype), str(c.dtype)})}")
 
         model = cache if cache is not None else default_cache_model(a.dtype)
-        if algo == "auto":
-            algo = "strassen"
-        if algo not in ("strassen", "recursive_gemm"):
-            raise ShapeError(f"unknown A^T B algorithm {algo!r}")
-
-        plan = self._plan(algo, (m, n, k), a.dtype, model)
-        workspace = self.pool.acquire(plan, a.dtype)
-        try:
-            self._execute(plan, a, c, alpha, workspace, b, parallel)
-        finally:
-            self.pool.release(workspace)
+        backend, measured, sched = self._resolve_backend(
+            "atb", (m, n, k), a.dtype, model, algo, parallel)
+        self._run_backend(backend, "atb", (m, n, k), a, c, alpha, b, model,
+                          parallel, measured, sched)
         return c
 
     # -- batching -----------------------------------------------------------
@@ -297,14 +433,14 @@ class ExecutionEngine:
                   parallel: Optional[ParallelMode] = None) -> List[np.ndarray]:
         """Compute ``alpha * A^T A`` for every matrix in ``matrices``.
 
-        Matrices sharing a plan key are executed against a single checked-
-        out workspace, so a homogeneous batch compiles once and allocates
-        once no matter its length.  Results are identical to calling
-        :meth:`matmul_ata` in a loop.  ``parallel`` overrides the engine's
-        scheduling mode for every matrix in the batch.
+        Matrices resolving to the same plan are executed against a single
+        checked-out workspace, so a homogeneous batch compiles once and
+        allocates once no matter its length.  Results are identical to
+        calling :meth:`matmul_ata` in a loop.  ``parallel`` overrides the
+        engine's scheduling mode for every matrix in the batch.
         """
-        if algo not in ("auto", "syrk", "ata", "tiled", "recursive_gemm"):
-            raise ShapeError(f"unknown AtA algorithm {algo!r}")
+        if algo != "auto":
+            get_backend(algo, "ata")  # reject unknown/unsupported up front
         held: dict = {}
         results: List[np.ndarray] = []
         try:
@@ -312,22 +448,11 @@ class ExecutionEngine:
                 validate_matrix(a, "A")
                 m, n = a.shape
                 model = cache if cache is not None else default_cache_model(a.dtype)
-                effective = algo
-                if effective == "auto":
-                    effective = "syrk" if (model.fits_ata(m, n)
-                                           or (m <= 1 and n <= 1)) else "ata"
-                if effective == "recursive_gemm":
-                    results.append(self.matmul_ata(a, alpha=alpha, algo=effective,
-                                                   cache=model, parallel=parallel))
-                    continue
-                plan = self._plan(effective, (m, n), a.dtype, model)
+                backend, measured, sched = self._resolve_backend(
+                    "ata", (m, n), a.dtype, model, algo, parallel)
                 c = np.zeros((n, n), dtype=a.dtype)
-                workspace = None
-                if plan.needs_workspace:
-                    workspace = held.get(plan.key)
-                    if workspace is None:
-                        workspace = held[plan.key] = self.pool.acquire(plan, a.dtype)
-                self._execute(plan, a, c, alpha, workspace, None, parallel)
+                self._run_backend(backend, "ata", (m, n), a, c, alpha, None,
+                                  model, parallel, measured, sched, held=held)
                 results.append(c)
         finally:
             for workspace in held.values():
@@ -336,8 +461,10 @@ class ExecutionEngine:
 
     # -- maintenance --------------------------------------------------------
     def stats(self) -> EngineStats:
-        """Snapshot the plan-cache, workspace-pool and DAG-scheduler
-        accounting."""
+        """Snapshot the plan-cache, workspace-pool, DAG-scheduler, backend
+        and tuner accounting."""
+        with self._stats_lock:
+            backend_runs = dict(self._backend_runs)
         return EngineStats(
             plan_hits=self.plans.hits,
             plan_misses=self.plans.misses,
@@ -351,18 +478,25 @@ class ExecutionEngine:
             dag_runs=self.dag.runs if self.dag is not None else 0,
             dag_steps=self.dag.steps_retired if self.dag is not None else 0,
             sequential_runs=self._sequential_runs,
+            backend_runs=backend_runs,
+            tuner_hits=self._tuner_hits,
+            tuner_explores=self._tuner_explores,
         )
 
     def clear(self) -> None:
-        """Drop all cached plans and pooled workspaces (stats retained)."""
+        """Drop all cached plans and pooled workspaces (stats and tuner
+        table retained)."""
         self.plans.invalidate()
         self.pool.clear()
 
     def close(self) -> None:
-        """Release the DAG executor's helper threads (engine stays usable;
-        threads are recreated on the next parallel execution)."""
+        """Release the DAG executor's helper threads and flush the tuner
+        table (engine stays usable; threads are recreated on the next
+        parallel execution)."""
         if self.dag is not None:
             self.dag.shutdown()
+        if self.tuner is not None:
+            self.tuner.flush()
 
 
 #: The process-wide engine serving the library's rewired call sites.

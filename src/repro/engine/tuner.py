@@ -1,0 +1,419 @@
+"""Measured per-shape backend auto-tuning with a persisted timing table.
+
+The modeled heuristics in :mod:`repro.engine.backends` encode what *should*
+be fastest; this module records what *is*.  A :class:`BackendTuner` keeps a
+timing table keyed by ``(operation, dtype, shape bucket, cache model)``
+whose entries accumulate per-backend sample counts and best/total measured
+seconds, fed by the engine's own executions (never by synthetic probes):
+
+* **explore** — while any candidate backend has fewer than
+  ``explore_budget`` samples in a bucket, :meth:`choose` returns the least
+  -sampled one, round-robining the real traffic across candidates;
+* **exploit** — once every candidate has met the budget, :meth:`choose`
+  returns the backend with the best measured time for the bucket.
+
+Shapes are bucketed by rounding every dimension up to the next power of
+two: timings generalise within a bucket (the recursion structure and
+kernel sizes are similar) while the table stays small.  Two deliberate
+coarsenings follow from that design: distinct shapes inside one bucket
+share samples (their costs differ by at most the bucket ratio), and an
+explore sample on a cold plan key includes the one-off plan compile —
+``best = min(samples)`` absorbs both as long as the budget is ≥ 2,
+which is why the default budget is 3.
+
+The table cell additionally keys on the cache model (it is part of the
+plan key — a different model compiles a structurally different plan) and
+on the engine's scheduling signature (worker/lane count): a DAG-parallel
+engine and a sequential engine measure genuinely different executions
+and therefore explore separate cells even when sharing one table.
+
+Persistence mirrors :class:`repro.engine.cache.PlanCache`'s invalidation
+contract, without its data loss: the JSON file (default
+``~/.cache/repro/tuner.json``, overridable via ``Config.tuner_path`` /
+``$REPRO_TUNER_PATH``) holds one sub-table per fingerprint of the
+plan-affecting configuration fields.  The tuner works against the
+sub-table matching the active configuration; when the configuration
+changes mid-run (a ``with configured(...)`` excursion), pending samples
+are parked under the old fingerprint and the sub-table for the new one
+is pulled in — measurements for either configuration survive the other.
+A missing file, a corrupt/truncated file, or a file with no sub-table
+for the active configuration all degrade to fresh exploration — never an
+exception.  Saves are atomic (``os.replace`` of a temp file) and re-read
+the file first to preserve other fingerprints' sub-tables, so engines in
+concurrent processes sharing one table at worst lose each other's
+latest samples, and a reader can never observe a half-written file.
+
+Determinism for tests: the ``timer`` callable is injectable, so CI times
+backends with a deterministic fake clock instead of the wall clock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time as _time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cache.model import CacheModel, default_cache_model
+from ..config import Config, get_config
+from .cache import plan_config_fingerprint
+
+__all__ = ["BackendTuner", "shape_bucket", "default_tuner_path",
+           "TABLE_VERSION"]
+
+TABLE_VERSION = 2
+
+
+def default_tuner_path() -> str:
+    """Resolve the tuner table path: ``Config.tuner_path`` if set, else
+    ``$REPRO_TUNER_PATH``, else ``~/.cache/repro/tuner.json``."""
+    configured = get_config().tuner_path
+    if configured:
+        return os.fspath(configured)
+    env = os.environ.get("REPRO_TUNER_PATH")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro",
+                        "tuner.json")
+
+
+def shape_bucket(shape: Sequence[int]) -> Tuple[int, ...]:
+    """Round every dimension up to the next power of two (minimum 1)."""
+    return tuple(1 << max(0, int(dim) - 1).bit_length() for dim in shape)
+
+
+def _config_fingerprint(cfg: Config) -> List[int]:
+    """The config fields that change what a backend executes for a shape —
+    literally :func:`repro.engine.cache.plan_config_fingerprint`, as a
+    JSON-friendly list, so the tuner and the plan cache can never drift
+    on what invalidates."""
+    return list(plan_config_fingerprint(cfg))
+
+
+def _bucket_key(op: str, dtype, bucket: Tuple[int, ...],
+                model: Optional[CacheModel],
+                sched: Optional[str] = None) -> str:
+    """Table key for one cell.
+
+    The cache model is part of the key because it is part of the plan key:
+    the same backend executes a structurally different plan under a
+    different model, so timings must not cross-pollinate.  ``None``
+    resolves to the configured default model for ``dtype`` — the model
+    engine traffic uses when the caller passes no explicit ``cache=``.
+    ``sched`` is the engine's scheduling signature (``None`` = sequential
+    execution): a DAG-parallel engine's timings describe different
+    executions than a sequential engine's, so they get their own cells.
+    """
+    if model is None:
+        model = default_cache_model(dtype)
+    return (f"{op}|{np.dtype(dtype).str}|{'x'.join(map(str, bucket))}"
+            f"|{model.capacity_words}c{model.line_words}|{sched or 'seq'}")
+
+
+def _fingerprint_key(fingerprint: List[int]) -> str:
+    return ",".join(map(str, fingerprint))
+
+
+class BackendTuner:
+    """A measured, persisted per-shape backend selector.
+
+    Parameters
+    ----------
+    path:
+        Filesystem location of the JSON table.  ``None`` resolves through
+        :func:`default_tuner_path`; ``persist=False`` keeps the table
+        in-memory only (no load, no save).
+    explore_budget:
+        Timed samples each candidate backend receives per bucket before
+        the tuner exploits (``None`` reads ``Config.tuner_explore``).
+    timer:
+        Zero-argument callable returning seconds as a float; injectable so
+        tests can drive the tuner with a deterministic clock.
+    save_every:
+        Persist the table after this many recorded samples (and on
+        :meth:`flush`).
+
+    Attributes
+    ----------
+    hits:
+        Exploit decisions (the measured table determined the backend).
+    explores:
+        Explore decisions (an under-sampled backend was picked to gather
+        a timing).
+    load_failures:
+        Times a stored table was unreadable/stale and was discarded.
+    """
+
+    def __init__(self, path: Optional[str] = None, *,
+                 explore_budget: Optional[int] = None,
+                 timer=_time.perf_counter,
+                 persist: bool = True,
+                 save_every: int = 8) -> None:
+        self._explicit_budget = explore_budget
+        if explore_budget is not None and explore_budget < 1:
+            raise ValueError(
+                f"explore_budget must be >= 1, got {explore_budget}")
+        self.timer = timer
+        self.persist = persist
+        # resolved once: a configured(tuner_path=...) excursion after
+        # construction must not redirect autosaves of a table loaded from
+        # the original file into another file (clobbering its contents)
+        self._path = os.fspath(path) if path else default_tuner_path()
+        self.save_every = max(1, int(save_every))
+        self._lock = threading.RLock()
+        self._table: Dict[str, Dict[str, Dict[str, float]]] = {}
+        #: sub-tables parked in memory when the config fingerprint changed;
+        #: they survive even when the parking save() failed (unwritable
+        #: path) and are folded into every later save
+        self._parked: Dict[str, Dict[str, Dict[str, Dict[str, float]]]] = {}
+        self._fingerprint: Optional[List[int]] = None
+        self._dirty = 0
+        self.hits = 0
+        self.explores = 0
+        self.records = 0
+        self.load_failures = 0
+        if self.persist:
+            self.load()
+
+    # -- configuration ------------------------------------------------------
+    @property
+    def path(self) -> str:
+        """The table file this tuner loads from and saves to (fixed at
+        construction; see :func:`default_tuner_path` for resolution)."""
+        return self._path
+
+    @property
+    def explore_budget(self) -> int:
+        if self._explicit_budget is not None:
+            return self._explicit_budget
+        return get_config().tuner_explore
+
+    def _check_config(self) -> None:
+        """Swap the active sub-table when the plan-affecting configuration
+        changes: timings measured under another base case describe
+        different executions (mirrors ``PlanCache``'s invalidation) —
+        but unlike the plan cache, nothing is lost: pending samples are
+        parked on disk under the old fingerprint, and any sub-table
+        previously persisted for the new fingerprint is pulled back in,
+        so a temporary ``with configured(...)`` excursion cannot clobber
+        the long-lived table."""
+        fingerprint = _config_fingerprint(get_config())
+        if fingerprint == self._fingerprint:
+            return
+        if self._fingerprint is None:
+            self._fingerprint = fingerprint
+            return
+        # park the active sub-table in memory first: even if the disk save
+        # below fails (unwritable path), the samples survive in-process and
+        # ride along with every later save attempt
+        self._parked[_fingerprint_key(self._fingerprint)] = self._table
+        if self.persist and self._dirty:
+            self.save()  # best-effort disk parking under the old print
+        self._fingerprint = fingerprint
+        self._table = {}
+        self._dirty = 0
+        returning = self._parked.pop(_fingerprint_key(fingerprint), None)
+        if returning is not None:
+            # coming back from an excursion: the in-memory park is at
+            # least as fresh as anything on disk
+            self._table = returning
+        elif self.persist:
+            self.load()  # pulls the new fingerprint's sub-table, if any
+
+    # -- persistence --------------------------------------------------------
+    def load(self) -> bool:
+        """(Re)load the active configuration's sub-table from :attr:`path`.
+
+        Returns ``True`` when a usable sub-table was loaded.  Every
+        failure mode — missing file, unreadable file, corrupt JSON, wrong
+        schema, no sub-table for the active config fingerprint — leaves
+        the tuner with an empty table (fresh exploration) and returns
+        ``False``; nothing raises.  Only corrupt/unreadable files count
+        as :attr:`load_failures` (absence of the file or of this
+        fingerprint's sub-table is the normal cold start).
+        """
+        with self._lock:
+            self._fingerprint = _config_fingerprint(get_config())
+            self._table = {}
+            self._dirty = 0
+            try:
+                with open(self.path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+                entries = self._read_tables(payload).get(
+                    _fingerprint_key(self._fingerprint))
+                if entries is None:
+                    return False
+                table: Dict[str, Dict[str, Dict[str, float]]] = {}
+                for key, per_backend in entries.items():
+                    table[str(key)] = {
+                        str(name): {"count": int(cell["count"]),
+                                    "total": float(cell["total"]),
+                                    "best": float(cell["best"])}
+                        for name, cell in per_backend.items()}
+                self._table = table
+                return True
+            except FileNotFoundError:
+                return False
+            except Exception:
+                self.load_failures += 1
+                return False
+
+    @staticmethod
+    def _read_tables(payload) -> Dict[str, dict]:
+        """The fingerprint-keyed sub-tables of a parsed payload (raises on
+        a wrong schema so the caller counts a load failure)."""
+        if payload.get("version") != TABLE_VERSION:
+            raise ValueError("unknown table version")
+        tables = payload["tables"]
+        if not isinstance(tables, dict):
+            raise ValueError("malformed tables mapping")
+        return tables
+
+    def save(self) -> bool:
+        """Atomically persist the active sub-table; returns ``False``
+        (never raises) when the path is unwritable or persistence is
+        disabled.  Sub-tables stored for other config fingerprints (on
+        disk or parked in memory) are preserved, so saving under one
+        configuration never discards measurements taken under another.
+
+        The table is snapshotted under the lock but written outside it,
+        so steady-state :meth:`choose`/:meth:`record` calls never block
+        on disk I/O (the one exception is the rare config-fingerprint
+        swap, whose parking save runs from inside ``_check_config`` while
+        the caller still holds the lock); the temp-file name is unique
+        per (process, thread) and published with ``os.replace``, so
+        concurrent savers last-write-win whole files and a reader can
+        never observe a torn one.
+        """
+        if not self.persist:
+            return False
+        with self._lock:
+            fingerprint = (self._fingerprint
+                           or _config_fingerprint(get_config()))
+            snapshot = {key: {name: dict(cell)
+                              for name, cell in entry.items()}
+                        for key, entry in self._table.items()}
+            parked = {key: table for key, table in self._parked.items()}
+            dirty_at_snapshot = self._dirty
+        path = self.path
+        tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+        try:
+            directory = os.path.dirname(path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            tables: Dict[str, dict] = {}
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    tables = self._read_tables(json.load(handle))
+            except Exception:
+                pass  # unreadable/absent -> start a fresh file
+            tables.update(parked)
+            tables[_fingerprint_key(fingerprint)] = snapshot
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump({"version": TABLE_VERSION, "tables": tables},
+                          handle)
+            os.replace(tmp, path)
+            with self._lock:
+                # samples recorded while writing stay dirty for the next save
+                self._dirty = max(0, self._dirty - dirty_at_snapshot)
+            return True
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+
+    def flush(self) -> bool:
+        """Persist pending samples, if any."""
+        with self._lock:
+            pending = self._dirty > 0
+        return self.save() if pending else False
+
+    # -- decisions ----------------------------------------------------------
+    def choose(self, op: str, shape: Sequence[int], dtype,
+               candidate_names: Sequence[str],
+               model: Optional[CacheModel] = None,
+               sched: Optional[str] = None) -> Tuple[str, bool]:
+        """Pick a backend for this request.
+
+        Returns ``(name, explored)`` where ``explored`` is ``True`` when
+        the pick gathers a sample for an under-budget backend and
+        ``False`` when the measured table decided.  Exploit decisions need
+        no further samples: recording more timings for the winning backend
+        can only lower its best time, never flip the decision, so callers
+        skip measurement when ``explored`` is ``False``.
+        ``candidate_names`` must be non-empty; order breaks exploration
+        ties, so callers pass registration order for determinism.
+        """
+        if not candidate_names:
+            raise ValueError("choose() requires at least one candidate")
+        budget = self.explore_budget
+        with self._lock:
+            self._check_config()
+            entry = self._table.get(
+                _bucket_key(op, dtype, shape_bucket(shape), model, sched), {})
+            counts = {name: entry.get(name, {}).get("count", 0)
+                      for name in candidate_names}
+            least = min(counts.values())
+            if least < budget:
+                name = next(n for n in candidate_names if counts[n] == least)
+                self.explores += 1
+                return name, True
+            # min() is stable, so equal best times fall back to candidate
+            # (registration) order deterministically
+            name = min(candidate_names, key=lambda n: entry[n]["best"])
+            self.hits += 1
+            return name, False
+
+    def record(self, op: str, shape: Sequence[int], dtype, name: str,
+               seconds: float,
+               model: Optional[CacheModel] = None,
+               sched: Optional[str] = None) -> None:
+        """Feed one measured execution into the table (and autosave every
+        ``save_every`` samples)."""
+        seconds = float(seconds)
+        if seconds < 0 or not np.isfinite(seconds):
+            return  # a broken clock must not poison the table
+        with self._lock:
+            self._check_config()
+            key = _bucket_key(op, dtype, shape_bucket(shape), model, sched)
+            cell = self._table.setdefault(key, {}).setdefault(
+                name, {"count": 0, "total": 0.0, "best": float("inf")})
+            cell["count"] += 1
+            cell["total"] += seconds
+            cell["best"] = min(cell["best"], seconds)
+            self.records += 1
+            self._dirty += 1
+            autosave = self.persist and self._dirty >= self.save_every
+        if autosave:
+            self.save()  # snapshots under the lock, writes outside it
+
+    # -- introspection ------------------------------------------------------
+    def table_snapshot(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """A deep copy of the timing table (safe to mutate)."""
+        with self._lock:
+            return {key: {name: dict(cell) for name, cell in entry.items()}
+                    for key, entry in self._table.items()}
+
+    def best(self, op: str, shape: Sequence[int], dtype,
+             model: Optional[CacheModel] = None,
+             sched: Optional[str] = None) -> Optional[str]:
+        """The measured-fastest backend for this bucket, or ``None`` when
+        the bucket has no samples yet."""
+        with self._lock:
+            self._check_config()
+            entry = self._table.get(
+                _bucket_key(op, dtype, shape_bucket(shape), model, sched))
+            if not entry:
+                return None
+            return min(entry, key=lambda n: entry[n]["best"])
+
+    def clear(self) -> None:
+        """Drop every measured sample (stats retained)."""
+        with self._lock:
+            self._table.clear()
+            self._dirty = 0

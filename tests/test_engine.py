@@ -254,6 +254,59 @@ class TestCompilePlan:
             compile_plan("magic", (8, 8), np.float64, CacheModel(64))
 
 
+class TestBackendStats:
+    """EngineStats carries per-backend run counts and tuner counters."""
+
+    def test_backend_runs_counted_per_backend(self, engine, rng):
+        a = rng.standard_normal((48, 32))
+        b = rng.standard_normal((48, 20))
+        with configured(base_case_elements=64):
+            engine.matmul_ata(a)                      # auto -> ata
+            engine.matmul_ata(a, algo="tiled")
+            engine.matmul_ata(a, algo="tiled")
+            engine.matmul_atb(a, b)                   # auto -> strassen
+        stats = engine.stats()
+        assert stats.backend_runs["ata"] == 1
+        assert stats.backend_runs["tiled"] == 2
+        assert stats.backend_runs["strassen"] == 1
+        assert stats.total_backend_runs == 4
+
+    def test_small_auto_counts_as_syrk_backend(self, engine, rng):
+        engine.matmul_ata(rng.standard_normal((8, 8)))  # fits the base case
+        assert engine.stats().backend_runs == {"syrk": 1}
+
+    def test_batch_counts_every_entry(self, engine, rng):
+        with configured(base_case_elements=64):
+            engine.run_batch([rng.standard_normal((52, 36)) for _ in range(3)])
+        assert engine.stats().backend_runs == {"ata": 3}
+
+    def test_tuner_counters_zero_without_tuner(self, engine, rng):
+        engine.matmul_ata(rng.standard_normal((8, 8)))
+        stats = engine.stats()
+        assert stats.tuner_hits == 0 and stats.tuner_explores == 0
+
+    def test_tuner_counters_reflect_decisions(self, rng, tmp_path):
+        from repro.engine import BackendTuner, backend_names
+
+        class Clock:
+            t = 0.0
+
+            def __call__(self):
+                type(self).t += 0.5
+                return self.t
+
+        with configured(base_case_elements=64):
+            engine = ExecutionEngine(tuner=BackendTuner(
+                str(tmp_path / "t.json"), explore_budget=1, timer=Clock()))
+            a = rng.standard_normal((64, 64))
+            for _ in range(len(backend_names("ata")) + 2):
+                engine.matmul_ata(a)
+            stats = engine.stats()
+        assert stats.tuner_explores >= 1
+        assert stats.tuner_hits >= 1
+        assert stats.tuner_explores + stats.tuner_hits == stats.total_backend_runs
+
+
 class TestModuleLevelFrontend:
     def test_default_engine_is_shared(self):
         assert default_engine() is default_engine()
