@@ -1,15 +1,27 @@
 """Repository-level pytest configuration.
 
-Wires the ``--benchmark-disable`` fast lane used by CI: the flag is
-provided by the installed ``pytest-benchmark`` plugin (which uses it to
-disable its fixture-based benchmarks); here it additionally skips this
-repository's timing-sensitive ``benchmarks/`` suite so one invocation over
-both trees finishes in minutes.  Without the plugin the flag simply does
-not exist and ``--ignore=benchmarks`` achieves the same from the command
-line.
+Two pieces of harness glue live here:
+
+* the ``--benchmark-disable`` fast lane used by CI: the flag is provided
+  by the installed ``pytest-benchmark`` plugin (which uses it to disable
+  its fixture-based benchmarks); here it additionally skips this
+  repository's timing-sensitive ``benchmarks/`` suite so one invocation
+  over both trees finishes in minutes.  Without the plugin the flag simply
+  does not exist and ``--ignore=benchmarks`` achieves the same from the
+  command line;
+* a ``@pytest.mark.timeout(seconds)`` marker for the asyncio serving
+  tests: a deadlocked event loop (a batch that never flushes, a drain
+  that never finishes) would otherwise hang the whole job until the CI
+  runner's job-level timeout.  The implementation is SIGALRM-based — no
+  extra dependency — so it only engages on Unix in the main thread; the
+  tests' own ``asyncio.wait_for`` deadlines remain the first line of
+  defence, this marker is the backstop that turns a hang into a loud,
+  attributable failure.
 """
 
 import pathlib
+import signal
+import threading
 
 import pytest
 
@@ -25,3 +37,30 @@ def pytest_collection_modifyitems(config, items):
     for item in items:
         if "benchmarks" in pathlib.Path(str(item.fspath)).parts:
             item.add_marker(skip)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    marker = item.get_closest_marker("timeout")
+    if (marker is None or not hasattr(signal, "SIGALRM")
+            or threading.current_thread() is not threading.main_thread()):
+        yield
+        return
+    seconds = float(marker.args[0] if marker.args
+                    else marker.kwargs["seconds"])
+    if seconds <= 0:  # setitimer(0) would silently disarm the backstop
+        raise ValueError(
+            f"timeout marker on {item.nodeid} must be > 0, got {seconds!r}")
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(
+            f"{item.nodeid} exceeded its {seconds:g}s timeout "
+            "(per-test SIGALRM backstop)")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)

@@ -20,7 +20,11 @@ on:
 * :mod:`repro.engine` — the plan-compiling execution engine:
   :func:`repro.matmul_ata` / :func:`repro.run_batch` serve repeated
   traffic through cached recursion plans and pooled workspaces, with
-  results bit-identical to the direct calls.
+  results bit-identical to the direct calls;
+* :mod:`repro.serve` — the asyncio serving front-end:
+  :class:`repro.Server` coalesces concurrent clients' requests into the
+  engine's batch entry points under admission control, so heavy traffic
+  shares one warm plan cache and workspace pool.
 
 Quickstart
 ----------
@@ -37,8 +41,10 @@ from .errors import (
     CommunicatorError,
     ConfigurationError,
     DTypeError,
+    QueueFullError,
     ReproError,
     SchedulerError,
+    ServerClosedError,
     ShapeError,
     WorkspaceError,
 )
@@ -58,7 +64,9 @@ from .engine import (
     matmul_ata,
     matmul_atb,
     run_batch,
+    run_batch_atb,
 )
+from .serve import Server
 from .parallel import ata_shared
 from .distributed import ata_distributed
 from .blas import symmetrize_from_lower
@@ -74,8 +82,10 @@ __all__ = [
     "CommunicatorError",
     "ConfigurationError",
     "DTypeError",
+    "QueueFullError",
     "ReproError",
     "SchedulerError",
+    "ServerClosedError",
     "ShapeError",
     "WorkspaceError",
     "aat",
@@ -95,5 +105,7 @@ __all__ = [
     "matmul_ata",
     "matmul_atb",
     "run_batch",
+    "run_batch_atb",
+    "Server",
     "__version__",
 ]

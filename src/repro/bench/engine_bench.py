@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import os
 import time
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..config import configured
 from ..engine import BackendTuner, ExecutionEngine
@@ -162,27 +162,34 @@ def engine_dag_parallel(sizes: Optional[Sequence[int]] = None,
 
 
 @register("engine_backend_tuner",
-          "Measured per-backend AtA timings and the backend the auto-tuner "
-          "converges on, per shape",
+          "Measured per-backend AtA and A^T B timings and the backend the "
+          "auto-tuner converges on, per shape",
           "Engine architecture (DESIGN.md)")
 def engine_backend_tuner(sizes: Optional[Sequence[int]] = None,
+                         atb_shapes: Optional[Sequence[Tuple[int, int, int]]] = None,
                          repeats: int = 5,
                          base_case_elements: int = 256) -> List[ExperimentTable]:
-    """Measure every registered AtA backend and show the tuner's verdict.
+    """Measure every registered backend and show the tuner's verdict.
 
-    For each size, every backend in the candidate set (``syrk``, ``ata``,
-    ``tiled``, ``recursive_gemm``, and ``blas_direct`` where a provider
-    could be bound) is timed on warm plans; the same timings are fed into
-    an in-memory :class:`~repro.engine.BackendTuner`, whose exploit choice
-    is the backend ``algo="auto"`` traffic converges on.  The point of the
-    experiment is the paper's own lesson applied to serving: which backend
-    wins depends on the shape *and the machine*, so the engine measures
-    instead of modeling.
+    For each AtA size, every backend in the candidate set (``syrk``,
+    ``ata``, ``tiled``, ``recursive_gemm``, and ``blas_direct`` where a
+    provider could be bound) is timed on warm plans; the same timings are
+    fed into an in-memory :class:`~repro.engine.BackendTuner`, whose
+    exploit choice is the backend ``algo="auto"`` traffic converges on.
+    A second table does the same for the ``atb`` operation per
+    ``(m, n, k)`` shape (``strassen``, ``recursive_gemm``,
+    ``blas_direct``) — previously the tuner's ``atb`` buckets were never
+    exercised by the bench at all (ROADMAP leftover from PR 3).  The
+    point of the experiment is the paper's own lesson applied to serving:
+    which backend wins depends on the shape *and the machine*, so the
+    engine measures instead of modeling.
 
     Parameters
     ----------
     sizes:
-        Square problem sizes to sweep.
+        Square AtA problem sizes to sweep.
+    atb_shapes:
+        ``(m, n, k)`` A^T B shapes to sweep.
     repeats:
         Timing repeats per backend; the fastest run is kept (and recorded
         into the tuner table).
@@ -191,12 +198,20 @@ def engine_backend_tuner(sizes: Optional[Sequence[int]] = None,
     """
     table = ExperimentTable(
         "engine_backend_tuner",
-        "best measured seconds per backend; 'winner' is the "
+        "best measured AtA seconds per backend; 'winner' is the "
         "measured-fastest backend at that size (the tuner's exploit "
         "choice when the size has its own shape bucket)",
         ["n", "backend", "best_seconds", "vs_winner", "winner"])
+    atb_table = ExperimentTable(
+        "engine_backend_tuner_atb",
+        "best measured A^T B seconds per backend; 'winner' is the "
+        "measured-fastest backend at that (m, n, k) shape",
+        ["m", "n", "k", "backend", "best_seconds", "vs_winner", "winner"])
     sizes = sizes if sizes is not None else [96, 192, 384]
+    atb_shapes = (list(atb_shapes) if atb_shapes is not None
+                  else [(96, 96, 48), (192, 192, 96), (384, 192, 192)])
     bucket_picks: List[str] = []
+    atb_bucket_picks: List[str] = []
     with configured(base_case_elements=base_case_elements):
         tuner = BackendTuner(persist=False)
         for n in sizes:
@@ -219,6 +234,26 @@ def engine_backend_tuner(sizes: Optional[Sequence[int]] = None,
                 f"n={n}->{tuner.best('ata', (n, n), a.dtype)}")
             for name, best in sorted(measured.items(), key=lambda kv: kv[1]):
                 table.add_row(n, name, best, best / measured[winner], winner)
+        for m, n, k in atb_shapes:
+            a = random_matrix(m, n, seed=m + n)
+            b = random_matrix(m, k, seed=m + k + 1)
+            model = default_cache_model(a.dtype)
+            pool = candidates("atb", (m, n, k), a.dtype, model)
+            engine = ExecutionEngine()
+            measured = {}
+            for backend in pool:
+                engine.matmul_atb(a, b, algo=backend.name)  # warm the plan
+                best = _best_of(
+                    lambda: engine.matmul_atb(a, b, algo=backend.name),
+                    repeats)
+                measured[backend.name] = best
+                tuner.record("atb", (m, n, k), a.dtype, backend.name, best)
+            winner = min(measured, key=measured.get)
+            atb_bucket_picks.append(
+                f"({m},{n},{k})->{tuner.best('atb', (m, n, k), a.dtype)}")
+            for name, best in sorted(measured.items(), key=lambda kv: kv[1]):
+                atb_table.add_row(m, n, k, name, best,
+                                  best / measured[winner], winner)
     table.add_note("timings feed the same per-(shape-bucket, dtype) table "
                    "algo='auto' consults when a tuner is attached "
                    "(ExecutionEngine(tuner='measured')); the table persists "
@@ -227,4 +262,7 @@ def engine_backend_tuner(sizes: Optional[Sequence[int]] = None,
     table.add_note("tuner exploit picks per power-of-two bucket (sizes "
                    "sharing a bucket share samples): "
                    + "; ".join(bucket_picks))
-    return [table]
+    atb_table.add_note("atb buckets key on all three dimensions (m, n, k), "
+                       "rounded up to powers of two; tuner exploit picks: "
+                       + "; ".join(atb_bucket_picks))
+    return [table, atb_table]

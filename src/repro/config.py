@@ -58,6 +58,21 @@ KNOWN_BACKENDS = ("auto", "syrk", "ata", "tiled", "recursive_gemm",
 #: starts exploiting the measured-fastest one.
 DEFAULT_TUNER_EXPLORE = 3
 
+#: Default maximum number of requests the serving layer coalesces into one
+#: ``run_batch`` call.
+DEFAULT_SERVE_MAX_BATCH = 8
+
+#: Default bound on a server's in-flight requests (pending in a coalescing
+#: queue or executing); submits beyond it are rejected with
+#: :class:`repro.errors.QueueFullError`.
+DEFAULT_SERVE_MAX_INFLIGHT = 256
+
+#: Default linger: how long (milliseconds) a coalescing queue holds its
+#: first request open for companions before flushing a partial batch.
+#: ``0`` still coalesces requests submitted in the same event-loop
+#: iteration (the flush runs after the currently scheduled callbacks).
+DEFAULT_SERVE_LINGER_MS = 2.0
+
 
 @dataclasses.dataclass
 class Config:
@@ -106,6 +121,17 @@ class Config:
         its one-off compile cost, which ``best-of-budget`` filters out
         from the second sample on (a budget of 1 is mainly for tests
         driving the tuner with an injected clock).
+    serve_max_batch:
+        Default maximum coalesced batch size of :class:`repro.serve.Server`
+        queues (a server reads it once at construction; per-server
+        overrides win).
+    serve_max_inflight:
+        Default admission-control bound of :class:`repro.serve.Server`:
+        in-flight requests beyond it are rejected with
+        :class:`repro.errors.QueueFullError`.
+    serve_linger_ms:
+        Default milliseconds a serving queue holds its first request open
+        for coalescing companions before flushing a partial batch.
     """
 
     base_case_elements: int = DEFAULT_BASE_CASE_ELEMENTS
@@ -117,6 +143,9 @@ class Config:
     backend: str = "auto"
     tuner_path: Any = None
     tuner_explore: int = DEFAULT_TUNER_EXPLORE
+    serve_max_batch: int = DEFAULT_SERVE_MAX_BATCH
+    serve_max_inflight: int = DEFAULT_SERVE_MAX_INFLIGHT
+    serve_linger_ms: float = DEFAULT_SERVE_LINGER_MS
 
     def __post_init__(self) -> None:
         self.validate()
@@ -146,6 +175,18 @@ class Config:
             raise ConfigurationError(
                 f"tuner_explore must be >= 1, got {self.tuner_explore}"
             )
+        if self.serve_max_batch < 1:
+            raise ConfigurationError(
+                f"serve_max_batch must be >= 1, got {self.serve_max_batch}"
+            )
+        if self.serve_max_inflight < 1:
+            raise ConfigurationError(
+                f"serve_max_inflight must be >= 1, got {self.serve_max_inflight}"
+            )
+        if not (self.serve_linger_ms >= 0):
+            raise ConfigurationError(
+                f"serve_linger_ms must be >= 0, got {self.serve_linger_ms}"
+            )
 
     def replace(self, **changes: Any) -> "Config":
         """Return a copy of this configuration with ``changes`` applied."""
@@ -164,6 +205,9 @@ def _config_from_env() -> Config:
                             (one of :data:`KNOWN_BACKENDS`); unknown names
                             raise :class:`ConfigurationError`.
     ``REPRO_TUNER_PATH``    path of the auto-tuner's persisted timing table.
+    ``REPRO_SERVE_MAX_BATCH``     integer, serving coalesced-batch bound.
+    ``REPRO_SERVE_MAX_INFLIGHT``  integer, serving admission-control bound.
+    ``REPRO_SERVE_LINGER_MS``     float, serving queue linger (milliseconds).
     """
     kwargs: dict[str, Any] = {}
     if "REPRO_BASE_CASE" in os.environ:
@@ -176,6 +220,12 @@ def _config_from_env() -> Config:
         kwargs["backend"] = os.environ["REPRO_BACKEND"]
     if "REPRO_TUNER_PATH" in os.environ:
         kwargs["tuner_path"] = os.environ["REPRO_TUNER_PATH"]
+    if "REPRO_SERVE_MAX_BATCH" in os.environ:
+        kwargs["serve_max_batch"] = int(os.environ["REPRO_SERVE_MAX_BATCH"])
+    if "REPRO_SERVE_MAX_INFLIGHT" in os.environ:
+        kwargs["serve_max_inflight"] = int(os.environ["REPRO_SERVE_MAX_INFLIGHT"])
+    if "REPRO_SERVE_LINGER_MS" in os.environ:
+        kwargs["serve_linger_ms"] = float(os.environ["REPRO_SERVE_LINGER_MS"])
     return Config(**kwargs)
 
 

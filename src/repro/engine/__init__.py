@@ -44,10 +44,16 @@ dispatch) builds on:
   :func:`~repro.engine.dispatch.matmul_ata` resolves each request
   through explicit ``algo=`` > ``Config.backend``/``REPRO_BACKEND`` >
   measured tuner > modeled-cost heuristic,
-  :func:`~repro.engine.dispatch.run_batch` executes a homogeneous batch
+  :func:`~repro.engine.dispatch.run_batch` /
+  :func:`~repro.engine.dispatch.run_batch_atb` execute a homogeneous batch
   against a single compiled plan and checked-out workspace, and
   ``ExecutionEngine(workers=N)`` turns on DAG scheduling
   (``parallel="auto"|"dag"|"off"``).
+
+The asyncio serving layer (:mod:`repro.serve`) sits on top of this
+package: a :class:`~repro.serve.Server` coalesces concurrent clients'
+requests into the batch entry points so they share one warm plan cache,
+workspace pool and tuner table.
 
 The plan-key contract
 ---------------------
@@ -103,6 +109,7 @@ from .dispatch import (
     matmul_ata,
     matmul_atb,
     run_batch,
+    run_batch_atb,
 )
 from .plan import ExecutionPlan, StepDag, compile_plan, execute_plan, PLAN_KINDS
 from .pool import WorkspacePool
@@ -136,4 +143,5 @@ __all__ = [
     "matmul_ata",
     "matmul_atb",
     "run_batch",
+    "run_batch_atb",
 ]

@@ -47,7 +47,26 @@ from .pool import WorkspacePool
 from .tuner import BackendTuner
 
 __all__ = ["ExecutionEngine", "EngineStats", "default_engine",
-           "matmul_ata", "matmul_atb", "run_batch"]
+           "matmul_ata", "matmul_atb", "run_batch", "run_batch_atb",
+           "validate_atb_operands"]
+
+
+def validate_atb_operands(a: np.ndarray, b: np.ndarray) -> None:
+    """Validate an ``(A, B)`` pair for the ``atb`` operation.
+
+    Shared by :meth:`ExecutionEngine.run_batch_atb` and the serving
+    layer's pre-admission validation (:mod:`repro.serve.server`), so the
+    operand rules — and their error messages — can never drift between
+    the two.
+    """
+    validate_matrix(a, "A")
+    validate_matrix(b, "B")
+    if b.shape[0] != a.shape[0]:
+        raise ShapeError(f"A and B must share their first dimension, "
+                         f"got {a.shape} and {b.shape}")
+    if a.dtype != b.dtype:
+        raise DTypeError("operands must share a dtype, got "
+                         f"{sorted({str(a.dtype), str(b.dtype)})}")
 
 #: Algorithm selectors are backend names now — plain strings resolved in
 #: the registry — not closed ``Literal`` unions.  The aliases survive for
@@ -87,6 +106,11 @@ class EngineStats:
     tuner_hits: int = 0
     #: tuner decisions that sampled an under-measured backend (explore)
     tuner_explores: int = 0
+    #: completed ``run_batch`` / ``run_batch_atb`` invocations
+    batch_calls: int = 0
+    #: requests those batch invocations carried in total — the serving
+    #: layer's coalescing effectiveness is ``batch_items / batch_calls``
+    batch_items: int = 0
 
     @property
     def plan_hit_rate(self) -> float:
@@ -96,6 +120,10 @@ class EngineStats:
     @property
     def total_backend_runs(self) -> int:
         return sum(self.backend_runs.values())
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batch_items / self.batch_calls if self.batch_calls else 0.0
 
 
 class ExecutionEngine:
@@ -192,6 +220,8 @@ class ExecutionEngine:
         self._tuner_sched = (f"w{self.workers}l{self._lanes}"
                              if self._dag_capable else None)
         self._sequential_runs = 0
+        self._batch_calls = 0
+        self._batch_items = 0
         self._backend_runs: Dict[str, int] = {}
         # per-engine tuner accounting: a shared BackendTuner's lifetime
         # counters would misattribute other engines' decisions
@@ -400,24 +430,20 @@ class ExecutionEngine:
         and ``"blas_direct"`` a bound vendor ``?gemm``.  ``parallel``
         overrides the engine's scheduling mode per call.
         """
-        validate_matrix(a, "A")
-        validate_matrix(b, "B")
+        validate_atb_operands(a, b)
         m, n = a.shape
-        mb, k = b.shape
-        if mb != m:
-            raise ShapeError(f"A and B must share their first dimension, "
-                             f"got {a.shape} and {b.shape}")
+        k = b.shape[1]
         if c is None:
-            c = np.zeros((n, k), dtype=np.result_type(a, b))
+            c = np.zeros((n, k), dtype=a.dtype)
         validate_matrix(c, "C")
         if c.shape != (n, k):
             raise ShapeError(f"C must have shape ({n}, {k}), got {c.shape}")
-        if not (a.dtype == b.dtype == c.dtype):
+        if c.dtype != a.dtype:
             # the base-case kernels of the direct path enforce this; the
             # plan executor inlines them, so enforce it up front instead of
             # silently computing through a reduced-precision workspace
             raise DTypeError("operands must share a dtype, got "
-                             f"{sorted({str(a.dtype), str(b.dtype), str(c.dtype)})}")
+                             f"{sorted({str(a.dtype), str(c.dtype)})}")
 
         model = cache if cache is not None else default_cache_model(a.dtype)
         backend, measured, sched = self._resolve_backend(
@@ -427,6 +453,37 @@ class ExecutionEngine:
         return c
 
     # -- batching -----------------------------------------------------------
+    def _batched(self, op: str, items, prepare, algo: str, alpha: float,
+                 cache: Optional[CacheModel],
+                 parallel: Optional[ParallelMode]) -> List[np.ndarray]:
+        """Shared mechanics of :meth:`run_batch` / :meth:`run_batch_atb`.
+
+        ``prepare(item)`` validates one item and returns ``(a, b, shape,
+        c)``.  Workspaces are shared per plan key across the whole batch
+        (checked out once, released once); the batch counters count only
+        completed invocations.
+        """
+        if algo != "auto":
+            get_backend(algo, op)  # reject unknown/unsupported up front
+        held: dict = {}
+        results: List[np.ndarray] = []
+        try:
+            for item in items:
+                a, b, shape, c = prepare(item)
+                model = cache if cache is not None else default_cache_model(a.dtype)
+                backend, measured, sched = self._resolve_backend(
+                    op, shape, a.dtype, model, algo, parallel)
+                self._run_backend(backend, op, shape, a, c, alpha, b,
+                                  model, parallel, measured, sched, held=held)
+                results.append(c)
+            with self._stats_lock:
+                self._batch_calls += 1
+                self._batch_items += len(results)
+        finally:
+            for workspace in held.values():
+                self.pool.release(workspace)
+        return results
+
     def run_batch(self, matrices: Sequence[np.ndarray], *,
                   algo: AtaAlgo = "auto", alpha: float = 1.0,
                   cache: Optional[CacheModel] = None,
@@ -439,25 +496,35 @@ class ExecutionEngine:
         calling :meth:`matmul_ata` in a loop.  ``parallel`` overrides the
         engine's scheduling mode for every matrix in the batch.
         """
-        if algo != "auto":
-            get_backend(algo, "ata")  # reject unknown/unsupported up front
-        held: dict = {}
-        results: List[np.ndarray] = []
-        try:
-            for a in matrices:
-                validate_matrix(a, "A")
-                m, n = a.shape
-                model = cache if cache is not None else default_cache_model(a.dtype)
-                backend, measured, sched = self._resolve_backend(
-                    "ata", (m, n), a.dtype, model, algo, parallel)
-                c = np.zeros((n, n), dtype=a.dtype)
-                self._run_backend(backend, "ata", (m, n), a, c, alpha, None,
-                                  model, parallel, measured, sched, held=held)
-                results.append(c)
-        finally:
-            for workspace in held.values():
-                self.pool.release(workspace)
-        return results
+        def prepare(a: np.ndarray):
+            validate_matrix(a, "A")
+            m, n = a.shape
+            return a, None, (m, n), np.zeros((n, n), dtype=a.dtype)
+
+        return self._batched("ata", matrices, prepare, algo, alpha, cache,
+                             parallel)
+
+    def run_batch_atb(self, pairs: Sequence[Tuple[np.ndarray, np.ndarray]], *,
+                      algo: AtbAlgo = "auto", alpha: float = 1.0,
+                      cache: Optional[CacheModel] = None,
+                      parallel: Optional[ParallelMode] = None) -> List[np.ndarray]:
+        """Compute ``alpha * A^T B`` for every ``(A, B)`` pair in ``pairs``.
+
+        The ``atb`` counterpart of :meth:`run_batch` — and the primitive
+        the serving layer coalesces concurrent ``atb`` requests into: pairs
+        resolving to the same plan share one checked-out workspace, so a
+        homogeneous batch compiles once and allocates once.  Results are
+        identical to calling :meth:`matmul_atb` in a loop.
+        """
+        def prepare(pair):
+            a, b = pair
+            validate_atb_operands(a, b)
+            m, n = a.shape
+            k = b.shape[1]
+            return a, b, (m, n, k), np.zeros((n, k), dtype=a.dtype)
+
+        return self._batched("atb", pairs, prepare, algo, alpha, cache,
+                             parallel)
 
     # -- maintenance --------------------------------------------------------
     def stats(self) -> EngineStats:
@@ -481,6 +548,8 @@ class ExecutionEngine:
             backend_runs=backend_runs,
             tuner_hits=self._tuner_hits,
             tuner_explores=self._tuner_explores,
+            batch_calls=self._batch_calls,
+            batch_items=self._batch_items,
         )
 
     def clear(self) -> None:
@@ -531,3 +600,11 @@ def run_batch(matrices: Sequence[np.ndarray], *, algo: AtaAlgo = "auto",
     """Module-level convenience: :meth:`ExecutionEngine.run_batch` on the
     default engine."""
     return _DEFAULT_ENGINE.run_batch(matrices, algo=algo, alpha=alpha, cache=cache)
+
+
+def run_batch_atb(pairs: Sequence[Tuple[np.ndarray, np.ndarray]], *,
+                  algo: AtbAlgo = "auto", alpha: float = 1.0,
+                  cache: Optional[CacheModel] = None) -> List[np.ndarray]:
+    """Module-level convenience: :meth:`ExecutionEngine.run_batch_atb` on
+    the default engine."""
+    return _DEFAULT_ENGINE.run_batch_atb(pairs, algo=algo, alpha=alpha, cache=cache)

@@ -57,5 +57,27 @@ class ConfigurationError(ReproError, ValueError):
     """Raised when a configuration value is out of its legal range."""
 
 
+class QueueFullError(ReproError, RuntimeError):
+    """Raised by the serving front-end when admission control rejects a
+    request.
+
+    The :class:`repro.serve.Server` bounds its in-flight work (pending in a
+    coalescing queue or executing); a submit beyond that bound fails
+    immediately with this error instead of queueing unboundedly, so
+    overload surfaces as backpressure the client can react to (retry,
+    shed, route elsewhere) rather than as latency collapse.
+    """
+
+
+class ServerClosedError(ReproError, RuntimeError):
+    """Raised when submitting to a :class:`repro.serve.Server` that is
+    closing or closed.
+
+    ``close()`` drains admitted work to completion but admits nothing new;
+    requests racing the shutdown get this error rather than silently
+    joining a queue that will never flush.
+    """
+
+
 class BenchmarkError(ReproError, RuntimeError):
     """Raised by the benchmark harness when an experiment is ill-defined."""

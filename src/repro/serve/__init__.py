@@ -1,0 +1,33 @@
+"""Asyncio serving layer over the execution engine.
+
+This package is the roadmap's "async serving front-end": concurrent
+clients ``await`` :meth:`Server.submit` and the server coalesces their
+requests — per ``(operation, algorithm, dtype, shape-bucket, alpha)``
+queue — into the engine's batch entry points, so heavy traffic shares one
+warm plan cache, workspace pool and tuner table instead of each client
+paying the recursion bookkeeping alone.  Admission control bounds the
+in-flight work (:class:`~repro.errors.QueueFullError` backpressure), and
+:meth:`Server.close` drains gracefully.  Results are bit-identical
+(``np.array_equal``) to direct :class:`~repro.engine.ExecutionEngine`
+calls — see :mod:`repro.serve.server` for the argument.
+
+Public surface:
+
+* :class:`Server` — the front-end (``submit`` / ``close`` / ``stats``);
+* :class:`ServerStats` / :class:`QueueStats` — accounting snapshots;
+* :func:`queue_key` — the coalescing-key function (exposed for tests and
+  capacity planning: traffic mapping to one key batches together).
+"""
+
+from .queues import BatchQueue, Request, queue_key
+from .server import Server
+from .stats import QueueStats, ServerStats
+
+__all__ = [
+    "Server",
+    "ServerStats",
+    "QueueStats",
+    "BatchQueue",
+    "Request",
+    "queue_key",
+]

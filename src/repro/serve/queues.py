@@ -1,0 +1,133 @@
+"""Per-shape coalescing queues for the asyncio serving front-end.
+
+A :class:`BatchQueue` holds the pending requests of one coalescing key —
+``(op, algo, dtype, shape bucket, alpha)`` — until either ``max_batch``
+requests are waiting or the ``linger`` deadline of the oldest one expires,
+at which point the server flushes them as one ``run_batch`` /
+``run_batch_atb`` call.  Shapes are bucketed with the auto-tuner's
+power-of-two :func:`~repro.engine.tuner.shape_bucket`: the batch entry
+points resolve plans per matrix, so requests in one bucket need not match
+exactly — bucketing just keeps traffic that *will* share warm plans and
+workspaces together, and traffic that won't apart.
+
+Everything in this module runs on the server's event loop (appends from
+``submit``, flushes from timer callbacks), so no locking is needed here;
+the server guards the counters it reads from other threads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections import Counter, deque
+from typing import Any, Deque, List, Optional, Tuple
+
+import numpy as np
+
+from ..engine.tuner import shape_bucket
+from .stats import QueueStats
+
+__all__ = ["BatchQueue", "Request", "queue_key"]
+
+
+def queue_key(op: str, algo: str, dtype, shape: Tuple[int, ...],
+              alpha: float) -> str:
+    """Render one coalescing key.
+
+    Everything that must be uniform inside a ``run_batch`` call is in the
+    key: the operation and algorithm selector (one batch, one backend
+    resolution mode), the dtype, and ``alpha``.  The shape enters as its
+    power-of-two bucket, not exactly — see the module docstring.
+    """
+    bucket = "x".join(map(str, shape_bucket(shape)))
+    return f"{op}|{algo}|{np.dtype(dtype).str}|{bucket}|a{float(alpha)!r}"
+
+
+@dataclasses.dataclass
+class Request:
+    """One admitted ``submit`` call, waiting in a queue for its batch."""
+
+    a: np.ndarray
+    b: Optional[np.ndarray]
+    op: str
+    algo: str
+    alpha: float
+    future: Any  # asyncio.Future, created on the server's loop
+    enqueued: float = dataclasses.field(default_factory=time.monotonic)
+
+
+class BatchQueue:
+    """Pending requests of one coalescing key, plus their accounting.
+
+    The server owns the flush logic (it needs the loop, the executor and
+    the engine); the queue owns the pending deque, the linger timer handle
+    and the per-queue counters.
+    """
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.pending: Deque[Request] = deque()
+        #: the armed linger timer (an ``asyncio.TimerHandle``), or ``None``
+        self.timer: Any = None
+        #: dispatched batches not yet finished — the server retires a
+        #: queue (drops it from the live map, folding its counters into
+        #: the retired aggregate) only when pending, timer and
+        #: outstanding are all clear
+        self.outstanding = 0
+        self.submitted = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.max_batch_size = 0
+        self.size_histogram: Counter = Counter()
+        self.wait_seconds = 0.0
+        self.run_seconds = 0.0
+
+    def append(self, request: Request) -> None:
+        self.pending.append(request)
+        self.submitted += 1
+
+    def cancel_timer(self) -> None:
+        if self.timer is not None:
+            self.timer.cancel()
+            self.timer = None
+
+    def take(self, max_batch: int) -> List[Request]:
+        """Pop up to ``max_batch`` *live* requests for one batch.
+
+        Requests whose future is already done — cancelled by their client
+        while waiting — are silently dropped here and never join a batch,
+        which is what keeps a cancellation from corrupting the coalesced
+        results (the batch's positional ``zip`` with its outputs only ever
+        covers live requests).  Their admission accounting is handled by
+        the server's future done-callback.
+        """
+        batch: List[Request] = []
+        while self.pending and len(batch) < max_batch:
+            request = self.pending.popleft()
+            if request.future.done():
+                continue
+            batch.append(request)
+        return batch
+
+    def note_dispatch(self, batch: List[Request], now: float) -> None:
+        """Record one dispatched batch into the queue's counters."""
+        size = len(batch)
+        self.outstanding += 1
+        self.batches += 1
+        self.batched_requests += size
+        self.max_batch_size = max(self.max_batch_size, size)
+        self.size_histogram[size] += 1
+        self.wait_seconds += sum(now - request.enqueued for request in batch)
+
+    def snapshot(self) -> QueueStats:
+        return QueueStats(
+            key=self.key,
+            depth=len(self.pending),
+            submitted=self.submitted,
+            batches=self.batches,
+            batched_requests=self.batched_requests,
+            max_batch_size=self.max_batch_size,
+            size_histogram=dict(self.size_histogram),
+            wait_seconds=self.wait_seconds,
+            run_seconds=self.run_seconds,
+        )

@@ -1,0 +1,493 @@
+"""Asyncio serving front-end over the plan-compiling execution engine.
+
+A :class:`Server` accepts ``await server.submit(a, op="ata"|"atb", ...)``
+coroutines from any number of concurrent clients and turns them into few,
+large :meth:`~repro.engine.ExecutionEngine.run_batch` /
+:meth:`~repro.engine.ExecutionEngine.run_batch_atb` calls on **one shared
+engine**, so every client benefits from the same warm plan cache,
+workspace pool and tuner table.  The moving parts:
+
+* **coalescing** — requests land in per-``(op, algo, dtype, shape-bucket,
+  alpha)`` :class:`~repro.serve.queues.BatchQueue`\\ s; a queue flushes
+  when ``max_batch`` requests are waiting or when the ``linger`` deadline
+  of its oldest request expires, whichever is first.  A linger of zero
+  still coalesces requests submitted in the same event-loop iteration
+  (e.g. one ``asyncio.gather`` of submits), because the flush callback
+  runs after them;
+* **admission control** — at most ``max_inflight`` requests may be
+  admitted-but-unfinished; submits beyond that raise
+  :class:`~repro.errors.QueueFullError` immediately (backpressure), and
+  submits after :meth:`close` raise
+  :class:`~repro.errors.ServerClosedError`;
+* **off-loop execution** — batches run on a small
+  :class:`~concurrent.futures.ThreadPoolExecutor`, so the event loop stays
+  responsive while numpy grinds (the kernels release the GIL, so with
+  real cores a multi-worker executor overlaps distinct batches);
+* **graceful drain** — ``await server.close()`` stops admission, flushes
+  every queue immediately and waits for all admitted work to finish.
+
+Bit-identity is inherited, not re-established: the engine's batch entry
+points are documented to equal the corresponding ``matmul_*`` loops bit
+for bit, and the server only ever *groups* requests — it never reorders a
+batch's outputs (results are zipped back positionally onto the live
+requests that formed the batch) and never mixes backends inside a batch
+(the algorithm selector is part of the coalescing key).
+``tests/test_serve.py`` asserts ``np.array_equal`` against direct engine
+calls for every algorithm, operation and dtype under concurrent clients.
+
+Quickstart
+----------
+>>> import asyncio, numpy as np
+>>> from repro.serve import Server
+>>> async def main():
+...     async with Server() as server:
+...         a = np.random.default_rng(0).standard_normal((256, 128))
+...         results = await asyncio.gather(*(server.submit(a) for _ in range(8)))
+...         return results, server.stats()
+>>> results, stats = asyncio.run(main())
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from ..blas.kernels import validate_matrix
+from ..cache.model import default_cache_model
+from ..config import get_config
+from ..engine import ExecutionEngine
+from ..engine.backends import get_backend
+from ..engine.dispatch import validate_atb_operands
+from ..errors import (
+    ConfigurationError,
+    QueueFullError,
+    ServerClosedError,
+    ShapeError,
+)
+from .queues import BatchQueue, Request, queue_key
+from .stats import QueueStats, ServerStats
+
+__all__ = ["Server"]
+
+_OPS = ("ata", "atb")
+
+#: per-key retired-queue aggregates kept before the oldest ones merge into
+#: the shared overflow bucket — bounds server memory under unbounded key
+#: diversity (e.g. a client sweeping per-request alphas)
+_RETIRED_KEYS = 256
+_OVERFLOW_KEY = "~retired-overflow~"
+
+
+def _empty_counters() -> dict:
+    return {"submitted": 0, "batches": 0, "batched_requests": 0,
+            "max_batch_size": 0, "size_histogram": Counter(),
+            "wait_seconds": 0.0, "run_seconds": 0.0}
+
+
+def _merge_counters(into: dict, snap) -> dict:
+    """Fold one queue snapshot (or counter dict) into ``into``."""
+    get = (snap.get if isinstance(snap, dict)
+           else lambda field: getattr(snap, field))
+    into["submitted"] += get("submitted")
+    into["batches"] += get("batches")
+    into["batched_requests"] += get("batched_requests")
+    into["max_batch_size"] = max(into["max_batch_size"],
+                                 get("max_batch_size"))
+    into["size_histogram"].update(get("size_histogram"))
+    into["wait_seconds"] += get("wait_seconds")
+    into["run_seconds"] += get("run_seconds")
+    return into
+
+
+class Server:
+    """Admission-controlled, coalescing asyncio front-end for one engine.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.engine.ExecutionEngine` to serve through.  When
+        omitted the server constructs (and on :meth:`close` closes) its
+        own; a caller-supplied engine is shared, never closed.
+    max_batch:
+        Maximum requests coalesced into one batch call (default:
+        ``Config.serve_max_batch`` / ``$REPRO_SERVE_MAX_BATCH``).
+    max_inflight:
+        Admission bound on admitted-but-unfinished requests (default:
+        ``Config.serve_max_inflight`` / ``$REPRO_SERVE_MAX_INFLIGHT``).
+    linger_ms:
+        How long a queue holds its first request open for coalescing
+        companions before flushing a partial batch (default:
+        ``Config.serve_linger_ms`` / ``$REPRO_SERVE_LINGER_MS``).
+    workers:
+        Executor threads running batches off the event loop.  One thread
+        already keeps the loop responsive; more overlap distinct batches
+        only when the host has cores to run them.
+
+    Notes
+    -----
+    All configuration is resolved once at construction (mirroring
+    :class:`~repro.engine.tuner.BackendTuner`'s path handling), so a later
+    ``with configured(...)`` excursion cannot retune a live server.  The
+    server binds to the event loop of its first ``submit`` and may be
+    rebound (e.g. across ``asyncio.run`` calls in tests) only while idle.
+    """
+
+    def __init__(self, engine: Optional[ExecutionEngine] = None, *,
+                 max_batch: Optional[int] = None,
+                 max_inflight: Optional[int] = None,
+                 linger_ms: Optional[float] = None,
+                 workers: int = 1) -> None:
+        cfg = get_config()
+        self.max_batch = int(max_batch if max_batch is not None
+                             else cfg.serve_max_batch)
+        self.max_inflight = int(max_inflight if max_inflight is not None
+                                else cfg.serve_max_inflight)
+        linger = linger_ms if linger_ms is not None else cfg.serve_linger_ms
+        if self.max_batch < 1:
+            raise ConfigurationError(
+                f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_inflight < 1:
+            raise ConfigurationError(
+                f"max_inflight must be >= 1, got {self.max_inflight}")
+        if not (float(linger) >= 0):
+            raise ConfigurationError(f"linger_ms must be >= 0, got {linger}")
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.linger_seconds = float(linger) / 1000.0
+        self.engine = engine if engine is not None else ExecutionEngine()
+        self._owns_engine = engine is None
+        self._executor = ThreadPoolExecutor(
+            max_workers=int(workers), thread_name_prefix="repro-serve")
+        self._queues: Dict[str, BatchQueue] = {}
+        #: counters of drained-and-dropped queues, per key (bounded; the
+        #: oldest entries merge into the ``_OVERFLOW_KEY`` bucket)
+        self._retired: Dict[str, dict] = {}
+        self._batch_tasks: Set[asyncio.Task] = set()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._closing = False
+        self._closed = False
+        # counters are mutated on the loop but read by stats() from any
+        # thread; the lock keeps multi-field snapshots consistent
+        self._lock = threading.Lock()
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._rejected = 0
+        self._cancelled = 0
+        self._inflight = 0
+
+    # -- loop binding -------------------------------------------------------
+    def _bind_loop(self) -> asyncio.AbstractEventLoop:
+        loop = asyncio.get_running_loop()
+        if self._loop is loop:
+            return loop
+        if self._loop is not None and (self._inflight or self._batch_tasks):
+            raise ConfigurationError(
+                "Server is bound to another event loop with work in "
+                "flight; drain it there before using it from a new loop")
+        if self._loop is not None:
+            # idle rebind across loops: timer handles minted on the old
+            # loop will never fire, so a surviving one would suppress
+            # flush scheduling forever; idle means every admitted request
+            # has settled, so any pending entries are cancelled husks
+            for queue in self._queues.values():
+                queue.cancel_timer()
+                queue.pending.clear()
+        self._loop = loop
+        return loop
+
+    # -- validation ---------------------------------------------------------
+    def _validate(self, op: str, a: np.ndarray, b: Optional[np.ndarray],
+                  algo: str) -> None:
+        """Reject malformed requests before admission.
+
+        The engine would reject them anyway, but inside a coalesced batch
+        — failing every innocent companion request.  Validating up front
+        means an admitted request can only fail with its whole batch.
+        """
+        if op not in _OPS:
+            raise ConfigurationError(
+                f"unknown operation {op!r}; expected one of {_OPS}")
+        if op == "ata":
+            if b is not None:
+                raise ShapeError("op='ata' takes no B operand")
+            validate_matrix(a, "A")
+        else:
+            if b is None:
+                raise ShapeError("op='atb' requires a B operand")
+            validate_atb_operands(a, b)
+        if algo != "auto":
+            backend = get_backend(algo, op)  # unknown name -> ShapeError
+            shape = self._request_shape(op, a, b)
+            # the batch-time resolver would reject an unsupported request
+            # anyway — but inside a coalesced batch, failing every
+            # innocent companion; the coalescing key buckets shapes, so a
+            # shape-dependent supports() must be checked per exact shape
+            # here, with the same default model batch execution will use
+            if not backend.supports(op, shape, a.dtype,
+                                    default_cache_model(a.dtype)):
+                raise ShapeError(
+                    f"backend {algo!r} cannot serve {op!r} on shape "
+                    f"{shape} with dtype {np.dtype(a.dtype)} on this host")
+
+    # -- submission ---------------------------------------------------------
+    async def submit(self, a: np.ndarray, op: str = "ata",
+                     b: Optional[np.ndarray] = None, *,
+                     algo: str = "auto",
+                     alpha: float = 1.0) -> np.ndarray:
+        """Serve one ``alpha * A^T A`` (or ``alpha * A^T B``) request.
+
+        Coalesces with concurrent compatible requests; the returned array
+        is bit-identical to ``engine.matmul_ata(a, alpha=alpha,
+        algo=algo)`` (resp. ``matmul_atb``) on the shared engine.  Raises
+        :class:`QueueFullError` when admission control is full,
+        :class:`ServerClosedError` after :meth:`close`, and shape/dtype
+        errors for malformed operands.  Cancelling the awaiting task
+        abandons the request cleanly (it never corrupts a batch).
+        """
+        loop = self._bind_loop()
+        if self._closing:
+            raise ServerClosedError("server is closed to new submissions")
+        self._validate(op, a, b, algo)
+        with self._lock:
+            self._submitted += 1
+            if self._inflight >= self.max_inflight:
+                self._rejected += 1
+                raise QueueFullError(
+                    f"server is at its admission limit "
+                    f"({self.max_inflight} requests in flight)")
+            self._inflight += 1
+        future = loop.create_future()
+        future.add_done_callback(self._on_request_done)
+        request = Request(a=a, b=b, op=op, algo=algo, alpha=float(alpha),
+                          future=future)
+        key = queue_key(op, algo, a.dtype, self._request_shape(op, a, b),
+                        float(alpha))
+        with self._lock:  # stats() iterates the queue map from any thread
+            queue = self._queues.get(key)
+            if queue is None:
+                queue = self._queues[key] = BatchQueue(key)
+            queue.append(request)
+        if len(queue.pending) >= self.max_batch:
+            self._flush(queue)
+        elif queue.timer is None:
+            if self.linger_seconds <= 0:
+                queue.timer = loop.call_soon(self._flush, queue)
+            else:
+                queue.timer = loop.call_later(self.linger_seconds,
+                                              self._flush, queue)
+        return await future
+
+    @staticmethod
+    def _request_shape(op: str, a: np.ndarray,
+                       b: Optional[np.ndarray]) -> tuple:
+        if op == "ata":
+            return a.shape
+        return (a.shape[0], a.shape[1], b.shape[1])
+
+    def _on_request_done(self, future: "asyncio.Future") -> None:
+        """Single accounting point for every admitted request's outcome."""
+        with self._lock:
+            self._inflight -= 1
+            if future.cancelled():
+                self._cancelled += 1
+            elif future.exception() is not None:
+                self._failed += 1
+            else:
+                self._completed += 1
+
+    # -- batching -----------------------------------------------------------
+    def _flush(self, queue: BatchQueue) -> None:
+        """Dispatch every live pending request of ``queue`` in batches of
+        at most ``max_batch`` (runs on the event loop: from a linger
+        timer, a full queue in ``submit``, or ``close``)."""
+        queue.cancel_timer()
+        now = time.monotonic()
+        while queue.pending:
+            batch = queue.take(self.max_batch)
+            if not batch:
+                break  # only cancelled stragglers remained
+            with self._lock:
+                queue.note_dispatch(batch, now)
+            task = self._loop.create_task(self._run_batch(queue, batch))
+            self._batch_tasks.add(task)
+            task.add_done_callback(self._batch_tasks.discard)
+        # a flush that dispatched nothing (every waiter cancelled) leaves
+        # the queue drained with no batch task to retire it later
+        self._maybe_retire(queue)
+
+    async def _run_batch(self, queue: BatchQueue,
+                         batch: List[Request]) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            try:
+                results = await loop.run_in_executor(
+                    self._executor, self._execute_batch, queue, batch)
+            except asyncio.CancelledError:
+                for request in batch:
+                    if not request.future.done():
+                        request.future.set_exception(ServerClosedError(
+                            "batch aborted by server shutdown"))
+                raise
+            except BaseException as exc:  # delivered, not swallowed: every
+                # live client of the batch observes the same failure
+                for request in batch:
+                    if not request.future.done():
+                        request.future.set_exception(exc)
+                return
+            for request, result in zip(batch, results):
+                if not request.future.done():
+                    request.future.set_result(result)
+        finally:
+            queue.outstanding -= 1
+            self._maybe_retire(queue)
+
+    def _maybe_retire(self, queue: BatchQueue) -> None:
+        """Drop a fully drained queue from the live map, folding its
+        counters into the retired aggregate (runs on the event loop).
+
+        Without this a long-lived server leaks one ``BatchQueue`` per
+        coalescing key ever seen — unbounded under diverse traffic (every
+        distinct alpha or shape bucket is a key).  Retired counters stay
+        visible through :meth:`stats`, merged back under the queue's key.
+        """
+        if queue.pending or queue.timer is not None or queue.outstanding:
+            return
+        with self._lock:
+            if self._queues.get(queue.key) is not queue:
+                return
+            del self._queues[queue.key]
+            entry = self._retired.get(queue.key)
+            if entry is None:
+                entry = self._retired[queue.key] = _empty_counters()
+                while len(self._retired) > _RETIRED_KEYS:
+                    oldest = next(key for key in self._retired
+                                  if key != _OVERFLOW_KEY)
+                    overflow = self._retired.setdefault(
+                        _OVERFLOW_KEY, _empty_counters())
+                    _merge_counters(overflow, self._retired.pop(oldest))
+            _merge_counters(entry, queue.snapshot())
+
+    def _execute_batch(self, queue: BatchQueue,
+                       batch: List[Request]) -> List[np.ndarray]:
+        """Runs on an executor thread; the engine is thread-safe.
+
+        ``run_seconds`` is measured here — around the engine call itself —
+        so a batch queued behind others in the executor charges that delay
+        to neither wait (pre-dispatch) nor run accounting.
+        """
+        head = batch[0]
+        start = time.monotonic()
+        try:
+            if head.op == "ata":
+                return self.engine.run_batch(
+                    [request.a for request in batch],
+                    algo=head.algo, alpha=head.alpha)
+            return self.engine.run_batch_atb(
+                [(request.a, request.b) for request in batch],
+                algo=head.algo, alpha=head.alpha)
+        finally:
+            with self._lock:
+                queue.run_seconds += time.monotonic() - start
+
+    # -- lifecycle ----------------------------------------------------------
+    async def close(self, *, drain: bool = True) -> None:
+        """Stop admission and settle every admitted request.
+
+        With ``drain=True`` (default) all pending queues flush immediately
+        (no linger) and the call returns once every admitted request has
+        its result; with ``drain=False`` pending requests fail with
+        :class:`ServerClosedError` and only already-dispatched batches are
+        awaited.  Idempotent; afterwards ``submit`` raises
+        :class:`ServerClosedError`.
+        """
+        self._closing = True
+        if self._closed:
+            return
+        self._bind_loop()
+        for queue in list(self._queues.values()):
+            queue.cancel_timer()
+            if drain:
+                self._flush(queue)
+            else:
+                while queue.pending:
+                    request = queue.pending.popleft()
+                    if not request.future.done():
+                        request.future.set_exception(ServerClosedError(
+                            "server closed before the request was batched"))
+        while self._batch_tasks:
+            await asyncio.gather(*list(self._batch_tasks),
+                                 return_exceptions=True)
+        # one tick lets the futures' done-callbacks (scheduled by
+        # set_result above) settle the admission counters
+        await asyncio.sleep(0)
+        self._closed = True
+        self._executor.shutdown(wait=True)
+        if self._owns_engine:
+            self.engine.close()
+
+    async def __aenter__(self) -> "Server":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closing
+
+    # -- introspection ------------------------------------------------------
+    def stats(self) -> ServerStats:
+        """Snapshot the admission ledger and every queue's accounting.
+
+        Safe from any thread.  Counters of queues already retired from the
+        live map are merged back under their key (or under the overflow
+        bucket once the per-key retired bound is exceeded), so the
+        accounting is monotonic over the server's lifetime.
+        """
+        with self._lock:
+            merged: Dict[str, dict] = {
+                key: {**_merge_counters(_empty_counters(), entry),
+                      "depth": 0}
+                for key, entry in self._retired.items()}
+            for key, queue in self._queues.items():
+                entry = merged.setdefault(key,
+                                          {**_empty_counters(), "depth": 0})
+                _merge_counters(entry, queue.snapshot())
+                entry["depth"] += len(queue.pending)
+            queues = {
+                key: QueueStats(
+                    key=key, depth=entry["depth"],
+                    submitted=entry["submitted"], batches=entry["batches"],
+                    batched_requests=entry["batched_requests"],
+                    max_batch_size=entry["max_batch_size"],
+                    size_histogram=dict(entry["size_histogram"]),
+                    wait_seconds=entry["wait_seconds"],
+                    run_seconds=entry["run_seconds"])
+                for key, entry in merged.items()}
+            histogram: Counter = Counter()
+            for snap in queues.values():
+                histogram.update(snap.size_histogram)
+            return ServerStats(
+                submitted=self._submitted,
+                completed=self._completed,
+                failed=self._failed,
+                rejected=self._rejected,
+                cancelled=self._cancelled,
+                inflight=self._inflight,
+                depth=sum(snap.depth for snap in queues.values()),
+                batches=sum(snap.batches for snap in queues.values()),
+                batched_requests=sum(snap.batched_requests
+                                     for snap in queues.values()),
+                max_batch_size=max(
+                    (snap.max_batch_size for snap in queues.values()),
+                    default=0),
+                size_histogram=dict(histogram),
+                queues=queues,
+            )

@@ -1,0 +1,105 @@
+"""Point-in-time statistics snapshots for the serving layer.
+
+Mirrors the style of :class:`repro.engine.EngineStats`: immutable
+dataclasses produced by ``stats()`` calls, safe to read from any thread,
+with derived rates as properties.  Two levels exist:
+
+* :class:`QueueStats` — one per coalescing queue (one per
+  ``(op, algo, dtype, shape-bucket, alpha)`` key): current depth, how many
+  requests and batches it saw, the coalesced batch-size distribution, and
+  the split between time requests spent *waiting* to be batched and time
+  their batches spent *running* on the engine;
+* :class:`ServerStats` — the server-wide admission-control ledger.  The
+  accounting identity every drained server satisfies is::
+
+      submitted == completed + failed + rejected + cancelled
+
+  (while requests are in flight the right-hand side lags by
+  ``inflight``).  ``tests/test_serve_admission.py`` asserts this
+  reconciliation under load, cancellation and injected failures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+__all__ = ["QueueStats", "ServerStats"]
+
+
+@dataclasses.dataclass(frozen=True)
+class QueueStats:
+    """Accounting snapshot of one coalescing queue."""
+
+    #: the queue's coalescing key, rendered as a string
+    key: str
+    #: requests currently pending (admitted, not yet dispatched)
+    depth: int
+    #: requests ever enqueued here
+    submitted: int
+    #: batches dispatched to the engine
+    batches: int
+    #: requests those batches carried in total
+    batched_requests: int
+    #: largest batch dispatched
+    max_batch_size: int
+    #: batch-size distribution: ``{size: count}``
+    size_histogram: Mapping[int, int]
+    #: total seconds requests spent waiting between enqueue and dispatch
+    wait_seconds: float
+    #: total seconds the queue's batches spent executing on the engine
+    run_seconds: float
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_requests / self.batches if self.batches else 0.0
+
+    @property
+    def mean_wait_seconds(self) -> float:
+        return (self.wait_seconds / self.batched_requests
+                if self.batched_requests else 0.0)
+
+    @property
+    def mean_run_seconds(self) -> float:
+        return self.run_seconds / self.batches if self.batches else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ServerStats:
+    """Server-wide admission, completion and coalescing accounting."""
+
+    #: requests that passed validation and entered admission control
+    submitted: int
+    #: requests whose result was delivered
+    completed: int
+    #: requests whose batch raised — the exception was delivered instead
+    failed: int
+    #: requests refused by admission control (:class:`QueueFullError`)
+    rejected: int
+    #: requests cancelled by their client before a result was delivered
+    cancelled: int
+    #: admitted requests not yet completed/failed/cancelled
+    inflight: int
+    #: requests currently pending across all queues
+    depth: int
+    #: batches dispatched across all queues
+    batches: int
+    #: requests those batches carried in total
+    batched_requests: int
+    #: largest batch dispatched by any queue
+    max_batch_size: int
+    #: merged batch-size distribution: ``{size: count}``
+    size_histogram: Mapping[int, int]
+    #: per-queue snapshots, keyed by the queue's rendered key
+    queues: Mapping[str, QueueStats]
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_requests / self.batches if self.batches else 0.0
+
+    @property
+    def accounted(self) -> int:
+        """``completed + failed + rejected + cancelled`` — equals
+        ``submitted`` once the server is drained (lags by ``inflight``
+        while work is outstanding)."""
+        return self.completed + self.failed + self.rejected + self.cancelled

@@ -29,7 +29,8 @@ def run_example(name: str, timeout: float = 300.0) -> str:
 def test_examples_directory_contents():
     names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
     assert {"quickstart.py", "least_squares_regression.py", "heat_kernel_diffusion.py",
-            "distributed_scaling.py", "reproduce_figures.py"} <= names
+            "distributed_scaling.py", "reproduce_figures.py",
+            "serving_concurrent_clients.py"} <= names
 
 
 @pytest.mark.slow
@@ -54,3 +55,11 @@ def test_heat_kernel_example():
     out = run_example("heat_kernel_diffusion.py")
     assert "Heat-kernel signature" in out
     assert "max |K(1) - expm(-L)|" in out
+
+
+@pytest.mark.slow
+def test_serving_example():
+    out = run_example("serving_concurrent_clients.py")
+    assert "[serve]" in out
+    assert "bit-identical to direct engine calls: True" in out
+    assert "rejected=0" in out
