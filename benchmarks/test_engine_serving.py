@@ -7,6 +7,11 @@ structural (event-loop batching), not timing-dependent, so they are
 asserted unconditionally — including on the single-core container; the
 registered ``engine_serving`` experiment reports the same distributions
 through ``repro-bench``.
+
+The ``benchmark``-fixture microbenchmarks at the bottom carry the
+``engine_serving`` group into the CI regression-compare JSON (ISSUE 5
+widened the compared set beyond the engine microbenchmarks;
+``scripts/compare_bench.py --group engine_serving`` selects them).
 """
 
 import asyncio
@@ -86,3 +91,54 @@ class TestServingOverheadBounded:
         assert served < 3.0 * direct + 0.05, (
             f"serving overhead too high: served={served * 1e3:.1f}ms "
             f"direct={direct * 1e3:.1f}ms")
+
+
+@pytest.mark.benchmark(group="engine_serving")
+class TestRegressionTrackingMicrobenchmarks:
+    """``benchmark``-fixture timings exported to JSON for the CI compare
+    step — the serving group of the widened compared set."""
+
+    @pytest.fixture(scope="class")
+    def wave_matrices(self):
+        return [random_matrix(96, 96, seed=i) for i in range(16)]
+
+    def test_bench_served_wave(self, benchmark, wave_matrices):
+        """One coalesced 16-client wave on a pre-warmed server+engine.
+
+        The loop, server and warm-up compile live *outside* the timed
+        callable (one persistent event loop across rounds), so each round
+        measures exactly the serving path: admission, coalescing, the
+        executor hop and the warm batched execution."""
+        loop = asyncio.new_event_loop()
+        try:
+            with configured(base_case_elements=256):
+                engine = ExecutionEngine()
+
+                async def make_server() -> Server:
+                    server = Server(engine, max_batch=8, linger_ms=1.0)
+                    await server.submit(wave_matrices[0])  # warm compile
+                    return server
+
+                server = loop.run_until_complete(
+                    asyncio.wait_for(make_server(), timeout=60))
+
+                async def wave() -> None:
+                    await asyncio.gather(
+                        *(server.submit(a) for a in wave_matrices))
+
+                benchmark.pedantic(
+                    lambda: loop.run_until_complete(
+                        asyncio.wait_for(wave(), timeout=60)),
+                    rounds=5, iterations=1, warmup_rounds=1)
+                loop.run_until_complete(
+                    asyncio.wait_for(server.close(), timeout=60))
+        finally:
+            loop.close()
+
+    def test_bench_direct_batch_reference(self, benchmark, wave_matrices):
+        """The run_batch floor the served wave is compared against."""
+        with configured(base_case_elements=256):
+            engine = ExecutionEngine()
+            engine.run_batch(wave_matrices)  # warm plans + pool
+            benchmark.pedantic(lambda: engine.run_batch(wave_matrices),
+                               rounds=5, iterations=1, warmup_rounds=1)

@@ -18,9 +18,17 @@ fail the comparison unless ``--allow-missing`` is passed.  CI passes the
 flag because its benchmark step is advisory (``continue-on-error``:
 timing assertions flake on shared runners), so a partially recorded JSON
 is expected there; run strict locally and when refreshing baselines.
-Refresh the baseline by committing a new JSON produced with::
+``--group NAME`` (repeatable) restricts the comparison to benchmarks
+carrying that pytest-benchmark group (``@pytest.mark.benchmark(group=...)``;
+ungrouped benchmarks match the pseudo-group ``default``).
 
-    PYTHONPATH=src python -m pytest benchmarks/test_engine_dag.py \
+A baseline file that does not exist at all exits with the distinct code
+:data:`MISSING_BASELINE_EXIT` (2) so callers can tell "no baseline yet"
+from "regression found" (1); produce one with the ``baseline-refresh``
+workflow (Actions → baseline-refresh → Run workflow, or the weekly cron)
+and commit the uploaded artifact, or record locally with::
+
+    PYTHONPATH=src python -m pytest benchmarks \
         --benchmark-json=BENCH_engine.json
 """
 
@@ -28,21 +36,35 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
+#: Exit code when the baseline JSON file is absent (distinct from the
+#: regression exit code 1).
+MISSING_BASELINE_EXIT = 2
 
-def load_run(path: str) -> tuple:
+#: Pseudo-group matched by benchmarks that carry no explicit group.
+DEFAULT_GROUP = "default"
+
+
+def load_run(path: str, groups=None) -> tuple:
     """Return ``(medians_by_name, core_count)`` for one benchmark JSON.
 
     Core count is the machine-class key: gating on exact CPU model would
     never arm on a hosted-runner fleet that mixes models run to run, while
     the parallel benchmarks are primarily sensitive to how many cores the
     runner exposes (the 20% tolerance absorbs same-class model variance).
+
+    ``groups`` (a set of group names, or ``None`` for all) filters to
+    benchmarks whose pytest-benchmark group is in the set; benchmarks
+    without a group match :data:`DEFAULT_GROUP`.
     """
     with open(path) as handle:
         payload = json.load(handle)
     medians = {bench["name"]: bench["stats"]["median"]
-               for bench in payload.get("benchmarks", [])}
+               for bench in payload.get("benchmarks", [])
+               if groups is None
+               or (bench.get("group") or DEFAULT_GROUP) in groups}
     return medians, payload.get("machine_info", {}).get("cpu", {}).get("count")
 
 
@@ -62,10 +84,25 @@ def main(argv=None) -> int:
                         help="gate even when the baseline was recorded on "
                              "different hardware (absolute wall-clock medians "
                              "are only comparable on the same machine class)")
+    parser.add_argument("--group", action="append", dest="groups",
+                        metavar="NAME",
+                        help="compare only benchmarks in this pytest-benchmark "
+                             "group (repeatable; ungrouped benchmarks match "
+                             f"'{DEFAULT_GROUP}'; default: all groups)")
     args = parser.parse_args(argv)
 
-    baseline, base_cores = load_run(args.baseline)
-    current, cur_cores = load_run(args.current)
+    if not os.path.exists(args.baseline):
+        print(f"baseline {args.baseline!r} does not exist — no regression "
+              "gate is armed.  Produce one with the baseline-refresh "
+              "workflow (Actions -> baseline-refresh -> Run workflow, or "
+              "wait for the weekly cron), download its candidate artifact "
+              "and commit it as the baseline.")
+        return MISSING_BASELINE_EXIT
+    groups = set(args.groups) if args.groups else None
+    baseline, base_cores = load_run(args.baseline, groups)
+    current, cur_cores = load_run(args.current, groups)
+    if groups:
+        print("comparing group(s): " + ", ".join(sorted(groups)))
     if not current:
         # an empty run means the suite failed before recording anything —
         # that must not read as "no regressions"

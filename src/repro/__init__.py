@@ -24,7 +24,12 @@ on:
 * :mod:`repro.serve` — the asyncio serving front-end:
   :class:`repro.Server` coalesces concurrent clients' requests into the
   engine's batch entry points under admission control, so heavy traffic
-  shares one warm plan cache and workspace pool.
+  shares one warm plan cache and workspace pool;
+* :mod:`repro.engine.ooc` — out-of-core panel sharding:
+  :func:`repro.matmul_ata_ooc` / :func:`repro.run_ooc` stream inputs
+  that exceed memory (memmaps, chunk iterators) through the engine as
+  budget-sized row panels under ``Config.memory_budget``, bit-identical
+  to the in-memory engine on the same fixed panel schedule.
 
 Quickstart
 ----------
@@ -38,6 +43,7 @@ Quickstart
 
 from .config import Config, configured, get_config, set_config
 from .errors import (
+    BudgetError,
     CommunicatorError,
     ConfigurationError,
     DTypeError,
@@ -58,13 +64,17 @@ from .core import (
     StrassenWorkspace,
 )
 from .engine import (
+    ChunkSource,
     ExecutionEngine,
     ExecutionPlan,
+    ShardedAtA,
     default_engine,
     matmul_ata,
+    matmul_ata_ooc,
     matmul_atb,
     run_batch,
     run_batch_atb,
+    run_ooc,
 )
 from .serve import Server
 from .parallel import ata_shared
@@ -79,6 +89,7 @@ __all__ = [
     "configured",
     "get_config",
     "set_config",
+    "BudgetError",
     "CommunicatorError",
     "ConfigurationError",
     "DTypeError",
@@ -101,11 +112,15 @@ __all__ = [
     "build_task_tree",
     "ExecutionEngine",
     "ExecutionPlan",
+    "ShardedAtA",
+    "ChunkSource",
     "default_engine",
     "matmul_ata",
+    "matmul_ata_ooc",
     "matmul_atb",
     "run_batch",
     "run_batch_atb",
+    "run_ooc",
     "Server",
     "__version__",
 ]

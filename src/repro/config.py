@@ -73,6 +73,11 @@ DEFAULT_SERVE_MAX_INFLIGHT = 256
 #: iteration (the flush runs after the currently scheduled callbacks).
 DEFAULT_SERVE_LINGER_MS = 2.0
 
+#: Default out-of-core memory budget in **bytes**.  ``0`` means unbounded:
+#: the out-of-core executor runs the whole input as a single panel unless
+#: a per-call budget or explicit panel size says otherwise.
+DEFAULT_MEMORY_BUDGET = 0
+
 
 @dataclasses.dataclass
 class Config:
@@ -132,6 +137,15 @@ class Config:
     serve_linger_ms:
         Default milliseconds a serving queue holds its first request open
         for coalescing companions before flushing a partial batch.
+    memory_budget:
+        Out-of-core working-set budget in bytes for
+        :class:`repro.engine.ooc.ShardedAtA` /
+        :func:`repro.engine.matmul_ata_ooc`: the resident output ``C``
+        plus the streamed row panel(s) of ``A`` must fit inside it (the
+        panel bytes count twice while the prefetch thread double-buffers).
+        ``0`` (default) means unbounded — the whole input is one panel.
+        A budget too small for ``C`` plus a single row raises
+        :class:`repro.errors.BudgetError`.
     """
 
     base_case_elements: int = DEFAULT_BASE_CASE_ELEMENTS
@@ -146,6 +160,7 @@ class Config:
     serve_max_batch: int = DEFAULT_SERVE_MAX_BATCH
     serve_max_inflight: int = DEFAULT_SERVE_MAX_INFLIGHT
     serve_linger_ms: float = DEFAULT_SERVE_LINGER_MS
+    memory_budget: int = DEFAULT_MEMORY_BUDGET
 
     def __post_init__(self) -> None:
         self.validate()
@@ -187,6 +202,11 @@ class Config:
             raise ConfigurationError(
                 f"serve_linger_ms must be >= 0, got {self.serve_linger_ms}"
             )
+        if self.memory_budget < 0:
+            raise ConfigurationError(
+                f"memory_budget must be >= 0 bytes (0 = unbounded), got "
+                f"{self.memory_budget}"
+            )
 
     def replace(self, **changes: Any) -> "Config":
         """Return a copy of this configuration with ``changes`` applied."""
@@ -208,6 +228,8 @@ def _config_from_env() -> Config:
     ``REPRO_SERVE_MAX_BATCH``     integer, serving coalesced-batch bound.
     ``REPRO_SERVE_MAX_INFLIGHT``  integer, serving admission-control bound.
     ``REPRO_SERVE_LINGER_MS``     float, serving queue linger (milliseconds).
+    ``REPRO_MEMORY_BUDGET``       integer, out-of-core working-set budget in
+                                  bytes (0 = unbounded).
     """
     kwargs: dict[str, Any] = {}
     if "REPRO_BASE_CASE" in os.environ:
@@ -226,6 +248,8 @@ def _config_from_env() -> Config:
         kwargs["serve_max_inflight"] = int(os.environ["REPRO_SERVE_MAX_INFLIGHT"])
     if "REPRO_SERVE_LINGER_MS" in os.environ:
         kwargs["serve_linger_ms"] = float(os.environ["REPRO_SERVE_LINGER_MS"])
+    if "REPRO_MEMORY_BUDGET" in os.environ:
+        kwargs["memory_budget"] = int(os.environ["REPRO_MEMORY_BUDGET"])
     return Config(**kwargs)
 
 

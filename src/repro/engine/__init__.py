@@ -40,6 +40,14 @@ dispatch) builds on:
   backends within a bounded budget, then dispatches ``algo="auto"``
   traffic to the measured-fastest backend; the table persists as JSON
   with config-fingerprint invalidation mirroring the plan cache;
+* :mod:`repro.engine.ooc` — the **out-of-core executor**:
+  :class:`~repro.engine.ooc.ShardedAtA` streams row panels of inputs
+  that exceed memory (arrays, ``np.memmap``, chunk streams) through the
+  engine under a byte budget (``Config.memory_budget`` /
+  ``REPRO_MEMORY_BUDGET``), accumulating ``C += A_p^T A_p`` in a
+  deterministic fixed panel order with an optional double-buffered
+  prefetch thread; each panel is an ordinary engine call, so plans,
+  pooled workspaces and the tuner amortise at panel granularity;
 * :mod:`repro.engine.dispatch` — the **front-end**:
   :func:`~repro.engine.dispatch.matmul_ata` resolves each request
   through explicit ``algo=`` > ``Config.backend``/``REPRO_BACKEND`` >
@@ -111,7 +119,24 @@ from .dispatch import (
     run_batch,
     run_batch_atb,
 )
-from .plan import ExecutionPlan, StepDag, compile_plan, execute_plan, PLAN_KINDS
+from .ooc import (
+    ArraySource,
+    ChunkSource,
+    MemmapSource,
+    OocRunStats,
+    ShardedAtA,
+    as_source,
+    matmul_ata_ooc,
+    run_ooc,
+)
+from .plan import (
+    ExecutionPlan,
+    StepDag,
+    compile_plan,
+    execute_plan,
+    split_rows,
+    PLAN_KINDS,
+)
 from .pool import WorkspacePool
 from .tuner import BackendTuner, default_tuner_path, shape_bucket
 
@@ -139,9 +164,18 @@ __all__ = [
     "shape_bucket",
     "compile_plan",
     "execute_plan",
+    "split_rows",
     "default_engine",
     "matmul_ata",
     "matmul_atb",
     "run_batch",
     "run_batch_atb",
+    "ShardedAtA",
+    "OocRunStats",
+    "ArraySource",
+    "MemmapSource",
+    "ChunkSource",
+    "as_source",
+    "matmul_ata_ooc",
+    "run_ooc",
 ]

@@ -111,6 +111,18 @@ class EngineStats:
     #: requests those batch invocations carried in total — the serving
     #: layer's coalescing effectiveness is ``batch_items / batch_calls``
     batch_items: int = 0
+    #: completed out-of-core (:mod:`repro.engine.ooc`) runs through this
+    #: engine
+    ooc_runs: int = 0
+    #: row panels those runs streamed in total
+    ooc_panels: int = 0
+    #: high-water mark (bytes) of the out-of-core resident set across all
+    #: runs: the output ``C`` plus the staged panel(s) — see
+    #: :class:`repro.engine.ooc.OocRunStats`
+    ooc_bytes_resident_high: int = 0
+    #: memory budget (bytes) of the most recent out-of-core run
+    #: (0 = unbounded)
+    ooc_budget_bytes: int = 0
 
     @property
     def plan_hit_rate(self) -> float:
@@ -222,6 +234,10 @@ class ExecutionEngine:
         self._sequential_runs = 0
         self._batch_calls = 0
         self._batch_items = 0
+        self._ooc_runs = 0
+        self._ooc_panels = 0
+        self._ooc_resident_high = 0
+        self._ooc_budget = 0
         self._backend_runs: Dict[str, int] = {}
         # per-engine tuner accounting: a shared BackendTuner's lifetime
         # counters would misattribute other engines' decisions
@@ -452,6 +468,56 @@ class ExecutionEngine:
                           parallel, measured, sched)
         return c
 
+    # -- out-of-core --------------------------------------------------------
+    def matmul_ata_ooc(self, a, c: Optional[np.ndarray] = None,
+                       alpha: float = 1.0, *, beta: float = 1.0,
+                       algo: AtaAlgo = "auto",
+                       cache: Optional[CacheModel] = None,
+                       parallel: Optional[ParallelMode] = None,
+                       budget: Optional[int] = None,
+                       panel_rows: Optional[int] = None,
+                       prefetch: Optional[bool] = None) -> np.ndarray:
+        """Out-of-core ``C = alpha * A^T A + beta * C``: stream row panels
+        of ``a`` (an array, ``np.memmap`` or chunk source) through this
+        engine under ``budget`` bytes (default ``Config.memory_budget``).
+
+        Each panel's Gram update is an ordinary :meth:`matmul_ata` call —
+        plans, the workspace pool and backend selection are reused at
+        panel granularity — accumulated in the deterministic schedule of
+        :class:`repro.engine.ooc.ShardedAtA` (see there for the
+        bit-identity contract and the prefetch gate).
+        """
+        result, _ = self.run_ooc(a, c, alpha, beta=beta, algo=algo,
+                                 cache=cache, parallel=parallel,
+                                 budget=budget, panel_rows=panel_rows,
+                                 prefetch=prefetch)
+        return result
+
+    def run_ooc(self, a, c: Optional[np.ndarray] = None, alpha: float = 1.0,
+                *, beta: float = 1.0, algo: AtaAlgo = "auto",
+                cache: Optional[CacheModel] = None,
+                parallel: Optional[ParallelMode] = None,
+                budget: Optional[int] = None,
+                panel_rows: Optional[int] = None,
+                prefetch: Optional[bool] = None):
+        """Like :meth:`matmul_ata_ooc` but returns ``(C, OocRunStats)`` —
+        the per-run panel/byte accounting alongside the result."""
+        from .ooc import ShardedAtA
+        return ShardedAtA(self).run(a, c, alpha, beta=beta, algo=algo,
+                                    cache=cache, parallel=parallel,
+                                    budget=budget, panel_rows=panel_rows,
+                                    prefetch=prefetch)
+
+    def _record_ooc(self, stats) -> None:
+        """Fold one :class:`~repro.engine.ooc.OocRunStats` into the
+        engine's accounting (called by the out-of-core executor)."""
+        with self._stats_lock:
+            self._ooc_runs += 1
+            self._ooc_panels += stats.panels
+            self._ooc_resident_high = max(self._ooc_resident_high,
+                                          stats.bytes_resident_high)
+            self._ooc_budget = stats.budget_bytes
+
     # -- batching -----------------------------------------------------------
     def _batched(self, op: str, items, prepare, algo: str, alpha: float,
                  cache: Optional[CacheModel],
@@ -550,6 +616,10 @@ class ExecutionEngine:
             tuner_explores=self._tuner_explores,
             batch_calls=self._batch_calls,
             batch_items=self._batch_items,
+            ooc_runs=self._ooc_runs,
+            ooc_panels=self._ooc_panels,
+            ooc_bytes_resident_high=self._ooc_resident_high,
+            ooc_budget_bytes=self._ooc_budget,
         )
 
     def clear(self) -> None:

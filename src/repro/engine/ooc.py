@@ -1,0 +1,571 @@
+"""Out-of-core panel-sharded A^T A: stream row panels through the engine.
+
+The Gram product is a sum over rows — ``A^T A = Σ_p A_p^T A_p`` for any
+row partition of ``A`` — which makes it the textbook out-of-core workload:
+stream budget-sized row panels of ``A``, run each panel's Gram update
+through the in-memory :class:`~repro.engine.dispatch.ExecutionEngine`
+(reusing its plan cache, workspace pool, backend registry/tuner and DAG
+workers per panel), and accumulate into one resident ``C``.  The input
+never has to fit in memory; only the **working set** does:
+
+    resident = C (n x n) + the loaded panel(s) of A
+
+:class:`ShardedAtA` sizes the panels from a byte budget
+(``Config.memory_budget`` / ``REPRO_MEMORY_BUDGET``, or a per-call
+``budget=``), raising :class:`~repro.errors.BudgetError` when even one
+row's working set cannot fit, and records the peak resident bytes it
+actually materialised into the engine's stats.
+
+Determinism contract
+--------------------
+The panel schedule is a pure function of ``(m, panel_rows)``
+(:func:`~repro.engine.plan.split_rows`: ascending, fixed) and panels are
+accumulated strictly in that order, so for a **fixed schedule** the result
+is bit-identical (``np.array_equal``) across runs, across source kinds
+(in-memory array, ``np.memmap``, chunk stream) and with prefetching on or
+off — the streaming machinery never touches values.  Two schedules differ
+only in how the floating-point row sum is associated:
+
+* **single panel** (the input fits the budget): the one engine call *is*
+  ``matmul_ata`` — bit-identical to the in-memory engine by construction;
+* **multi panel**: bit-identical to calling ``engine.matmul_ata`` once
+  per panel on in-memory row slices in schedule order (the reference the
+  test suite checks against every source/prefetch combination).  It is
+  *not* bit-identical to a differently-associated sum — one whole-matrix
+  kernel call rounds differently — which is the same caveat BLAS itself
+  carries for any blocked reduction.
+
+A budget-*derived* schedule charges two panel buffers while prefetching,
+so auto-prefetch (which follows the host's core count) can legitimately
+pick different panel heights on different hosts.  Pin ``panel_rows`` (or
+``prefetch``) when results must reproduce bit for bit *across* machines;
+on one host with one configuration the schedule is always fixed.
+
+Sources
+-------
+Anything exposing ``shape``/``dtype``/``panels(bounds)`` works; three
+adapters cover the practical cases (:func:`as_source` picks one):
+
+* :class:`ArraySource` — an in-memory ``ndarray``; panels are views
+  (nothing is copied — but the scheduled window is charged against the
+  budget all the same, so schedules and results never depend on the
+  source kind).
+* :class:`MemmapSource` — an ``np.memmap`` (or any array you want staged
+  explicitly); each panel is **copied** into RAM so the compute kernels
+  never fault pages mid-kernel.
+* :class:`ChunkSource` — a forward-only iterator of row chunks with a
+  declared ``(shape, dtype)``; chunk boundaries need not match panel
+  boundaries (an internal stitch buffer re-slices them), so synthetic
+  streams and record readers plug in without ever materialising ``A``.
+
+Prefetch
+--------
+With ``prefetch`` on, a daemon loader thread stages panel ``k+1`` while
+the engine computes panel ``k`` (classic double buffering — the budget
+charges two panels).  ``prefetch=None`` ("auto") enables it only when the
+host has more than one core: on a 1-core container the loader thread only
+adds GIL traffic, so auto mode keeps the single-buffer schedule there.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import queue
+import threading
+from typing import Iterable, Iterator, Optional, Tuple, Union
+
+import numpy as np
+
+from ..cache.model import CacheModel
+from ..config import get_config
+from ..errors import BudgetError, DTypeError, ShapeError
+from .plan import split_rows
+
+__all__ = ["ShardedAtA", "OocRunStats", "ArraySource", "MemmapSource",
+           "ChunkSource", "as_source", "matmul_ata_ooc", "run_ooc"]
+
+Bounds = Tuple[Tuple[int, int], ...]
+
+
+# ---------------------------------------------------------------------------
+# sources
+# ---------------------------------------------------------------------------
+
+class ArraySource:
+    """Panel source over an in-memory ``ndarray`` — panels are row views.
+
+    Nothing is copied: the caller already holds the whole array.  The
+    budget and the resident accounting still charge the scheduled panel
+    window uniformly across source kinds — that keeps a budget-derived
+    schedule (and hence the result, bit for bit) identical whether the
+    same matrix arrives as an array, a memmap or a stream.  Use
+    :class:`MemmapSource` when the backing store is disk and panels must
+    be staged into RAM explicitly.
+    """
+
+    def __init__(self, a: np.ndarray) -> None:
+        if not isinstance(a, np.ndarray):
+            raise DTypeError(
+                f"ArraySource expects a numpy.ndarray, got {type(a).__name__}")
+        if a.ndim != 2:
+            raise ShapeError(f"A must be 2-dimensional, got shape {a.shape}")
+        self._a = a
+        self.shape = a.shape
+        self.dtype = a.dtype
+
+    def panels(self, bounds: Bounds) -> Iterator[np.ndarray]:
+        for lo, hi in bounds:
+            yield self._a[lo:hi]
+
+
+class MemmapSource(ArraySource):
+    """Panel source that stages each panel into RAM with an explicit copy.
+
+    The natural wrapper for ``np.memmap``: slicing a memmap yields a lazy
+    view whose pages fault in *during* the compute kernel, which both
+    defeats prefetching and makes the resident set unaccountable.  Copying
+    the slice up front turns the load into one sequential read the
+    prefetch thread can overlap, and the copy is exactly what the budget
+    meters.
+    """
+
+    def panels(self, bounds: Bounds) -> Iterator[np.ndarray]:
+        for lo, hi in bounds:
+            yield np.array(self._a[lo:hi], copy=True)
+
+
+class ChunkSource:
+    """Panel source over a forward-only iterator of row chunks.
+
+    Parameters
+    ----------
+    chunks:
+        Iterable of 2-D arrays, each carrying the next rows of ``A`` in
+        order.  Chunk heights are arbitrary — they are stitched and
+        re-sliced into the requested panel bounds — but every chunk must
+        be ``n`` columns wide and share the declared dtype, and the total
+        row count must equal ``shape[0]`` (checked as the stream drains).
+    shape, dtype:
+        The full logical ``(m, n)`` shape and element dtype, declared up
+        front because a stream cannot be asked for them.
+
+    This is the synthetic-stream protocol: generators, record readers or
+    network feeds supply Gram updates without ever materialising ``A``.
+    A chunk is the *caller's* materialisation: one taller than the panel
+    height stays resident (as the stitch buffer's tail) until its rows
+    are consumed, so keep chunks at or below the panel height when the
+    memory budget matters.
+    """
+
+    def __init__(self, chunks: Iterable[np.ndarray],
+                 shape: Tuple[int, int], dtype) -> None:
+        m, n = shape
+        if m < 1 or n < 1:
+            raise ShapeError(f"declared shape must be positive, got {shape}")
+        self._chunks = iter(chunks)
+        self.shape = (int(m), int(n))
+        self.dtype = np.dtype(dtype)
+
+    def panels(self, bounds: Bounds) -> Iterator[np.ndarray]:
+        m, n = self.shape
+        pending: list = []          # buffered rows not yet handed out
+        pending_rows = 0
+        consumed = 0                # rows already handed out as panels
+        exhausted = False
+        for lo, hi in bounds:
+            if lo != consumed:
+                raise ShapeError(
+                    f"chunk sources are forward-only: panel [{lo}, {hi}) "
+                    f"requested but the stream is at row {consumed}")
+            need = hi - lo
+            while pending_rows < need and not exhausted:
+                try:
+                    chunk = next(self._chunks)
+                except StopIteration:
+                    exhausted = True
+                    break
+                chunk = np.asarray(chunk)
+                if chunk.ndim != 2 or chunk.shape[1] != n:
+                    raise ShapeError(
+                        f"stream chunk must have shape (rows, {n}), got "
+                        f"{chunk.shape}")
+                if chunk.dtype != self.dtype:
+                    raise DTypeError(
+                        f"stream chunk dtype {chunk.dtype} does not match "
+                        f"the declared {self.dtype}")
+                if chunk.shape[0]:
+                    pending.append(chunk)
+                    pending_rows += chunk.shape[0]
+            if pending_rows < need:
+                raise ShapeError(
+                    f"stream ended early: declared {m} rows but only "
+                    f"{consumed + pending_rows} arrived")
+            # take exactly `need` rows, splitting only the boundary chunk
+            # (never re-concatenating the whole buffer: copies stay linear
+            # in the rows delivered however chunk and panel sizes align)
+            take = []
+            taken = 0
+            while taken < need:
+                chunk = pending[0]
+                if taken + chunk.shape[0] <= need:
+                    take.append(pending.pop(0))
+                    taken += chunk.shape[0]
+                else:
+                    split = need - taken
+                    take.append(chunk[:split])
+                    pending[0] = chunk[split:]
+                    taken = need
+            pending_rows -= need
+            panel = take[0] if len(take) == 1 else np.concatenate(take)
+            consumed += need
+            yield panel
+        if pending_rows:
+            raise ShapeError(
+                f"stream carries more rows than the declared {m} "
+                f"(at least {consumed + pending_rows})")
+        if not exhausted:
+            # drain the tail with the same validation as the main loop, so
+            # a malformed trailing chunk gets the same ShapeError and
+            # empty trailing chunks cannot mask an over-long stream
+            for extra in self._chunks:
+                extra = np.asarray(extra)
+                if extra.ndim != 2 or extra.shape[1] != n:
+                    raise ShapeError(
+                        f"stream chunk must have shape (rows, {n}), got "
+                        f"{extra.shape}")
+                if extra.shape[0]:
+                    raise ShapeError(
+                        f"stream carries more rows than the declared {m}")
+
+
+def as_source(a) -> Union[ArraySource, MemmapSource, ChunkSource]:
+    """Adapt ``a`` into a panel source.
+
+    ``np.memmap`` becomes a staging :class:`MemmapSource`, any other
+    ``ndarray`` a view-based :class:`ArraySource`; objects already
+    exposing the source protocol (``shape``/``dtype``/``panels``) pass
+    through.  Bare iterators are rejected — wrap them in a
+    :class:`ChunkSource` with a declared shape and dtype.
+    """
+    if isinstance(a, np.memmap):
+        return MemmapSource(a)
+    if isinstance(a, np.ndarray):
+        return ArraySource(a)
+    if hasattr(a, "shape") and hasattr(a, "dtype") and hasattr(a, "panels"):
+        return a
+    raise ShapeError(
+        f"cannot adapt {type(a).__name__} into a panel source; pass an "
+        "ndarray, an np.memmap, or a ChunkSource(chunks, shape, dtype)")
+
+
+# ---------------------------------------------------------------------------
+# executor
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class OocRunStats:
+    """Accounting of one out-of-core run.
+
+    Attributes
+    ----------
+    panels:
+        Panels the schedule streamed (1 = the input fit the budget).
+    panel_rows:
+        Rows per full panel (the last panel may be ragged).
+    bytes_resident_high:
+        High-water mark of the executor's working set: ``C`` plus the
+        scheduled panel window(s) — two panels while the prefetch thread
+        double-buffers.  Charged uniformly across source kinds (a view
+        source borrows its window from the caller's array instead of
+        copying it), so this always agrees with the budget admission
+        check and never exceeds ``budget_bytes`` when one is set.
+    budget_bytes:
+        The budget the schedule was sized against (0 = unbounded).
+    prefetched:
+        Whether the double-buffered loader thread was active.
+    """
+
+    panels: int
+    panel_rows: int
+    bytes_resident_high: int
+    budget_bytes: int
+    prefetched: bool
+
+
+class ShardedAtA:
+    """Panel-sharded out-of-core executor for ``C = alpha*A^T A + beta*C``.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.engine.dispatch.ExecutionEngine` every panel
+        executes through (default: the process-wide engine).  Panels of
+        equal height resolve to one cached plan and share pooled
+        workspaces, so the whole stream pays one compile — the engine's
+        amortisation machinery is reused per panel, not reinvented.
+    budget:
+        Working-set budget in bytes (``None`` reads
+        ``Config.memory_budget``; 0 = unbounded).
+    panel_rows:
+        Explicit panel height, overriding the budget-derived one.  The
+        budget still *validates* it: an explicit panel that cannot fit
+        raises :class:`BudgetError`.
+    prefetch:
+        ``True``/``False`` force double-buffered prefetching on or off;
+        ``None`` ("auto", default) enables it only on multi-core hosts —
+        a 1-core container gains nothing from a loader thread.
+    """
+
+    def __init__(self, engine=None, *, budget: Optional[int] = None,
+                 panel_rows: Optional[int] = None,
+                 prefetch: Optional[bool] = None) -> None:
+        if engine is None:
+            from .dispatch import default_engine
+            engine = default_engine()
+        if panel_rows is not None and panel_rows < 1:
+            raise ShapeError(f"panel_rows must be >= 1, got {panel_rows}")
+        if budget is not None and budget < 0:
+            raise BudgetError(f"budget must be >= 0 bytes, got {budget}")
+        self.engine = engine
+        self.budget = budget
+        self.panel_rows = panel_rows
+        self.prefetch = prefetch
+
+    # -- schedule -----------------------------------------------------------
+    def _resolve_budget(self, budget: Optional[int]) -> int:
+        if budget is None:
+            budget = self.budget
+        if budget is None:
+            budget = get_config().memory_budget
+        if budget < 0:
+            raise BudgetError(f"budget must be >= 0 bytes, got {budget}")
+        return int(budget)
+
+    def _resolve_prefetch(self, prefetch: Optional[bool]) -> bool:
+        if prefetch is None:
+            prefetch = self.prefetch
+        if prefetch is None:
+            return (os.cpu_count() or 1) > 1
+        return bool(prefetch)
+
+    def schedule(self, shape: Tuple[int, int], dtype,
+                 budget: Optional[int] = None,
+                 panel_rows: Optional[int] = None,
+                 prefetch: Optional[bool] = None) -> Tuple[Bounds, int, bool]:
+        """Resolve ``(panel bounds, effective budget, prefetch)`` for a run.
+
+        The resident set of one panel iteration is ``C`` (``n*n``
+        elements) plus ``buffers`` panels of ``rows*n`` elements, where
+        ``buffers`` is 2 while prefetching (double buffer) and 1
+        otherwise.  A finite budget sizes ``rows`` as large as fits;
+        :class:`BudgetError` names the shortfall when not even one row
+        fits (or when an explicit ``panel_rows`` overshoots).
+        """
+        m, n = shape
+        if m < 1 or n < 1:
+            raise ShapeError(f"A must have positive dimensions, got {shape}")
+        itemsize = np.dtype(dtype).itemsize
+        budget = self._resolve_budget(budget)
+        use_prefetch = self._resolve_prefetch(prefetch)
+        if panel_rows is None:
+            panel_rows = self.panel_rows
+        c_bytes = n * n * itemsize
+        row_bytes = n * itemsize
+        buffers = 2 if use_prefetch else 1
+        if budget:
+            headroom = budget - c_bytes
+            fit = headroom // (buffers * row_bytes) if headroom > 0 else 0
+            if panel_rows is None:
+                panel_rows = int(min(m, fit))
+            else:
+                panel_rows = min(panel_rows, m)
+            if panel_rows < 1 or panel_rows > fit:
+                rows = max(panel_rows, 1)
+                raise BudgetError(
+                    f"memory budget of {budget} bytes cannot hold the "
+                    f"{n}x{n} output ({c_bytes} bytes) plus {buffers} "
+                    f"panel buffer(s) of {rows} x {n} rows "
+                    f"({buffers * rows * row_bytes} bytes); the smallest "
+                    f"feasible working set is "
+                    f"{c_bytes + buffers * row_bytes} bytes — raise "
+                    "REPRO_MEMORY_BUDGET / Config.memory_budget or shrink "
+                    "the panel")
+        elif panel_rows is None:
+            panel_rows = m
+        panel_rows = min(panel_rows, m)
+        bounds = split_rows(m, panel_rows)
+        if len(bounds) == 1:
+            use_prefetch = False  # nothing to overlap with a lone panel
+        return bounds, budget, use_prefetch
+
+    # -- streaming ----------------------------------------------------------
+    @staticmethod
+    def _stream(source, bounds: Bounds, prefetch: bool) -> Iterator[np.ndarray]:
+        """Yield the scheduled panels, optionally staged one ahead by a
+        loader thread.
+
+        The prefetch path is a strict double buffer: a two-permit
+        semaphore meters *materialisation* — the loader acquires a permit
+        **before** pulling the next panel out of the source, and the
+        consumer side returns the permit only after the engine has
+        finished with a panel and every reference to it is dropped — so at
+        most two panels exist at any instant, which is exactly what the
+        schedule's ``buffers = 2`` budget charge pays for.  (Blocking the
+        queue alone would not bound this: a loader that has already
+        handed off panel ``k+1`` would happily materialise ``k+2`` while
+        waiting for queue space.)
+        """
+        panels = source.panels(bounds)
+        if not prefetch:
+            yield from panels
+            return
+        handoff: "queue.Queue" = queue.Queue(maxsize=1)
+        stop = threading.Event()
+        slots = threading.Semaphore(2)  # panels materialised at once
+        done = object()
+
+        def put(item) -> bool:
+            while not stop.is_set():
+                try:
+                    handoff.put(item, timeout=0.1)
+                    return True
+                except queue.Full:
+                    continue
+            return False
+
+        def load() -> None:
+            item = done
+            try:
+                while True:
+                    while not slots.acquire(timeout=0.1):
+                        if stop.is_set():
+                            return
+                    try:
+                        panel = next(panels)
+                    except StopIteration:
+                        break
+                    if not put(panel):
+                        return
+                    panel = None  # the queue's reference is the staged one
+            except BaseException as exc:  # surfaced on the consumer side
+                item = exc
+            put(item)
+
+        loader = threading.Thread(target=load, name="repro-ooc-prefetch",
+                                  daemon=True)
+        loader.start()
+        try:
+            while True:
+                item = handoff.get()
+                if item is done:
+                    break
+                if isinstance(item, BaseException):
+                    raise item
+                yield item
+                item = None   # drop before freeing the slot: the permit
+                slots.release()  # must outlive every reference
+        finally:
+            stop.set()
+            # bounded: the loader exits via its stop checks within ~0.1s
+            # unless it is stuck inside a blocking source iterator — it is
+            # a daemon thread, so a stalled feed cannot hang the process
+            loader.join(timeout=2.0)
+
+    # -- execution ----------------------------------------------------------
+    def run(self, a, c: Optional[np.ndarray] = None, alpha: float = 1.0, *,
+            beta: float = 1.0, algo: str = "auto",
+            cache: Optional[CacheModel] = None, parallel: Optional[str] = None,
+            budget: Optional[int] = None, panel_rows: Optional[int] = None,
+            prefetch: Optional[bool] = None
+            ) -> Tuple[np.ndarray, OocRunStats]:
+        """Stream ``a`` through the engine; returns ``(C, run stats)``.
+
+        ``a`` is anything :func:`as_source` accepts.  ``algo`` / ``cache``
+        / ``parallel`` pass through to every per-panel
+        :meth:`~repro.engine.dispatch.ExecutionEngine.matmul_ata` call,
+        so backend selection (including a measured tuner) applies at
+        panel granularity.  With a single-panel schedule the one engine
+        call is exactly ``matmul_ata(a, c, alpha, beta=beta, ...)``.
+        """
+        source = as_source(a)
+        m, n = source.shape
+        bounds, eff_budget, use_prefetch = self.schedule(
+            (m, n), source.dtype, budget, panel_rows, prefetch)
+        itemsize = np.dtype(source.dtype).itemsize
+        if c is None:
+            c = np.zeros((n, n), dtype=source.dtype)
+        else:
+            if c.shape != (n, n):
+                raise ShapeError(f"C must have shape ({n}, {n}) for A of "
+                                 f"shape ({m}, {n}), got {c.shape}")
+            if c.dtype != np.dtype(source.dtype):
+                raise ShapeError(f"A and C must share a dtype, got "
+                                 f"{np.dtype(source.dtype)} and {c.dtype}")
+
+        from ..blas.kernels import scale
+        scale(c, beta)  # panels accumulate with beta=1 after one pre-scale
+        widest = max(hi - lo for lo, hi in bounds)
+        # the scheduled panel window is charged uniformly across source
+        # kinds (for a view source it is borrowed rather than copied):
+        # admission and accounting always agree, and a budget-derived
+        # schedule — hence the result, bit for bit — is the same whether
+        # the matrix arrives as an array, a memmap or a stream
+        if use_prefetch and len(bounds) > 1:
+            # double buffer: panel k resident while k+1 is staged
+            staged_rows = max((bounds[i][1] - bounds[i][0])
+                              + (bounds[i + 1][1] - bounds[i + 1][0])
+                              for i in range(len(bounds) - 1))
+        else:
+            staged_rows = widest
+        resident_high = (n * n + staged_rows * n) * itemsize
+        for panel in self._stream(source, bounds, use_prefetch):
+            self.engine.matmul_ata(panel, c, alpha, algo=algo, cache=cache,
+                                   parallel=parallel)
+            # drop the reference before asking for the next panel: the
+            # prefetch stream recycles this panel's buffer slot only once
+            # nothing points at it, keeping the double buffer double
+            panel = None
+        stats = OocRunStats(panels=len(bounds),
+                            panel_rows=widest,
+                            bytes_resident_high=resident_high,
+                            budget_bytes=eff_budget,
+                            prefetched=use_prefetch)
+        record = getattr(self.engine, "_record_ooc", None)
+        if record is not None:
+            record(stats)
+        return c, stats
+
+
+# ---------------------------------------------------------------------------
+# module-level conveniences (default engine)
+# ---------------------------------------------------------------------------
+
+def run_ooc(a, c: Optional[np.ndarray] = None, alpha: float = 1.0, *,
+            beta: float = 1.0, algo: str = "auto",
+            cache: Optional[CacheModel] = None, parallel: Optional[str] = None,
+            budget: Optional[int] = None, panel_rows: Optional[int] = None,
+            prefetch: Optional[bool] = None
+            ) -> Tuple[np.ndarray, OocRunStats]:
+    """Out-of-core ``C = alpha * A^T A + beta * C`` on the default engine,
+    returning ``(C, OocRunStats)``; see :class:`ShardedAtA`."""
+    from .dispatch import default_engine
+    return ShardedAtA(default_engine()).run(
+        a, c, alpha, beta=beta, algo=algo, cache=cache, parallel=parallel,
+        budget=budget, panel_rows=panel_rows, prefetch=prefetch)
+
+
+def matmul_ata_ooc(a, c: Optional[np.ndarray] = None, alpha: float = 1.0, *,
+                   beta: float = 1.0, algo: str = "auto",
+                   cache: Optional[CacheModel] = None,
+                   parallel: Optional[str] = None,
+                   budget: Optional[int] = None,
+                   panel_rows: Optional[int] = None,
+                   prefetch: Optional[bool] = None) -> np.ndarray:
+    """Out-of-core counterpart of :func:`repro.engine.matmul_ata`: accepts
+    arrays, memmaps or chunk streams and returns ``C`` (drop the stats);
+    see :class:`ShardedAtA` for the budget and determinism contract."""
+    result, _ = run_ooc(a, c, alpha, beta=beta, algo=algo, cache=cache,
+                        parallel=parallel, budget=budget,
+                        panel_rows=panel_rows, prefetch=prefetch)
+    return result

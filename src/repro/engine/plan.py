@@ -70,7 +70,7 @@ from ..core.workspace import _Requirement
 from ..errors import ConfigurationError, ShapeError
 
 __all__ = ["ExecutionPlan", "StepDag", "compile_plan", "execute_plan",
-           "run_step", "record_plan_counters", "PLAN_KINDS"]
+           "run_step", "record_plan_counters", "split_rows", "PLAN_KINDS"]
 
 PLAN_KINDS = ("syrk", "ata", "strassen", "recursive_gemm", "tiled")
 
@@ -719,6 +719,24 @@ class _Compiler:
             step_counters=tuple(self.step_totals.items()),
             lanes=self.lanes, dag=dag,
         )
+
+
+def split_rows(m: int, max_rows: int) -> Tuple[Tuple[int, int], ...]:
+    """The deterministic row-panel schedule: ``[lo, hi)`` bounds covering
+    ``0..m`` in ascending order, every panel ``max_rows`` tall except a
+    ragged last one.
+
+    This is the sharding analogue of the plan compiler's quadrant walk —
+    a pure function of ``(m, max_rows)``, so two runs (or two sources
+    feeding the same matrix) always see the identical panel sequence,
+    which is what makes out-of-core accumulation reproducible bit for bit
+    (see :mod:`repro.engine.ooc`).
+    """
+    if m < 1:
+        raise ShapeError(f"cannot panel an empty row range, got m={m}")
+    if max_rows < 1:
+        raise ShapeError(f"panel rows must be >= 1, got {max_rows}")
+    return tuple((lo, min(lo + max_rows, m)) for lo in range(0, m, max_rows))
 
 
 def compile_plan(algo: str, shape: Tuple[int, ...], dtype, model: CacheModel,

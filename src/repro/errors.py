@@ -79,5 +79,18 @@ class ServerClosedError(ReproError, RuntimeError):
     """
 
 
+class BudgetError(ReproError, RuntimeError):
+    """Raised by the out-of-core executor when the memory budget cannot
+    hold even one panel's working set.
+
+    :class:`repro.engine.ooc.ShardedAtA` streams row panels of ``A``
+    through the engine under ``Config.memory_budget``; the resident set of
+    one panel iteration is the ``n x n`` output ``C`` plus the panel bytes
+    (doubled while prefetching).  A budget below that floor cannot be met
+    by any schedule, so the executor fails up front with this error —
+    naming the shortfall — instead of silently overshooting the budget.
+    """
+
+
 class BenchmarkError(ReproError, RuntimeError):
     """Raised by the benchmark harness when an experiment is ill-defined."""

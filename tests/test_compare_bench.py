@@ -1,0 +1,151 @@
+"""Unit tests for ``scripts/compare_bench.py`` (the CI regression gate).
+
+Covers the ISSUE 5 additions: the ``--group`` filter over
+pytest-benchmark groups and the distinct exit code + actionable hint when
+the baseline JSON is missing entirely, alongside the pre-existing
+regression/missing/new semantics they compose with.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+SCRIPT = (pathlib.Path(__file__).resolve().parent.parent
+          / "scripts" / "compare_bench.py")
+
+
+@pytest.fixture(scope="module")
+def compare_bench():
+    spec = importlib.util.spec_from_file_location("compare_bench", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def write_run(path, benches, cores=1):
+    """Write a minimal pytest-benchmark JSON: ``benches`` maps name ->
+    (median_seconds, group)."""
+    payload = {
+        "machine_info": {"cpu": {"count": cores}},
+        "benchmarks": [
+            {"name": name, "group": group, "stats": {"median": median}}
+            for name, (median, group) in benches.items()
+        ],
+    }
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestMissingBaselineFile:
+    def test_distinct_exit_code(self, compare_bench, tmp_path, capsys):
+        current = write_run(tmp_path / "current.json",
+                            {"bench_a": (1.0, None)})
+        code = compare_bench.main(["--baseline", str(tmp_path / "absent.json"),
+                                   "--current", current])
+        assert code == compare_bench.MISSING_BASELINE_EXIT == 2
+        out = capsys.readouterr().out
+        assert "does not exist" in out
+        assert "baseline-refresh" in out  # the actionable hint
+
+    def test_distinct_from_regression_exit_code(self, compare_bench, tmp_path):
+        baseline = write_run(tmp_path / "base.json", {"bench_a": (1.0, None)})
+        current = write_run(tmp_path / "cur.json", {"bench_a": (2.0, None)})
+        assert compare_bench.main(["--baseline", baseline,
+                                   "--current", current]) == 1
+
+
+class TestGroupFilter:
+    @pytest.fixture
+    def runs(self, tmp_path):
+        benches_base = {
+            "bench_engine": (1.0, None),
+            "bench_serving": (1.0, "engine_serving"),
+            "bench_ooc": (1.0, "engine_ooc"),
+        }
+        benches_cur = {
+            "bench_engine": (1.0, None),
+            "bench_serving": (5.0, "engine_serving"),  # regressed 5x
+            "bench_ooc": (1.0, "engine_ooc"),
+        }
+        return (write_run(tmp_path / "base.json", benches_base),
+                write_run(tmp_path / "cur.json", benches_cur))
+
+    def test_unfiltered_compare_sees_the_regression(self, compare_bench, runs):
+        baseline, current = runs
+        assert compare_bench.main(["--baseline", baseline,
+                                   "--current", current]) == 1
+
+    def test_filtering_to_regressed_group_fails(self, compare_bench, runs,
+                                                capsys):
+        baseline, current = runs
+        code = compare_bench.main(["--baseline", baseline, "--current", current,
+                                   "--group", "engine_serving"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "comparing group(s): engine_serving" in out
+        assert "REGRESSED" in out
+        assert "bench_ooc" not in out  # other groups excluded
+
+    def test_filtering_to_healthy_group_passes(self, compare_bench, runs):
+        baseline, current = runs
+        assert compare_bench.main(["--baseline", baseline, "--current", current,
+                                   "--group", "engine_ooc"]) == 0
+
+    def test_group_flag_is_repeatable(self, compare_bench, runs):
+        baseline, current = runs
+        assert compare_bench.main(["--baseline", baseline, "--current", current,
+                                   "--group", "engine_ooc",
+                                   "--group", "engine_serving"]) == 1
+
+    def test_ungrouped_benchmarks_match_default_group(self, compare_bench,
+                                                      runs, capsys):
+        baseline, current = runs
+        code = compare_bench.main(["--baseline", baseline, "--current", current,
+                                   "--group", compare_bench.DEFAULT_GROUP])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bench_engine" in out
+        assert "bench_serving" not in out
+
+
+class TestExistingSemanticsPreserved:
+    def test_within_tolerance_passes(self, compare_bench, tmp_path):
+        baseline = write_run(tmp_path / "b.json", {"a": (1.0, None)})
+        current = write_run(tmp_path / "c.json", {"a": (1.1, None)})
+        assert compare_bench.main(["--baseline", baseline,
+                                   "--current", current]) == 0
+
+    def test_new_benchmark_never_fails(self, compare_bench, tmp_path):
+        baseline = write_run(tmp_path / "b.json", {"a": (1.0, None)})
+        current = write_run(tmp_path / "c.json",
+                            {"a": (1.0, None), "b": (9.0, "engine_ooc")})
+        assert compare_bench.main(["--baseline", baseline,
+                                   "--current", current]) == 0
+
+    def test_disappearing_benchmark_fails_unless_allowed(self, compare_bench,
+                                                         tmp_path):
+        baseline = write_run(tmp_path / "b.json",
+                             {"a": (1.0, None), "b": (1.0, None)})
+        current = write_run(tmp_path / "c.json", {"a": (1.0, None)})
+        args = ["--baseline", baseline, "--current", current]
+        assert compare_bench.main(args) == 1
+        assert compare_bench.main(args + ["--allow-missing"]) == 0
+
+    def test_machine_class_guard_reports_without_gating(self, compare_bench,
+                                                        tmp_path, capsys):
+        baseline = write_run(tmp_path / "b.json", {"a": (1.0, None)}, cores=4)
+        current = write_run(tmp_path / "c.json", {"a": (9.0, None)}, cores=1)
+        assert compare_bench.main(["--baseline", baseline,
+                                   "--current", current]) == 0
+        assert "not comparable across machine classes" in \
+            capsys.readouterr().out
+
+    def test_empty_current_with_baseline_fails(self, compare_bench, tmp_path):
+        baseline = write_run(tmp_path / "b.json", {"a": (1.0, None)})
+        current = write_run(tmp_path / "c.json", {})
+        assert compare_bench.main(["--baseline", baseline,
+                                   "--current", current]) == 1

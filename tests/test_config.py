@@ -29,6 +29,18 @@ class TestConfigValidation:
         cfg = Config(default_dtype=np.complex128)
         assert np.dtype(cfg.default_dtype).kind == "c"
 
+    def test_default_memory_budget_is_unbounded(self):
+        assert Config().memory_budget == 0
+
+    def test_negative_memory_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Config(memory_budget=-1)
+
+    def test_memory_budget_env_parsing(self, monkeypatch):
+        from repro.config import _config_from_env
+        monkeypatch.setenv("REPRO_MEMORY_BUDGET", str(1 << 20))
+        assert _config_from_env().memory_budget == 1 << 20
+
     def test_replace_returns_new_instance(self):
         cfg = Config()
         other = cfg.replace(base_case_elements=128)

@@ -9,7 +9,7 @@ class TestHierarchy:
     def test_all_errors_derive_from_repro_error(self):
         for name in ("ShapeError", "DTypeError", "LayoutError", "WorkspaceError",
                      "SchedulerError", "CommunicatorError", "ConfigurationError",
-                     "BenchmarkError"):
+                     "BudgetError", "BenchmarkError"):
             cls = getattr(errors, name)
             assert issubclass(cls, errors.ReproError), name
 
@@ -24,8 +24,12 @@ class TestHierarchy:
 
     def test_runtime_flavoured_errors(self):
         for name in ("WorkspaceError", "SchedulerError", "CommunicatorError",
-                     "BenchmarkError"):
+                     "BudgetError", "BenchmarkError"):
             assert issubclass(getattr(errors, name), RuntimeError), name
+
+    def test_budget_error_exported_at_top_level(self):
+        import repro
+        assert repro.BudgetError is errors.BudgetError
 
     def test_catching_base_catches_all(self):
         with pytest.raises(errors.ReproError):

@@ -30,7 +30,7 @@ def test_examples_directory_contents():
     names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
     assert {"quickstart.py", "least_squares_regression.py", "heat_kernel_diffusion.py",
             "distributed_scaling.py", "reproduce_figures.py",
-            "serving_concurrent_clients.py"} <= names
+            "serving_concurrent_clients.py", "out_of_core_gram.py"} <= names
 
 
 @pytest.mark.slow
@@ -63,3 +63,12 @@ def test_serving_example():
     assert "[serve]" in out
     assert "bit-identical to direct engine calls: True" in out
     assert "rejected=0" in out
+
+
+@pytest.mark.slow
+def test_out_of_core_example():
+    out = run_example("out_of_core_gram.py")
+    assert "[ooc]" in out
+    assert "<= budget: True" in out
+    assert "bit-identical to the in-memory panel schedule: True" in out
+    assert "matches: True" in out
