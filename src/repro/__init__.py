@@ -29,7 +29,12 @@ on:
   :func:`repro.matmul_ata_ooc` / :func:`repro.run_ooc` stream inputs
   that exceed memory (memmaps, chunk iterators) through the engine as
   budget-sized row panels under ``Config.memory_budget``, bit-identical
-  to the in-memory engine on the same fixed panel schedule.
+  to the in-memory engine on the same fixed panel schedule;
+* :mod:`repro.engine.farm` — the multi-process panel farm:
+  ``run_ooc(procs=N)`` (or :class:`repro.PanelFarm` directly) fans those
+  panels out to worker processes over shared-memory arenas, folding the
+  partial Grams through a fixed ascending reduction tree so the result
+  is bit-identical whatever the worker count.
 
 Quickstart
 ----------
@@ -47,6 +52,7 @@ from .errors import (
     CommunicatorError,
     ConfigurationError,
     DTypeError,
+    FarmError,
     QueueFullError,
     ReproError,
     SchedulerError,
@@ -67,13 +73,16 @@ from .engine import (
     ChunkSource,
     ExecutionEngine,
     ExecutionPlan,
+    PanelFarm,
     ShardedAtA,
+    available_cpus,
     default_engine,
     matmul_ata,
     matmul_ata_ooc,
     matmul_atb,
     run_batch,
     run_batch_atb,
+    run_farm,
     run_ooc,
 )
 from .serve import Server
@@ -91,6 +100,7 @@ __all__ = [
     "set_config",
     "BudgetError",
     "CommunicatorError",
+    "FarmError",
     "ConfigurationError",
     "DTypeError",
     "QueueFullError",
@@ -112,14 +122,17 @@ __all__ = [
     "build_task_tree",
     "ExecutionEngine",
     "ExecutionPlan",
+    "PanelFarm",
     "ShardedAtA",
     "ChunkSource",
+    "available_cpus",
     "default_engine",
     "matmul_ata",
     "matmul_ata_ooc",
     "matmul_atb",
     "run_batch",
     "run_batch_atb",
+    "run_farm",
     "run_ooc",
     "Server",
     "__version__",

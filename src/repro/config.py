@@ -78,6 +78,12 @@ DEFAULT_SERVE_LINGER_MS = 2.0
 #: a per-call budget or explicit panel size says otherwise.
 DEFAULT_MEMORY_BUDGET = 0
 
+#: Default worker-process count of the multi-process panel farm.  ``0``
+#: keeps out-of-core runs in-process (the single-process streaming path);
+#: callers opt into the farm per call via ``procs=N`` or process-wide
+#: through this field / ``REPRO_FARM_PROCS``.
+DEFAULT_FARM_PROCS = 0
+
 
 @dataclasses.dataclass
 class Config:
@@ -146,6 +152,13 @@ class Config:
         ``0`` (default) means unbounded — the whole input is one panel.
         A budget too small for ``C`` plus a single row raises
         :class:`repro.errors.BudgetError`.
+    farm_procs:
+        Default worker-process count for out-of-core runs
+        (:class:`repro.engine.farm.PanelFarm`).  ``0`` (default) keeps
+        runs in-process; ``N >= 1`` fans panels out to ``N`` worker
+        processes over shared-memory arenas.  Per-call ``procs=``
+        overrides win; ``procs=None`` on a farm instance resolves to
+        :func:`repro.engine.cpu.available_cpus`.
     """
 
     base_case_elements: int = DEFAULT_BASE_CASE_ELEMENTS
@@ -161,6 +174,7 @@ class Config:
     serve_max_inflight: int = DEFAULT_SERVE_MAX_INFLIGHT
     serve_linger_ms: float = DEFAULT_SERVE_LINGER_MS
     memory_budget: int = DEFAULT_MEMORY_BUDGET
+    farm_procs: int = DEFAULT_FARM_PROCS
 
     def __post_init__(self) -> None:
         self.validate()
@@ -207,6 +221,11 @@ class Config:
                 f"memory_budget must be >= 0 bytes (0 = unbounded), got "
                 f"{self.memory_budget}"
             )
+        if self.farm_procs < 0:
+            raise ConfigurationError(
+                f"farm_procs must be >= 0 (0 = in-process), got "
+                f"{self.farm_procs}"
+            )
 
     def replace(self, **changes: Any) -> "Config":
         """Return a copy of this configuration with ``changes`` applied."""
@@ -230,6 +249,8 @@ def _config_from_env() -> Config:
     ``REPRO_SERVE_LINGER_MS``     float, serving queue linger (milliseconds).
     ``REPRO_MEMORY_BUDGET``       integer, out-of-core working-set budget in
                                   bytes (0 = unbounded).
+    ``REPRO_FARM_PROCS``          integer, default panel-farm worker-process
+                                  count (0 = in-process).
     """
     kwargs: dict[str, Any] = {}
     if "REPRO_BASE_CASE" in os.environ:
@@ -250,6 +271,8 @@ def _config_from_env() -> Config:
         kwargs["serve_linger_ms"] = float(os.environ["REPRO_SERVE_LINGER_MS"])
     if "REPRO_MEMORY_BUDGET" in os.environ:
         kwargs["memory_budget"] = int(os.environ["REPRO_MEMORY_BUDGET"])
+    if "REPRO_FARM_PROCS" in os.environ:
+        kwargs["farm_procs"] = int(os.environ["REPRO_FARM_PROCS"])
     return Config(**kwargs)
 
 

@@ -48,6 +48,14 @@ dispatch) builds on:
   deterministic fixed panel order with an optional double-buffered
   prefetch thread; each panel is an ordinary engine call, so plans,
   pooled workspaces and the tuner amortise at panel granularity;
+* :mod:`repro.engine.farm` — the **multi-process panel farm**:
+  :class:`~repro.engine.farm.PanelFarm` fans the same panel schedule out
+  to worker processes over ``multiprocessing.shared_memory`` arenas
+  (``run_ooc(procs=N)`` / ``Config.farm_procs``); each worker runs the
+  full engine stack on its panel and the parent folds the partial Grams
+  through a fixed ascending reduction tree, so the result is
+  bit-identical across worker counts; worker sizing follows the
+  affinity-aware :func:`~repro.engine.cpu.available_cpus`;
 * :mod:`repro.engine.dispatch` — the **front-end**:
   :func:`~repro.engine.dispatch.matmul_ata` resolves each request
   through explicit ``algo=`` > ``Config.backend``/``REPRO_BACKEND`` >
@@ -109,7 +117,9 @@ from .backends import (
     unregister_backend,
 )
 from .cache import PlanCache
+from .cpu import available_cpus
 from .dag import DagExecutor, DagRunStats
+from .farm import FarmRunStats, PanelFarm, run_farm
 from .dispatch import (
     EngineStats,
     ExecutionEngine,
@@ -178,4 +188,8 @@ __all__ = [
     "as_source",
     "matmul_ata_ooc",
     "run_ooc",
+    "PanelFarm",
+    "FarmRunStats",
+    "run_farm",
+    "available_cpus",
 ]

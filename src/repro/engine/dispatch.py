@@ -29,7 +29,6 @@ measured-fastest backend; timings persist across processes (see
 from __future__ import annotations
 
 import dataclasses
-import os
 import threading
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -41,6 +40,7 @@ from ..config import get_config
 from ..errors import ConfigurationError, DTypeError, ShapeError
 from .backends import Backend, candidates, choose_heuristic, get_backend
 from .cache import PlanCache
+from .cpu import available_cpus
 from .dag import DagExecutor
 from .plan import ExecutionPlan, compile_plan, execute_plan
 from .pool import WorkspacePool
@@ -123,6 +123,17 @@ class EngineStats:
     #: memory budget (bytes) of the most recent out-of-core run
     #: (0 = unbounded)
     ooc_budget_bytes: int = 0
+    #: completed multi-process farm (:mod:`repro.engine.farm`) runs
+    #: recorded against this engine
+    farm_runs: int = 0
+    #: row panels those farm runs fanned out in total
+    farm_panels: int = 0
+    #: worker-process count of the most recent farm run
+    farm_procs: int = 0
+    #: high-water mark (bytes) of the farm resident set across all runs:
+    #: ``C`` plus every worker's input/output arenas — see
+    #: :class:`repro.engine.farm.FarmRunStats`
+    farm_bytes_resident_high: int = 0
 
     @property
     def plan_hit_rate(self) -> float:
@@ -213,8 +224,10 @@ class ExecutionEngine:
         # "auto" never schedules more workers than the host has cores: on
         # an under-provisioned host the GIL serialises the Python-level
         # dispatch and DAG scheduling would only add overhead ("dag" still
-        # forces it, which is what the determinism tests rely on)
-        self._auto_workers = min(self.workers, os.cpu_count() or 1)
+        # forces it, which is what the determinism tests rely on).  The
+        # count honours the affinity/cgroup mask, not the installed cores:
+        # a container pinned to 2 of 64 cores gets 2 auto workers
+        self._auto_workers = min(self.workers, available_cpus())
         if tuner is None or tuner == "off":
             self.tuner: Optional[BackendTuner] = None
         elif tuner == "measured":
@@ -238,6 +251,10 @@ class ExecutionEngine:
         self._ooc_panels = 0
         self._ooc_resident_high = 0
         self._ooc_budget = 0
+        self._farm_runs = 0
+        self._farm_panels = 0
+        self._farm_procs = 0
+        self._farm_resident_high = 0
         self._backend_runs: Dict[str, int] = {}
         # per-engine tuner accounting: a shared BackendTuner's lifetime
         # counters would misattribute other engines' decisions
@@ -476,7 +493,8 @@ class ExecutionEngine:
                        parallel: Optional[ParallelMode] = None,
                        budget: Optional[int] = None,
                        panel_rows: Optional[int] = None,
-                       prefetch: Optional[bool] = None) -> np.ndarray:
+                       prefetch: Optional[bool] = None,
+                       procs: Optional[int] = None) -> np.ndarray:
         """Out-of-core ``C = alpha * A^T A + beta * C``: stream row panels
         of ``a`` (an array, ``np.memmap`` or chunk source) through this
         engine under ``budget`` bytes (default ``Config.memory_budget``).
@@ -485,12 +503,17 @@ class ExecutionEngine:
         plans, the workspace pool and backend selection are reused at
         panel granularity — accumulated in the deterministic schedule of
         :class:`repro.engine.ooc.ShardedAtA` (see there for the
-        bit-identity contract and the prefetch gate).
+        bit-identity contract and the prefetch gate).  ``procs`` selects
+        the executor: ``0`` runs in-process (the default; also reachable
+        via ``Config.farm_procs`` / ``REPRO_FARM_PROCS``), ``N >= 1``
+        fans panels out to ``N`` worker processes through
+        :class:`repro.engine.farm.PanelFarm` (which ignores
+        ``prefetch`` — staging is the parent's job there).
         """
         result, _ = self.run_ooc(a, c, alpha, beta=beta, algo=algo,
                                  cache=cache, parallel=parallel,
                                  budget=budget, panel_rows=panel_rows,
-                                 prefetch=prefetch)
+                                 prefetch=prefetch, procs=procs)
         return result
 
     def run_ooc(self, a, c: Optional[np.ndarray] = None, alpha: float = 1.0,
@@ -499,9 +522,18 @@ class ExecutionEngine:
                 parallel: Optional[ParallelMode] = None,
                 budget: Optional[int] = None,
                 panel_rows: Optional[int] = None,
-                prefetch: Optional[bool] = None):
-        """Like :meth:`matmul_ata_ooc` but returns ``(C, OocRunStats)`` —
-        the per-run panel/byte accounting alongside the result."""
+                prefetch: Optional[bool] = None,
+                procs: Optional[int] = None):
+        """Like :meth:`matmul_ata_ooc` but returns ``(C, run stats)`` —
+        ``(C, OocRunStats)`` from the in-process executor (``procs=0``),
+        ``(C, FarmRunStats)`` from the multi-process farm (``procs>=1``)."""
+        if procs is None:
+            procs = get_config().farm_procs
+        if procs:
+            from .farm import PanelFarm
+            return PanelFarm(self, procs=procs).run(
+                a, c, alpha, beta=beta, algo=algo, cache=cache,
+                parallel=parallel, budget=budget, panel_rows=panel_rows)
         from .ooc import ShardedAtA
         return ShardedAtA(self).run(a, c, alpha, beta=beta, algo=algo,
                                     cache=cache, parallel=parallel,
@@ -517,6 +549,16 @@ class ExecutionEngine:
             self._ooc_resident_high = max(self._ooc_resident_high,
                                           stats.bytes_resident_high)
             self._ooc_budget = stats.budget_bytes
+
+    def _record_farm(self, stats) -> None:
+        """Fold one :class:`~repro.engine.farm.FarmRunStats` into the
+        engine's accounting (called by the multi-process farm)."""
+        with self._stats_lock:
+            self._farm_runs += 1
+            self._farm_panels += stats.panels
+            self._farm_procs = stats.procs
+            self._farm_resident_high = max(self._farm_resident_high,
+                                           stats.bytes_resident_high)
 
     # -- batching -----------------------------------------------------------
     def _batched(self, op: str, items, prepare, algo: str, alpha: float,
@@ -620,6 +662,10 @@ class ExecutionEngine:
             ooc_panels=self._ooc_panels,
             ooc_bytes_resident_high=self._ooc_resident_high,
             ooc_budget_bytes=self._ooc_budget,
+            farm_runs=self._farm_runs,
+            farm_panels=self._farm_panels,
+            farm_procs=self._farm_procs,
+            farm_bytes_resident_high=self._farm_resident_high,
         )
 
     def clear(self) -> None:

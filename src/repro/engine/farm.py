@@ -1,0 +1,497 @@
+"""Multi-process panel farm: fan out-of-core Gram panels to worker
+processes over shared memory.
+
+:class:`~repro.engine.ooc.ShardedAtA` streams row panels through the
+engine *in-process*: one Python interpreter, one GIL, one core.  The
+farm keeps its schedule and budget discipline but moves the per-panel
+Gram updates into a pool of worker **processes**, each running the full
+engine stack (plan cache, workspace pool, backend registry, optional
+measured tuner) on its own interpreter:
+
+* panels are staged into per-worker ``multiprocessing.shared_memory``
+  arenas — the worker's kernels read the panel straight out of shared
+  memory; no pickling, no pipe copies of matrix data;
+* each worker computes a **partial Gram** ``alpha * A_p^T A_p`` into its
+  own shared ``n x n`` output arena (a zeroed accumulator per panel);
+* the parent folds the partials into the resident ``C`` through a
+  deterministic fixed reduction tree.
+
+Determinism contract
+--------------------
+The reduction tree is keyed only by the panel index: partials are folded
+in **ascending panel order** (``C += P_0``, then ``P_1``, …), whatever
+order workers finish in and however many workers there are.  A partial's
+bits depend only on the panel values and the engine configuration —
+never on which worker computed it — so for a fixed panel schedule the
+result is bit-identical (``np.array_equal``) across worker counts and
+across source kinds.
+
+Relative to the in-process executor the farm *re-associates* the
+floating-point sum: :class:`ShardedAtA` accumulates each panel into the
+live ``C`` inside the kernel, the farm adds a kernel-on-zeros partial
+afterwards.  For the single-kernel backends (``syrk``, ``tiled``,
+``recursive_gemm``, ``blas_direct`` — and every backend when the panel
+fits the configured base case) the two chains are identical bit for bit,
+because those kernels update each ``C`` element exactly once:
+``kernel(c) == c + kernel(0)`` exactly.  The recursive ``ata`` backend
+above its base case updates elements more than once, so there — as with
+any re-blocked BLAS reduction — the farm agrees with the in-process
+result only to rounding.  The test suite pins both statements.
+
+Note the *schedule* itself must be fixed for cross-worker-count
+bit-identity: a budget-derived schedule charges ``procs`` input arenas
+and ``procs`` output arenas, so changing ``procs`` under a finite budget
+legitimately changes the panel height.  Pin ``panel_rows`` when results
+must reproduce across worker counts.
+
+Memory budget
+-------------
+The working set charged against ``Config.memory_budget`` is::
+
+    resident = (1 + procs) * n*n*itemsize   (C + one output arena/worker)
+             + procs * panel_rows * n*itemsize  (one input arena/worker)
+
+:class:`~repro.errors.BudgetError` names the smallest feasible working
+set when not even one-row panels fit.  At most ``procs`` panels are ever
+staged and un-folded at one instant — an out-of-order finisher idles
+until the fold reaches its panel — so the accounting above is a true
+high-water bound, not an estimate.
+
+Failure handling
+----------------
+A worker that dies (``os._exit``, a kill, a segfaulting extension)
+or raises is surfaced as :class:`~repro.errors.FarmError` carrying the
+worker name and, for raised errors, the original traceback — the parent
+polls worker liveness while waiting on results, so a dead pool can never
+hang the run.  Workers are always terminated and the arenas always
+unlinked, success or failure.
+
+Workers are forked where the platform supports it (runtime-registered
+backends and the live configuration carry over for free); elsewhere the
+pool falls back to the default start method and workers rebuild their
+state from the pickled :class:`~repro.config.Config` snapshot — custom
+backends registered at runtime do not survive that fallback.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import queue as queue_mod
+import traceback
+from multiprocessing import shared_memory
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..config import Config, get_config, set_config
+from ..errors import BudgetError, FarmError, ShapeError
+from .cpu import available_cpus
+from .ooc import as_source
+from .plan import split_rows
+
+__all__ = ["PanelFarm", "FarmRunStats", "run_farm"]
+
+#: seconds between liveness checks while waiting on worker results
+_POLL_SECONDS = 0.2
+
+
+def _farm_context():
+    """The multiprocessing context workers start under: ``fork`` where
+    available (state — registered backends, the active config — carries
+    over for free), the platform default elsewhere."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing arena without adopting ownership.
+
+    ``SharedMemory(name=...)`` registers the segment with the
+    ``resource_tracker`` even on a plain attach (bpo-39959): a spawned
+    child's own tracker would unlink the arena when the child exits —
+    yanking it out from under the parent and every sibling — and a
+    forked child shares the parent's tracker, where a compensating
+    ``unregister`` would clobber the parent's legitimate registration.
+    The parent owns the arenas and unlinks them exactly once, so the
+    child must not track at all: registration is suppressed for the
+    duration of the attach (Python 3.13's ``track=False``, back-ported).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        pass
+    from multiprocessing import resource_tracker
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _worker_main(worker_id: int, spec: dict, tasks, results) -> None:
+    """Worker process body: attach arenas, build an engine, serve tasks.
+
+    Each ``("task", panel_idx, rows)`` message means "the first ``rows``
+    rows of my input arena hold panel ``panel_idx``": the worker zeroes
+    its output arena, runs one ``matmul_ata`` on the shared panel view,
+    and acks ``("done", worker_id, panel_idx)``.  Any exception is
+    reported as ``("error", worker_id, traceback)`` and ends the worker.
+    """
+    in_shm = out_shm = None
+    try:
+        set_config(spec["config"])
+        in_shm = _attach(spec["in_name"])
+        out_shm = _attach(spec["out_name"])
+        n = spec["n"]
+        dtype = np.dtype(spec["dtype"])
+        out = np.ndarray((n, n), dtype=dtype, buffer=out_shm.buf)
+        from .dispatch import ExecutionEngine
+        engine = ExecutionEngine(**spec["engine"])
+        try:
+            while True:
+                message = tasks.get()
+                if message[0] == "stop":
+                    break
+                _, panel_idx, rows = message
+                panel = np.ndarray((rows, n), dtype=dtype, buffer=in_shm.buf)
+                out.fill(0)
+                engine.matmul_ata(panel, out, spec["alpha"],
+                                  algo=spec["algo"], cache=spec["cache"],
+                                  parallel=spec["parallel"])
+                results.put(("done", worker_id, panel_idx))
+        finally:
+            engine.close()
+    except Exception:
+        results.put(("error", worker_id, traceback.format_exc()))
+    finally:
+        for shm in (in_shm, out_shm):
+            if shm is not None:
+                try:
+                    shm.close()
+                except Exception:
+                    pass
+
+
+@dataclasses.dataclass(frozen=True)
+class FarmRunStats:
+    """Accounting of one multi-process farm run.
+
+    Attributes
+    ----------
+    panels:
+        Panels the schedule fanned out.
+    panel_rows:
+        Rows per full panel (the last panel may be ragged).
+    procs:
+        Worker processes the run actually used (never more than there
+        are panels).
+    bytes_resident_high:
+        High-water mark of the farm's working set: ``C`` plus one
+        ``n x n`` output arena and one panel-sized input arena per
+        worker.  Never exceeds ``budget_bytes`` when one is set.
+    budget_bytes:
+        The budget the schedule was sized against (0 = unbounded).
+    """
+
+    panels: int
+    panel_rows: int
+    procs: int
+    bytes_resident_high: int
+    budget_bytes: int
+
+
+class PanelFarm:
+    """Multi-process out-of-core executor for ``C = alpha*A^T A + beta*C``.
+
+    Parameters
+    ----------
+    engine:
+        The parent-side :class:`~repro.engine.dispatch.ExecutionEngine`
+        (default: the process-wide engine).  The parent never runs panel
+        kernels itself — it schedules, stages and folds — but the farm
+        mirrors this engine's worker/parallel/tuner configuration into
+        every worker process and records its run statistics here.
+    procs:
+        Worker process count (``None`` resolves to
+        :func:`~repro.engine.cpu.available_cpus`; must be >= 1 — for the
+        in-process path use :class:`~repro.engine.ooc.ShardedAtA`, or
+        ``procs=0`` on :meth:`ExecutionEngine.run_ooc`).
+    budget:
+        Working-set budget in bytes (``None`` reads
+        ``Config.memory_budget``; 0 = unbounded).  See the module
+        docstring for what a farm's working set charges.
+    panel_rows:
+        Explicit panel height, overriding the budget-derived one.  The
+        budget still validates it.
+    """
+
+    def __init__(self, engine=None, *, procs: Optional[int] = None,
+                 budget: Optional[int] = None,
+                 panel_rows: Optional[int] = None) -> None:
+        if engine is None:
+            from .dispatch import default_engine
+            engine = default_engine()
+        if procs is None:
+            procs = available_cpus()
+        if procs < 1:
+            raise ShapeError(f"procs must be >= 1, got {procs}")
+        if panel_rows is not None and panel_rows < 1:
+            raise ShapeError(f"panel_rows must be >= 1, got {panel_rows}")
+        if budget is not None and budget < 0:
+            raise BudgetError(f"budget must be >= 0 bytes, got {budget}")
+        self.engine = engine
+        self.procs = int(procs)
+        self.budget = budget
+        self.panel_rows = panel_rows
+
+    # -- schedule -----------------------------------------------------------
+    def schedule(self, shape: Tuple[int, int], dtype,
+                 budget: Optional[int] = None,
+                 panel_rows: Optional[int] = None,
+                 procs: Optional[int] = None):
+        """Resolve ``(panel bounds, effective budget, procs)`` for a run.
+
+        The farm's resident set is ``C`` plus, per worker, one ``n x n``
+        output arena and one panel-sized input arena (module docstring).
+        A finite budget sizes the panel as large as fits;
+        :class:`BudgetError` names the smallest feasible working set when
+        even one-row panels overflow.  ``procs`` is clamped to the panel
+        count — idle workers would only cost arenas.
+        """
+        m, n = shape
+        if m < 1 or n < 1:
+            raise ShapeError(f"A must have positive dimensions, got {shape}")
+        if procs is None:
+            procs = self.procs
+        procs = int(procs)
+        if procs < 1:
+            raise ShapeError(f"procs must be >= 1, got {procs}")
+        if budget is None:
+            budget = self.budget
+        if budget is None:
+            budget = get_config().memory_budget
+        budget = int(budget)
+        if budget < 0:
+            raise BudgetError(f"budget must be >= 0 bytes, got {budget}")
+        if panel_rows is None:
+            panel_rows = self.panel_rows
+        itemsize = np.dtype(dtype).itemsize
+        c_bytes = n * n * itemsize
+        row_bytes = n * itemsize
+        if budget:
+            headroom = budget - (1 + procs) * c_bytes
+            fit = headroom // (procs * row_bytes) if headroom > 0 else 0
+            if panel_rows is None:
+                panel_rows = int(min(m, fit))
+            else:
+                panel_rows = min(panel_rows, m)
+            if panel_rows < 1 or panel_rows > fit:
+                rows = max(panel_rows, 1)
+                raise BudgetError(
+                    f"memory budget of {budget} bytes cannot hold the "
+                    f"{n}x{n} output plus {procs} worker output arena(s) "
+                    f"({(1 + procs) * c_bytes} bytes) plus {procs} input "
+                    f"arena(s) of {rows} x {n} rows "
+                    f"({procs * rows * row_bytes} bytes); the smallest "
+                    f"feasible working set for procs={procs} is "
+                    f"{(1 + procs) * c_bytes + procs * row_bytes} bytes — "
+                    "raise REPRO_MEMORY_BUDGET / Config.memory_budget, "
+                    "shrink the panel, or use fewer workers")
+        elif panel_rows is None:
+            panel_rows = m
+        panel_rows = min(panel_rows, m)
+        bounds = split_rows(m, panel_rows)
+        return bounds, budget, min(procs, len(bounds))
+
+    def _worker_engine_spec(self) -> dict:
+        """Constructor kwargs mirroring the parent engine into a worker."""
+        engine = self.engine
+        spec = {"workers": engine.workers, "parallel": engine.parallel}
+        if engine.tuner is not None:
+            # each worker gets its own tuner on the shared table path;
+            # merge-on-save (repro.engine.tuner) makes that safe — the
+            # processes union their samples instead of clobbering
+            spec["tuner"] = "measured"
+        return spec
+
+    # -- execution ----------------------------------------------------------
+    def run(self, a, c: Optional[np.ndarray] = None, alpha: float = 1.0, *,
+            beta: float = 1.0, algo: str = "auto",
+            cache=None, parallel: Optional[str] = None,
+            budget: Optional[int] = None, panel_rows: Optional[int] = None,
+            procs: Optional[int] = None
+            ) -> Tuple[np.ndarray, FarmRunStats]:
+        """Fan ``a``'s panels out to the worker pool; returns ``(C, stats)``.
+
+        ``a`` is anything :func:`~repro.engine.ooc.as_source` accepts.
+        ``algo`` / ``cache`` / ``parallel`` apply to every worker's
+        per-panel ``matmul_ata`` call, exactly as the in-process executor
+        passes them through.
+        """
+        source = as_source(a)
+        m, n = source.shape
+        bounds, eff_budget, procs = self.schedule(
+            (m, n), source.dtype, budget, panel_rows, procs)
+        dtype = np.dtype(source.dtype)
+        if c is None:
+            c = np.zeros((n, n), dtype=dtype)
+        else:
+            if c.shape != (n, n):
+                raise ShapeError(f"C must have shape ({n}, {n}) for A of "
+                                 f"shape ({m}, {n}), got {c.shape}")
+            if c.dtype != dtype:
+                raise ShapeError(f"A and C must share a dtype, got "
+                                 f"{dtype} and {c.dtype}")
+
+        from ..blas.kernels import scale
+        scale(c, beta)  # partials fold with += after one pre-scale
+        widest = max(hi - lo for lo, hi in bounds)
+        resident_high = ((1 + procs) * n * n
+                         + procs * widest * n) * dtype.itemsize
+        self._fan_out(source, bounds, c, alpha, procs, widest,
+                      algo=algo, cache=cache, parallel=parallel)
+        stats = FarmRunStats(panels=len(bounds), panel_rows=widest,
+                             procs=procs,
+                             bytes_resident_high=resident_high,
+                             budget_bytes=eff_budget)
+        record = getattr(self.engine, "_record_farm", None)
+        if record is not None:
+            record(stats)
+        return c, stats
+
+    def _fan_out(self, source, bounds, c: np.ndarray, alpha: float,
+                 procs: int, widest: int, *, algo, cache, parallel) -> None:
+        """Stage panels into worker arenas and fold partials into ``c``.
+
+        Panels are staged in ascending order (a forward-only
+        :class:`ChunkSource` never rewinds) and folded in ascending
+        order (the fixed reduction tree).  A worker's arenas are reused
+        only after its previous partial is folded, so at most ``procs``
+        panels are in flight — exactly what the budget charged.
+        """
+        n = c.shape[1]
+        dtype = c.dtype
+        context = _farm_context()
+        results = context.Queue()
+        workers = []    # (process, task queue, input arena, output arena)
+        out_views = []  # numpy views over the output arenas, index-aligned
+        config = get_config()
+        if isinstance(config, Config):  # defensive: always true today
+            config = config.replace()
+        try:
+            for worker_id in range(procs):
+                in_shm = shared_memory.SharedMemory(
+                    create=True, size=max(1, widest * n * dtype.itemsize))
+                out_shm = shared_memory.SharedMemory(
+                    create=True, size=max(1, n * n * dtype.itemsize))
+                tasks = context.Queue()
+                spec = {
+                    "in_name": in_shm.name, "out_name": out_shm.name,
+                    "n": n, "dtype": dtype.str, "alpha": alpha,
+                    "algo": algo, "cache": cache, "parallel": parallel,
+                    "config": config,
+                    "engine": self._worker_engine_spec(),
+                }
+                process = context.Process(
+                    target=_worker_main, name=f"repro-farm-{worker_id}",
+                    args=(worker_id, spec, tasks, results), daemon=True)
+                process.start()
+                workers.append((process, tasks, in_shm, out_shm))
+                out_views.append(
+                    np.ndarray((n, n), dtype=dtype, buffer=out_shm.buf))
+
+            panels = source.panels(bounds)
+
+            def stage(panel_idx: int, worker_id: int) -> None:
+                lo, hi = bounds[panel_idx]
+                rows = hi - lo
+                panel = next(panels)
+                if panel.shape != (rows, n):
+                    raise ShapeError(
+                        f"source yielded a panel of shape {panel.shape}, "
+                        f"expected ({rows}, {n})")
+                _, tasks, in_shm, _ = workers[worker_id]
+                arena = np.ndarray((rows, n), dtype=dtype, buffer=in_shm.buf)
+                try:
+                    np.copyto(arena, panel)
+                finally:
+                    del arena  # release the buffer export before close()
+                tasks.put(("task", panel_idx, rows))
+
+            next_stage = 0
+            while next_stage < min(procs, len(bounds)):
+                stage(next_stage, next_stage)
+                next_stage += 1
+
+            next_fold = 0
+            ready = {}  # finished panel index -> worker id holding it
+            while next_fold < len(bounds):
+                try:
+                    message = results.get(timeout=_POLL_SECONDS)
+                except queue_mod.Empty:
+                    for process, _, _, _ in workers:
+                        if not process.is_alive():
+                            raise FarmError(
+                                f"farm worker {process.name!r} died "
+                                f"(exit code {process.exitcode}) before "
+                                "returning its partial; the run cannot "
+                                "complete") from None
+                    continue
+                if message[0] == "error":
+                    _, worker_id, trace = message
+                    name = workers[worker_id][0].name
+                    raise FarmError(
+                        f"farm worker {name!r} failed while computing a "
+                        f"panel:\n{trace}")
+                _, worker_id, panel_idx = message
+                ready[panel_idx] = worker_id
+                while next_fold in ready:
+                    freed = ready.pop(next_fold)
+                    # the fixed reduction tree: partials join C strictly
+                    # in ascending panel order, whatever order they
+                    # arrived in — worker count can never change the bits
+                    np.add(c, out_views[freed], out=c)
+                    next_fold += 1
+                    if next_stage < len(bounds):
+                        stage(next_stage, freed)
+                        next_stage += 1
+        finally:
+            out_views.clear()  # release buffer exports before close()
+            for process, tasks, _, _ in workers:
+                try:
+                    tasks.put(("stop",))
+                except Exception:
+                    pass
+            for process, tasks, in_shm, out_shm in workers:
+                process.join(timeout=2.0)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=2.0)
+                tasks.close()
+                for shm in (in_shm, out_shm):
+                    try:
+                        shm.close()
+                        shm.unlink()
+                    except Exception:
+                        pass
+            results.close()
+
+
+# ---------------------------------------------------------------------------
+# module-level convenience (default engine)
+# ---------------------------------------------------------------------------
+
+def run_farm(a, c: Optional[np.ndarray] = None, alpha: float = 1.0, *,
+             beta: float = 1.0, algo: str = "auto", cache=None,
+             parallel: Optional[str] = None, budget: Optional[int] = None,
+             panel_rows: Optional[int] = None,
+             procs: Optional[int] = None) -> Tuple[np.ndarray, FarmRunStats]:
+    """Multi-process out-of-core ``C = alpha * A^T A + beta * C`` on the
+    default engine, returning ``(C, FarmRunStats)``; see :class:`PanelFarm`."""
+    from .dispatch import default_engine
+    return PanelFarm(default_engine(), procs=procs).run(
+        a, c, alpha, beta=beta, algo=algo, cache=cache, parallel=parallel,
+        budget=budget, panel_rows=panel_rows)

@@ -70,7 +70,6 @@ adds GIL traffic, so auto mode keeps the single-buffer schedule there.
 from __future__ import annotations
 
 import dataclasses
-import os
 import queue
 import threading
 from typing import Iterable, Iterator, Optional, Tuple, Union
@@ -80,6 +79,7 @@ import numpy as np
 from ..cache.model import CacheModel
 from ..config import get_config
 from ..errors import BudgetError, DTypeError, ShapeError
+from .cpu import available_cpus
 from .plan import split_rows
 
 __all__ = ["ShardedAtA", "OocRunStats", "ArraySource", "MemmapSource",
@@ -346,7 +346,9 @@ class ShardedAtA:
         if prefetch is None:
             prefetch = self.prefetch
         if prefetch is None:
-            return (os.cpu_count() or 1) > 1
+            # the affinity-aware count: a process pinned to one core gains
+            # nothing from a loader thread even on a many-core machine
+            return available_cpus() > 1
         return bool(prefetch)
 
     def schedule(self, shape: Tuple[int, int], dtype,
@@ -545,14 +547,16 @@ def run_ooc(a, c: Optional[np.ndarray] = None, alpha: float = 1.0, *,
             beta: float = 1.0, algo: str = "auto",
             cache: Optional[CacheModel] = None, parallel: Optional[str] = None,
             budget: Optional[int] = None, panel_rows: Optional[int] = None,
-            prefetch: Optional[bool] = None
-            ) -> Tuple[np.ndarray, OocRunStats]:
+            prefetch: Optional[bool] = None, procs: Optional[int] = None):
     """Out-of-core ``C = alpha * A^T A + beta * C`` on the default engine,
-    returning ``(C, OocRunStats)``; see :class:`ShardedAtA`."""
+    returning ``(C, run stats)``; see :class:`ShardedAtA`.  ``procs=0``
+    (the default via ``Config.farm_procs``) runs in-process; ``procs>=1``
+    fans panels out to worker processes
+    (:class:`repro.engine.farm.PanelFarm`)."""
     from .dispatch import default_engine
-    return ShardedAtA(default_engine()).run(
+    return default_engine().run_ooc(
         a, c, alpha, beta=beta, algo=algo, cache=cache, parallel=parallel,
-        budget=budget, panel_rows=panel_rows, prefetch=prefetch)
+        budget=budget, panel_rows=panel_rows, prefetch=prefetch, procs=procs)
 
 
 def matmul_ata_ooc(a, c: Optional[np.ndarray] = None, alpha: float = 1.0, *,
@@ -561,11 +565,13 @@ def matmul_ata_ooc(a, c: Optional[np.ndarray] = None, alpha: float = 1.0, *,
                    parallel: Optional[str] = None,
                    budget: Optional[int] = None,
                    panel_rows: Optional[int] = None,
-                   prefetch: Optional[bool] = None) -> np.ndarray:
+                   prefetch: Optional[bool] = None,
+                   procs: Optional[int] = None) -> np.ndarray:
     """Out-of-core counterpart of :func:`repro.engine.matmul_ata`: accepts
     arrays, memmaps or chunk streams and returns ``C`` (drop the stats);
-    see :class:`ShardedAtA` for the budget and determinism contract."""
+    see :class:`ShardedAtA` for the budget and determinism contract and
+    :class:`repro.engine.farm.PanelFarm` for ``procs``."""
     result, _ = run_ooc(a, c, alpha, beta=beta, algo=algo, cache=cache,
                         parallel=parallel, budget=budget,
-                        panel_rows=panel_rows, prefetch=prefetch)
+                        panel_rows=panel_rows, prefetch=prefetch, procs=procs)
     return result

@@ -38,10 +38,15 @@ are parked under the old fingerprint and the sub-table for the new one
 is pulled in — measurements for either configuration survive the other.
 A missing file, a corrupt/truncated file, or a file with no sub-table
 for the active configuration all degrade to fresh exploration — never an
-exception.  Saves are atomic (``os.replace`` of a temp file) and re-read
-the file first to preserve other fingerprints' sub-tables, so engines in
-concurrent processes sharing one table at worst lose each other's
-latest samples, and a reader can never observe a half-written file.
+exception.  Saves **merge** rather than replace: under an advisory file
+lock (``fcntl``/``msvcrt``, degrading to lockless atomicity where
+neither exists) each cell's samples recorded since the last successful
+save are *added* to the cell on disk (``count`` and ``total``
+accumulate, ``best`` takes the minimum), so engines in concurrent
+processes sharing one table union their measurements instead of
+last-writer-winning whole sub-tables.  The merged payload is staged in
+a temp file and published with ``os.replace``, so a reader can never
+observe a half-written file.
 
 Determinism for tests: the ``timer`` callable is injectable, so CI times
 backends with a deterministic fake clock instead of the wall clock.
@@ -49,11 +54,21 @@ backends with a deterministic fake clock instead of the wall clock.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import threading
 import time as _time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+try:  # POSIX advisory locks
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
+try:  # Windows advisory locks
+    import msvcrt
+except ImportError:  # pragma: no cover - non-Windows platform
+    msvcrt = None  # type: ignore[assignment]
 
 import numpy as np
 
@@ -117,6 +132,88 @@ def _fingerprint_key(fingerprint: List[int]) -> str:
     return ",".join(map(str, fingerprint))
 
 
+#: one fingerprint's sub-table: ``{cell key: {backend: {count,total,best}}}``
+Subtable = Dict[str, Dict[str, Dict[str, float]]]
+
+#: a cell with no samples — the identity of the merge
+_ZERO_CELL = {"count": 0, "total": 0.0, "best": float("inf")}
+
+
+@contextlib.contextmanager
+def _table_lock(path: str) -> Iterator[None]:
+    """Advisory exclusive lock around a read-merge-write of the table file.
+
+    Locks a ``<path>.lock`` sidecar (never the table itself — the table
+    is published by ``os.replace``, so locking its inode would be racy)
+    via ``fcntl.flock`` on POSIX or ``msvcrt.locking`` on Windows.  Where
+    neither is available, or the lock file cannot be created, degrades to
+    running unlocked: saves stay atomic and readers still never see a
+    torn file, concurrent *merges* may merely lose the race.
+    """
+    handle = None
+    try:
+        try:
+            handle = open(path + ".lock", "a+")
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            elif msvcrt is not None:  # pragma: no cover - Windows only
+                handle.seek(0)
+                msvcrt.locking(handle.fileno(), msvcrt.LK_LOCK, 1)
+        except OSError:
+            if handle is not None:
+                handle.close()
+            handle = None  # lockless fallback
+        yield
+    finally:
+        if handle is not None:
+            try:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+                elif msvcrt is not None:  # pragma: no cover - Windows only
+                    handle.seek(0)
+                    msvcrt.locking(handle.fileno(), msvcrt.LK_UNLCK, 1)
+            except OSError:  # pragma: no cover - unlock is best-effort
+                pass
+            handle.close()
+
+
+def _copy_subtable(table: Subtable) -> Subtable:
+    return {key: {name: dict(cell) for name, cell in entry.items()}
+            for key, entry in table.items()}
+
+
+def _merge_subtable(disk: Subtable, mem: Subtable,
+                    base: Subtable) -> Subtable:
+    """Union ``mem``'s new samples into ``disk``'s sub-table.
+
+    ``base`` is the portion of ``mem`` already accounted for on disk by
+    this process (the baseline captured at the last successful
+    load/save); only the delta beyond it is added, so repeated saves
+    never double-count a sample.  Cells present on disk but unknown to
+    ``mem`` (another process's measurements) pass through untouched.
+    ``count``/``total`` take the larger of "our whole view" and
+    "disk + our delta", which reduces to plain addition in the normal
+    concurrent case while also surviving a table file that was wiped
+    under us; ``best`` is the minimum of both views.
+    """
+    merged = _copy_subtable(disk)
+    for key, entry in mem.items():
+        base_entry = base.get(key, {})
+        out = merged.setdefault(key, {})
+        for name, cell in entry.items():
+            b = base_entry.get(name, _ZERO_CELL)
+            d = out.get(name, _ZERO_CELL)
+            d_count = max(0, int(cell["count"]) - int(b["count"]))
+            d_total = max(0.0, float(cell["total"]) - float(b["total"]))
+            out[name] = {
+                "count": max(int(cell["count"]), int(d["count"]) + d_count),
+                "total": max(float(cell["total"]),
+                             float(d["total"]) + d_total),
+                "best": min(float(cell["best"]), float(d["best"])),
+            }
+    return merged
+
+
 class BackendTuner:
     """A measured, persisted per-shape backend selector.
 
@@ -164,11 +261,16 @@ class BackendTuner:
         self._path = os.fspath(path) if path else default_tuner_path()
         self.save_every = max(1, int(save_every))
         self._lock = threading.RLock()
-        self._table: Dict[str, Dict[str, Dict[str, float]]] = {}
+        self._table: Subtable = {}
         #: sub-tables parked in memory when the config fingerprint changed;
         #: they survive even when the parking save() failed (unwritable
         #: path) and are folded into every later save
-        self._parked: Dict[str, Dict[str, Dict[str, Dict[str, float]]]] = {}
+        self._parked: Dict[str, Subtable] = {}
+        #: per-fingerprint merge baselines: the part of each in-memory
+        #: sub-table already accounted for on disk (captured at the last
+        #: successful load/save), so :meth:`save` merges only the delta
+        #: and never double-counts a sample
+        self._persisted: Dict[str, Subtable] = {}
         self._fingerprint: Optional[List[int]] = None
         self._dirty = 0
         self.hits = 0
@@ -237,29 +339,40 @@ class BackendTuner:
         """
         with self._lock:
             self._fingerprint = _config_fingerprint(get_config())
+            fp_key = _fingerprint_key(self._fingerprint)
             self._table = {}
+            self._persisted[fp_key] = {}
             self._dirty = 0
             try:
                 with open(self.path, "r", encoding="utf-8") as handle:
                     payload = json.load(handle)
-                entries = self._read_tables(payload).get(
-                    _fingerprint_key(self._fingerprint))
+                entries = self._read_tables(payload).get(fp_key)
                 if entries is None:
                     return False
-                table: Dict[str, Dict[str, Dict[str, float]]] = {}
-                for key, per_backend in entries.items():
-                    table[str(key)] = {
-                        str(name): {"count": int(cell["count"]),
-                                    "total": float(cell["total"]),
-                                    "best": float(cell["best"])}
-                        for name, cell in per_backend.items()}
+                table = self._normalize_subtable(entries)
                 self._table = table
+                # everything just loaded is on disk already: merge-saves
+                # must only add samples recorded beyond this baseline
+                self._persisted[fp_key] = _copy_subtable(table)
                 return True
             except FileNotFoundError:
                 return False
             except Exception:
                 self.load_failures += 1
                 return False
+
+    @staticmethod
+    def _normalize_subtable(entries: dict) -> Subtable:
+        """One fingerprint's sub-table coerced to the canonical cell
+        schema (raises on malformed cells so callers can discard)."""
+        table: Subtable = {}
+        for key, per_backend in entries.items():
+            table[str(key)] = {
+                str(name): {"count": int(cell["count"]),
+                            "total": float(cell["total"]),
+                            "best": float(cell["best"])}
+                for name, cell in per_backend.items()}
+        return table
 
     @staticmethod
     def _read_tables(payload) -> Dict[str, dict]:
@@ -273,30 +386,40 @@ class BackendTuner:
         return tables
 
     def save(self) -> bool:
-        """Atomically persist the active sub-table; returns ``False``
-        (never raises) when the path is unwritable or persistence is
-        disabled.  Sub-tables stored for other config fingerprints (on
-        disk or parked in memory) are preserved, so saving under one
-        configuration never discards measurements taken under another.
+        """Merge the active (and parked) sub-tables into the file on
+        disk; returns ``False`` (never raises) when the path is
+        unwritable or persistence is disabled.
 
-        The table is snapshotted under the lock but written outside it,
-        so steady-state :meth:`choose`/:meth:`record` calls never block
-        on disk I/O (the one exception is the rare config-fingerprint
-        swap, whose parking save runs from inside ``_check_config`` while
-        the caller still holds the lock); the temp-file name is unique
-        per (process, thread) and published with ``os.replace``, so
-        concurrent savers last-write-win whole files and a reader can
-        never observe a torn one.
+        Persistence is a **merge**, not a replacement: the samples each
+        cell gained since the last successful load/save (its delta
+        against the :attr:`_persisted` baseline) are *added* to the cell
+        on disk — ``count`` and ``total`` accumulate, ``best`` takes the
+        minimum — under an advisory file lock
+        (:func:`_table_lock`), so concurrent processes sharing one table
+        union their measurements instead of clobbering each other's.
+        Sub-tables stored for other config fingerprints are preserved
+        untouched.
+
+        The table is snapshotted under the tuner lock but written
+        outside it, so steady-state :meth:`choose`/:meth:`record` calls
+        never block on disk I/O (the one exception is the rare
+        config-fingerprint swap, whose parking save runs from inside
+        ``_check_config`` while the caller still holds the lock); the
+        temp-file name is unique per (process, thread), published with
+        ``os.replace`` and unlinked on every failure path, so a reader
+        can never observe a torn file and no temp litter survives.
         """
         if not self.persist:
             return False
         with self._lock:
             fingerprint = (self._fingerprint
                            or _config_fingerprint(get_config()))
-            snapshot = {key: {name: dict(cell)
-                              for name, cell in entry.items()}
-                        for key, entry in self._table.items()}
-            parked = {key: table for key, table in self._parked.items()}
+            pending = {_fingerprint_key(fingerprint):
+                       _copy_subtable(self._table)}
+            for key, table in self._parked.items():
+                pending[key] = _copy_subtable(table)
+            baselines = {key: _copy_subtable(self._persisted.get(key, {}))
+                         for key in pending}
             dirty_at_snapshot = self._dirty
         path = self.path
         tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
@@ -304,28 +427,43 @@ class BackendTuner:
             directory = os.path.dirname(path)
             if directory:
                 os.makedirs(directory, exist_ok=True)
-            tables: Dict[str, dict] = {}
-            try:
-                with open(path, "r", encoding="utf-8") as handle:
-                    tables = self._read_tables(json.load(handle))
-            except Exception:
-                pass  # unreadable/absent -> start a fresh file
-            tables.update(parked)
-            tables[_fingerprint_key(fingerprint)] = snapshot
-            with open(tmp, "w", encoding="utf-8") as handle:
-                json.dump({"version": TABLE_VERSION, "tables": tables},
-                          handle)
-            os.replace(tmp, path)
+            with _table_lock(path):
+                tables: Dict[str, dict] = {}
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        tables = self._read_tables(json.load(handle))
+                except Exception:
+                    pass  # unreadable/absent -> start a fresh file
+                for key, mem_table in pending.items():
+                    try:
+                        disk_sub = self._normalize_subtable(
+                            tables.get(key, {}))
+                    except Exception:
+                        disk_sub = {}  # malformed sub-table: rebuild ours
+                    tables[key] = _merge_subtable(disk_sub, mem_table,
+                                                  baselines[key])
+                with open(tmp, "w", encoding="utf-8") as handle:
+                    json.dump({"version": TABLE_VERSION, "tables": tables},
+                              handle)
+                os.replace(tmp, path)
             with self._lock:
-                # samples recorded while writing stay dirty for the next save
+                # samples recorded while writing stay dirty for the next
+                # save; what we snapshotted is on disk now, so it becomes
+                # the new merge baseline
                 self._dirty = max(0, self._dirty - dirty_at_snapshot)
+                for key, mem_table in pending.items():
+                    self._persisted[key] = mem_table
             return True
-        except OSError:
+        except Exception:
+            # "never raises" covers more than OSError: a non-serializable
+            # cell (json.dump TypeError), a malformed payload, anything —
+            # persistence failures must not take the engine down
+            return False
+        finally:
             try:
-                os.unlink(tmp)
+                os.unlink(tmp)  # no-op after a successful os.replace
             except OSError:
                 pass
-            return False
 
     def flush(self) -> bool:
         """Persist pending samples, if any."""
@@ -413,7 +551,12 @@ class BackendTuner:
             return min(entry, key=lambda n: entry[n]["best"])
 
     def clear(self) -> None:
-        """Drop every measured sample (stats retained)."""
+        """Drop every measured sample from the in-memory table (stats
+        retained).  The persisted file is untouched; the merge baseline
+        resets with the table, so samples recorded after a clear merge
+        into the file as new measurements."""
         with self._lock:
             self._table.clear()
+            if self._fingerprint is not None:
+                self._persisted[_fingerprint_key(self._fingerprint)] = {}
             self._dirty = 0

@@ -92,5 +92,18 @@ class BudgetError(ReproError, RuntimeError):
     """
 
 
+class FarmError(ReproError, RuntimeError):
+    """Raised when a multi-process panel farm cannot complete a run.
+
+    :class:`repro.engine.farm.PanelFarm` fans panels out to worker
+    processes over shared-memory arenas.  A worker that dies (killed by
+    the OS, ``os._exit``, a segfaulting extension) or reports a failure
+    is surfaced as this error — naming the worker and, when one was
+    reported, the original traceback — instead of hanging the parent on
+    a result that will never arrive.  Budget infeasibility keeps raising
+    :class:`BudgetError`; this error is strictly about the process pool.
+    """
+
+
 class BenchmarkError(ReproError, RuntimeError):
     """Raised by the benchmark harness when an experiment is ill-defined."""

@@ -439,8 +439,18 @@ class Server:
         await self.close()
 
     @property
-    def closed(self) -> bool:
+    def closing(self) -> bool:
+        """``True`` once :meth:`close` has started: admission is stopped
+        (``submit`` raises :class:`ServerClosedError`), but admitted work
+        may still be draining."""
         return self._closing
+
+    @property
+    def closed(self) -> bool:
+        """``True`` once :meth:`close` has *finished*: every admitted
+        request is settled and the executor is shut down.  Implies
+        :attr:`closing`; during the drain window the two differ."""
+        return self._closed
 
     # -- introspection ------------------------------------------------------
     def stats(self) -> ServerStats:

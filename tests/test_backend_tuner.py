@@ -568,6 +568,119 @@ class TestTunerPersistence:
         assert not tuner.save()
         assert not (tmp_path / "t.json").exists()
 
+    def test_save_merges_instead_of_replacing(self, tmp_path):
+        """Two tuners on one path union their samples: neither
+        last-writer-wins the other's cells away."""
+        path = str(tmp_path / "t.json")
+        first = BackendTuner(path, timer=FakeClock())
+        second = BackendTuner(path, timer=FakeClock())
+        first.record("ata", (64, 64), np.float64, "a", 1.0)
+        assert first.save()
+        second.record("ata", (64, 64), np.float64, "b", 2.0)
+        assert second.save()  # unaware of first's save: must still merge
+        merged = BackendTuner(path, timer=FakeClock()).table_snapshot()
+        (entry,) = merged.values()
+        assert entry["a"]["count"] == 1 and entry["b"]["count"] == 1
+
+    def test_repeated_saves_never_double_count(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        tuner = BackendTuner(path, timer=FakeClock())
+        for seconds in (3.0, 1.0, 2.0):
+            tuner.record("ata", (64, 64), np.float64, "x", seconds)
+            assert tuner.save()
+        assert tuner.save()  # an empty-delta save must also be a no-op
+        (entry,) = BackendTuner(path,
+                                timer=FakeClock()).table_snapshot().values()
+        assert entry["x"] == {"count": 3, "total": 6.0, "best": 1.0}
+
+    def test_same_cell_merges_counts_totals_and_best(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        first = BackendTuner(path, timer=FakeClock())
+        second = BackendTuner(path, timer=FakeClock())
+        first.record("ata", (64, 64), np.float64, "x", 4.0)
+        first.record("ata", (64, 64), np.float64, "x", 6.0)
+        assert first.save()
+        second.record("ata", (64, 64), np.float64, "x", 1.0)
+        assert second.save()
+        (entry,) = BackendTuner(path,
+                                timer=FakeClock()).table_snapshot().values()
+        assert entry["x"] == {"count": 3, "total": 11.0, "best": 1.0}
+
+    def test_two_process_hammering_loses_no_samples(self, tmp_path):
+        """The cross-process clobbering regression: two *processes*
+        autosaving into one table must union to exactly every sample."""
+        import multiprocessing
+
+        path = str(tmp_path / "shared.json")
+        samples = 25
+        context = (multiprocessing.get_context("fork")
+                   if "fork" in multiprocessing.get_all_start_methods()
+                   else multiprocessing.get_context())
+
+        def hammer(name: str) -> None:
+            tuner = BackendTuner(path, timer=FakeClock(), save_every=1)
+            for i in range(samples):
+                tuner.record("ata", (64, 64), np.float64, name,
+                             1.0 + (i % 5))
+            tuner.flush()
+
+        workers = [context.Process(target=hammer, args=(f"p{i}",))
+                   for i in range(2)]
+        for process in workers:
+            process.start()
+        for process in workers:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+        (entry,) = BackendTuner(path,
+                                timer=FakeClock()).table_snapshot().values()
+        assert entry["p0"]["count"] == samples
+        assert entry["p1"]["count"] == samples
+        assert entry["p0"]["best"] == 1.0 and entry["p1"]["best"] == 1.0
+
+    def test_save_swallows_non_oserror_and_unlinks_tmp(self, tmp_path):
+        """The "never raises" contract covers more than OSError: a
+        non-serializable cell (json TypeError) must return False, leave
+        no temp litter and keep the file loadable."""
+        path = tmp_path / "t.json"
+        tuner = BackendTuner(str(path), timer=FakeClock())
+        tuner.record("ata", (64, 64), np.float64, "x", 1.0)
+        assert tuner.save()
+        tuner.record("ata", (64, 64), np.float64, "x", 2.0)
+        key = next(iter(tuner._table))
+        tuner._table[key]["x"]["total"] = object()  # json.dump TypeError
+        assert tuner.save() is False  # swallowed, not raised
+        assert [p.name for p in tmp_path.iterdir()
+                if ".tmp." in p.name] == []
+        survivor = BackendTuner(str(path), timer=FakeClock())
+        (entry,) = survivor.table_snapshot().values()
+        assert entry["x"]["count"] == 1  # the good save is intact
+
+    def test_clear_resets_merge_baseline(self, tmp_path):
+        """Samples recorded after clear() merge as new measurements on
+        top of whatever the file already holds."""
+        path = str(tmp_path / "t.json")
+        tuner = BackendTuner(path, timer=FakeClock())
+        tuner.record("ata", (64, 64), np.float64, "x", 1.0)
+        assert tuner.save()
+        tuner.clear()
+        tuner.record("ata", (64, 64), np.float64, "x", 2.0)
+        assert tuner.save()
+        (entry,) = BackendTuner(path,
+                                timer=FakeClock()).table_snapshot().values()
+        assert entry["x"]["count"] == 2 and entry["x"]["total"] == 3.0
+
+    def test_save_leaves_no_lock_litter_problems(self, tmp_path):
+        """The advisory lock sidecar may persist but must never confuse
+        a later load or save."""
+        path = str(tmp_path / "t.json")
+        tuner = BackendTuner(path, timer=FakeClock())
+        tuner.record("ata", (64, 64), np.float64, "x", 1.0)
+        assert tuner.save() and tuner.save()
+        again = BackendTuner(path, timer=FakeClock())
+        assert again.load_failures == 0
+        (entry,) = again.table_snapshot().values()
+        assert entry["x"]["count"] == 1
+
     def test_concurrent_engines_share_one_table(self, rng, tmp_path,
                                                 fake_costs):
         """Two engines + tuners on one path, hammered from threads: no

@@ -30,7 +30,8 @@ def test_examples_directory_contents():
     names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
     assert {"quickstart.py", "least_squares_regression.py", "heat_kernel_diffusion.py",
             "distributed_scaling.py", "reproduce_figures.py",
-            "serving_concurrent_clients.py", "out_of_core_gram.py"} <= names
+            "serving_concurrent_clients.py", "out_of_core_gram.py",
+            "multiprocess_gram.py"} <= names
 
 
 @pytest.mark.slow
@@ -72,3 +73,12 @@ def test_out_of_core_example():
     assert "<= budget: True" in out
     assert "bit-identical to the in-memory panel schedule: True" in out
     assert "matches: True" in out
+
+
+@pytest.mark.slow
+def test_multiprocess_example():
+    out = run_example("multiprocess_gram.py")
+    assert "[farm]" in out
+    assert "bit-identical to in-process: False" not in out
+    assert "all worker counts agree bit for bit: True" in out
+    assert "within budget: True" in out

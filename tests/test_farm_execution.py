@@ -1,0 +1,377 @@
+"""Tests for the multi-process panel farm (and its CPU-detection helper).
+
+The acceptance contract under test:
+
+* a farm run is bit-identical (``np.array_equal``) to the in-process
+  :class:`repro.engine.ooc.ShardedAtA` replaying the same fixed panel
+  schedule, for every worker count in {0, 1, 2, 4}, across dtypes,
+  single-kernel algorithms and source kinds (array / memmap / chunk
+  stream) — worker count must never change the bits;
+* for the recursive ``ata`` backend above its base case the farm is
+  bit-identical to its own fixed reduction tree (partials folded in
+  ascending panel order) at every worker count, and agrees with the
+  in-process chain to rounding — the documented re-association caveat;
+* a worker that dies mid-run surfaces :class:`repro.errors.FarmError`
+  promptly instead of hanging, and a failing worker's traceback rides
+  along;
+* infeasible budgets fail up front with :class:`BudgetError` naming the
+  farm's working set; feasible ones bound the resident high-water mark;
+* farm runs are visible in :class:`repro.engine.EngineStats`;
+* :func:`repro.engine.cpu.available_cpus` honours the process affinity
+  mask and degrades to ``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.config import configured
+from repro.engine import (
+    ChunkSource,
+    ExecutionEngine,
+    PanelFarm,
+    ShardedAtA,
+    available_cpus,
+    matmul_ata_ooc,
+    run_farm,
+    split_rows,
+)
+from repro.engine.backends import Backend, register_backend, unregister_backend
+from repro.errors import BudgetError, FarmError, ShapeError
+
+pytestmark = pytest.mark.timeout(120)  # a hung farm must fail, not stall CI
+
+#: backends whose kernels update every C element exactly once, so the
+#: farm's partial-fold is bit-identical to the in-kernel accumulate
+SINGLE_KERNEL_ALGOS = ("syrk", "tiled", "recursive_gemm")
+
+
+def in_process_reference(a: np.ndarray, panel_rows: int, alpha: float = 1.0,
+                         algo: str = "auto") -> np.ndarray:
+    """The in-process executor on the identical fixed schedule."""
+    c, _ = ShardedAtA(ExecutionEngine()).run(
+        np.ascontiguousarray(a), alpha=alpha, algo=algo,
+        panel_rows=panel_rows, prefetch=False)
+    return c
+
+
+def fold_reference(a: np.ndarray, panel_rows: int, alpha: float = 1.0,
+                   algo: str = "auto") -> np.ndarray:
+    """The farm's own reduction tree, replayed sequentially: one partial
+    Gram per panel (zero accumulator), folded in ascending panel order."""
+    n = a.shape[1]
+    engine = ExecutionEngine()
+    c = np.zeros((n, n), dtype=a.dtype)
+    for lo, hi in split_rows(a.shape[0], panel_rows):
+        partial = np.zeros((n, n), dtype=a.dtype)
+        engine.matmul_ata(np.ascontiguousarray(a[lo:hi]), partial, alpha,
+                          algo=algo)
+        c += partial
+    return c
+
+
+def make_source(kind: str, a: np.ndarray, tmp_path):
+    if kind == "array":
+        return a
+    if kind == "memmap":
+        path = tmp_path / "a.dat"
+        mm = np.memmap(path, dtype=a.dtype, mode="w+", shape=a.shape)
+        mm[:] = a
+        mm.flush()
+        return np.memmap(path, dtype=a.dtype, mode="r", shape=a.shape)
+    chunks = [a[i:i + 13] for i in range(0, a.shape[0], 13)]
+    return ChunkSource(iter(chunks), a.shape, a.dtype)
+
+
+def farm_run(a_source, *, procs: int, **kwargs):
+    """One run at the requested worker count: ``procs=0`` exercises the
+    in-process routing of ``run_ooc``, ``procs>=1`` the farm."""
+    engine = ExecutionEngine()
+    if procs == 0:
+        c, _ = engine.run_ooc(a_source, procs=0, prefetch=False, **kwargs)
+        return c
+    c, _ = PanelFarm(engine, procs=procs).run(a_source, **kwargs)
+    return c
+
+
+class _DieBackend(Backend):
+    """A backend that kills its worker process mid-panel."""
+
+    name = "farm-test-die"
+    ops = ("ata",)
+
+    def supports(self, *args, **kwargs):
+        return True
+
+    def cost(self, *args, **kwargs):
+        return 0.0
+
+    def run(self, *args, **kwargs):
+        os._exit(17)
+
+
+class _RaiseBackend(Backend):
+    """A backend that raises inside the worker (error-report path)."""
+
+    name = "farm-test-raise"
+    ops = ("ata",)
+
+    def supports(self, *args, **kwargs):
+        return True
+
+    def cost(self, *args, **kwargs):
+        return 0.0
+
+    def run(self, *args, **kwargs):
+        raise RuntimeError("synthetic panel failure")
+
+
+# ---------------------------------------------------------------------------
+# bit-identity across worker counts, dtypes, algos and sources
+# ---------------------------------------------------------------------------
+
+class TestBitIdentity:
+    @settings(max_examples=8, deadline=None)
+    @given(m=st.integers(20, 90), n=st.integers(2, 32),
+           panel_rows=st.integers(5, 40),
+           procs=st.sampled_from([0, 1, 2, 4]),
+           dtype=st.sampled_from([np.float64, np.float32]),
+           algo=st.sampled_from(SINGLE_KERNEL_ALGOS),
+           kind=st.sampled_from(["array", "memmap", "chunks"]),
+           data=st.data())
+    def test_farm_matches_in_process_shardedata(self, m, n, panel_rows,
+                                                procs, dtype, algo, kind,
+                                                data, tmp_path_factory):
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+        a = rng.standard_normal((m, n)).astype(dtype)
+        expected = in_process_reference(a, panel_rows, algo=algo)
+        source = make_source(kind, a, tmp_path_factory.mktemp("farm"))
+        got = farm_run(source, procs=procs, panel_rows=panel_rows, algo=algo)
+        assert got.dtype == expected.dtype
+        assert np.array_equal(got, expected)
+
+    @pytest.mark.parametrize("procs", [1, 2, 4])
+    def test_worker_count_never_changes_bits(self, rng, procs):
+        """The headline claim: same schedule => same bits, any pool size."""
+        a = rng.standard_normal((160, 24))
+        expected = in_process_reference(a, panel_rows=31, algo="syrk")
+        got = farm_run(a, procs=procs, panel_rows=31, algo="syrk")
+        assert np.array_equal(got, expected)
+
+    def test_recursive_ata_matches_own_reduction_tree(self, rng,
+                                                      small_base_case):
+        """Above the base case the recursive ``ata`` backend multi-updates
+        C elements, so the farm cannot replay the in-kernel chain — but it
+        must be bit-identical to its own ascending partial fold at every
+        worker count, and within rounding of the in-process chain."""
+        a = rng.standard_normal((96, 24))
+        tree = fold_reference(a, panel_rows=33, algo="ata")
+        chain = in_process_reference(a, panel_rows=33, algo="ata")
+        for procs in (1, 2, 4):
+            got = farm_run(a, procs=procs, panel_rows=33, algo="ata")
+            assert np.array_equal(got, tree)
+        assert np.allclose(tree, chain)
+
+    def test_single_panel_matches_matmul_ata(self, rng):
+        """A panel fitting the whole input: one worker, one kernel call on
+        a zero accumulator — exactly ``matmul_ata``."""
+        a = rng.standard_normal((40, 16))
+        expected = ExecutionEngine().matmul_ata(a, algo="syrk")
+        got = farm_run(a, procs=2, panel_rows=40, algo="syrk")
+        assert np.array_equal(got, expected)
+
+    def test_alpha_beta_and_existing_c(self, rng):
+        a = rng.standard_normal((50, 12))
+        c0 = rng.standard_normal((12, 12))
+        expected, _ = ShardedAtA(ExecutionEngine()).run(
+            a, c0.copy(), 0.5, beta=2.0, algo="syrk", panel_rows=17,
+            prefetch=False)
+        got, _ = PanelFarm(ExecutionEngine(), procs=2).run(
+            a, c0.copy(), 0.5, beta=2.0, algo="syrk", panel_rows=17)
+        assert np.array_equal(got, expected)
+
+    def test_run_farm_module_front(self, rng):
+        a = rng.standard_normal((60, 16))
+        expected = in_process_reference(a, panel_rows=25, algo="syrk")
+        got, stats = run_farm(a, algo="syrk", panel_rows=25, procs=2)
+        assert np.array_equal(got, expected)
+        assert stats.procs == 2 and stats.panels == len(split_rows(60, 25))
+
+
+# ---------------------------------------------------------------------------
+# wiring: run_ooc routing, Config.farm_procs, EngineStats
+# ---------------------------------------------------------------------------
+
+class TestWiring:
+    def test_config_farm_procs_routes_to_farm(self, rng):
+        a = rng.standard_normal((80, 16))
+        expected = in_process_reference(a, panel_rows=29, algo="syrk")
+        engine = ExecutionEngine()
+        with configured(farm_procs=2):
+            got, stats = engine.run_ooc(a, algo="syrk", panel_rows=29)
+        assert np.array_equal(got, expected)
+        assert stats.procs == 2  # FarmRunStats, not OocRunStats
+        snap = engine.stats()
+        assert snap.farm_runs == 1 and snap.farm_procs == 2
+        assert snap.farm_panels == len(split_rows(80, 29))
+        assert snap.ooc_runs == 0  # the in-process executor never ran
+
+    def test_explicit_procs_zero_stays_in_process(self, rng):
+        a = rng.standard_normal((80, 16))
+        engine = ExecutionEngine()
+        with configured(farm_procs=4):
+            _, stats = engine.run_ooc(a, algo="syrk", panel_rows=29,
+                                      procs=0, prefetch=False)
+        assert not hasattr(stats, "procs")  # OocRunStats
+        snap = engine.stats()
+        assert snap.ooc_runs == 1 and snap.farm_runs == 0
+
+    def test_matmul_ata_ooc_accepts_procs(self, rng):
+        a = rng.standard_normal((64, 12))
+        expected = in_process_reference(a, panel_rows=21, algo="syrk")
+        got = matmul_ata_ooc(a, algo="syrk", panel_rows=21, procs=2)
+        assert np.array_equal(got, expected)
+
+    def test_negative_config_rejected(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            repro.Config(farm_procs=-1)
+
+    def test_invalid_procs_rejected(self):
+        with pytest.raises(ShapeError):
+            PanelFarm(ExecutionEngine(), procs=0)
+        with pytest.raises(ShapeError):
+            PanelFarm(ExecutionEngine(), procs=-2)
+
+
+# ---------------------------------------------------------------------------
+# budget discipline
+# ---------------------------------------------------------------------------
+
+class TestBudget:
+    def test_infeasible_budget_names_farm_working_set(self):
+        farm = PanelFarm(ExecutionEngine(), procs=2)
+        a = np.ones((64, 32))
+        with pytest.raises(BudgetError) as excinfo:
+            farm.run(a, budget=1000)
+        message = str(excinfo.value)
+        assert "worker output arena" in message and "procs=2" in message
+
+    def test_budget_sizes_panels_and_bounds_resident(self, rng):
+        a = rng.standard_normal((256, 16))
+        itemsize = a.dtype.itemsize
+        procs = 2
+        # room for C + procs output arenas + procs 24-row input arenas
+        budget = ((1 + procs) * 16 * 16 + procs * 24 * 16) * itemsize
+        got, stats = PanelFarm(ExecutionEngine(), procs=procs).run(
+            a, algo="syrk", budget=budget)
+        assert stats.panel_rows == 24
+        assert stats.bytes_resident_high <= budget
+        assert np.array_equal(
+            got, in_process_reference(a, panel_rows=24, algo="syrk"))
+
+    def test_explicit_panel_rows_validated_against_budget(self):
+        farm = PanelFarm(ExecutionEngine(), procs=2)
+        a = np.ones((64, 16))
+        budget = (3 * 16 * 16 + 2 * 8 * 16) * a.dtype.itemsize
+        with pytest.raises(BudgetError):
+            farm.run(a, budget=budget, panel_rows=9)  # 8 rows fit, 9 don't
+
+    def test_procs_clamped_to_panel_count(self, rng):
+        a = rng.standard_normal((30, 8))
+        _, stats = PanelFarm(ExecutionEngine(), procs=4).run(
+            a, algo="syrk", panel_rows=20)  # only 2 panels
+        assert stats.procs == 2
+
+
+# ---------------------------------------------------------------------------
+# failure handling: death and error surfacing, never a hang
+# ---------------------------------------------------------------------------
+
+class TestWorkerFailure:
+    def test_worker_death_raises_farm_error(self, rng):
+        register_backend(_DieBackend())
+        try:
+            a = rng.standard_normal((60, 12))
+            with pytest.raises(FarmError, match="died"):
+                PanelFarm(ExecutionEngine(), procs=2).run(
+                    a, algo="farm-test-die", panel_rows=17)
+        finally:
+            unregister_backend("farm-test-die")
+
+    def test_worker_exception_carries_traceback(self, rng):
+        register_backend(_RaiseBackend())
+        try:
+            a = rng.standard_normal((60, 12))
+            with pytest.raises(FarmError,
+                               match="synthetic panel failure"):
+                PanelFarm(ExecutionEngine(), procs=2).run(
+                    a, algo="farm-test-raise", panel_rows=17)
+        finally:
+            unregister_backend("farm-test-raise")
+
+    def test_farm_error_is_repro_and_runtime_error(self):
+        from repro.errors import ReproError
+        assert issubclass(FarmError, ReproError)
+        assert issubclass(FarmError, RuntimeError)
+
+    def test_arenas_cleaned_up_after_failure(self, rng):
+        """No shared-memory litter survives a failed run."""
+        register_backend(_DieBackend())
+        try:
+            a = rng.standard_normal((60, 12))
+            with pytest.raises(FarmError):
+                PanelFarm(ExecutionEngine(), procs=1).run(
+                    a, algo="farm-test-die", panel_rows=17)
+        finally:
+            unregister_backend("farm-test-die")
+        shm_dir = "/dev/shm"
+        if os.path.isdir(shm_dir):
+            litter = [name for name in os.listdir(shm_dir)
+                      if name.startswith("psm_")]
+            assert litter == []
+
+
+# ---------------------------------------------------------------------------
+# available_cpus
+# ---------------------------------------------------------------------------
+
+class TestAvailableCpus:
+    def test_at_least_one(self):
+        assert available_cpus() >= 1
+
+    def test_prefers_affinity_mask(self, monkeypatch):
+        if not hasattr(os, "sched_getaffinity"):
+            pytest.skip("platform has no sched_getaffinity")
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1, 3})
+        assert available_cpus() == 3
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        def boom(pid):
+            raise OSError("no affinity support")
+        monkeypatch.setattr(os, "sched_getaffinity", boom, raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 7)
+        assert available_cpus() == 7
+
+    def test_never_returns_zero(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: set(),
+                            raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert available_cpus() == 1
+
+    def test_auto_workers_honour_affinity(self, monkeypatch):
+        """dispatch's "auto" worker cap asks available_cpus, not
+        os.cpu_count: a pinned process must not over-schedule."""
+        import repro.engine.cpu as cpu_mod
+        monkeypatch.setattr(cpu_mod.os, "sched_getaffinity",
+                            lambda pid: {0}, raising=False)
+        engine = ExecutionEngine(workers=4)
+        try:
+            assert engine._auto_workers == 1
+        finally:
+            engine.close()

@@ -185,6 +185,31 @@ class TestDrain:
 
         run(scenario())
 
+    def test_closing_and_closed_are_distinct_phases(self, rng):
+        """``closing`` flips the moment close() starts (admission stops);
+        ``closed`` only once the drain has settled every request."""
+        a = rng.standard_normal((32, 16))
+
+        async def scenario():
+            server = Server(ExecutionEngine(), linger_ms=10_000.0)
+            assert not server.closing and not server.closed
+            pending = asyncio.ensure_future(server.submit(a))
+            await asyncio.sleep(0)
+            closer = asyncio.ensure_future(server.close())
+            await asyncio.sleep(0)
+            # mid-drain: admission is stopped but work is still settling
+            assert server.closing
+            mid_drain_closed = server.closed
+            with pytest.raises(ServerClosedError):
+                await server.submit(a)
+            await closer
+            await pending
+            assert server.closing and server.closed
+            return mid_drain_closed
+
+        with configured(base_case_elements=64):
+            assert run(scenario()) is False
+
 
 class TestCancellation:
     def test_cancelled_waiter_never_corrupts_its_batch(self, rng):
