@@ -34,7 +34,14 @@ on:
   ``run_ooc(procs=N)`` (or :class:`repro.PanelFarm` directly) fans those
   panels out to worker processes over shared-memory arenas, folding the
   partial Grams through a fixed ascending reduction tree so the result
-  is bit-identical whatever the worker count.
+  is bit-identical whatever the worker count — and self-heals worker
+  loss: dead workers are respawned and their panels replayed (bounded by
+  ``Config.farm_max_retries``), degrading to bit-identical in-process
+  completion when retries run out;
+* :mod:`repro.faults` — deterministic, seeded fault injection: named
+  sites across the farm, the out-of-core stream, serving and the tuner,
+  armed by ``Config.faults`` / ``$REPRO_FAULTS``
+  (e.g. ``farm.worker:kill@p3``) and zero-overhead no-ops otherwise.
 
 Quickstart
 ----------
@@ -51,8 +58,10 @@ from .errors import (
     BudgetError,
     CommunicatorError,
     ConfigurationError,
+    DeadlineError,
     DTypeError,
     FarmError,
+    FaultInjected,
     QueueFullError,
     ReproError,
     SchedulerError,
@@ -60,6 +69,7 @@ from .errors import (
     ShapeError,
     WorkspaceError,
 )
+from . import faults
 from .core import (
     aat,
     ata,
@@ -85,7 +95,7 @@ from .engine import (
     run_farm,
     run_ooc,
 )
-from .serve import Server
+from .serve import Server, retry
 from .parallel import ata_shared
 from .distributed import ata_distributed
 from .blas import symmetrize_from_lower
@@ -100,7 +110,9 @@ __all__ = [
     "set_config",
     "BudgetError",
     "CommunicatorError",
+    "DeadlineError",
     "FarmError",
+    "FaultInjected",
     "ConfigurationError",
     "DTypeError",
     "QueueFullError",
@@ -135,5 +147,7 @@ __all__ = [
     "run_farm",
     "run_ooc",
     "Server",
+    "retry",
+    "faults",
     "__version__",
 ]

@@ -84,6 +84,16 @@ DEFAULT_MEMORY_BUDGET = 0
 #: through this field / ``REPRO_FARM_PROCS``.
 DEFAULT_FARM_PROCS = 0
 
+#: Default retry budget per panel of the self-healing farm: how many times
+#: a lost panel (dead or failing worker) is re-staged onto a respawned
+#: worker before the run degrades to in-process completion.
+DEFAULT_FARM_MAX_RETRIES = 2
+
+#: Default serving deadline in milliseconds.  ``0`` means no deadline: a
+#: request waits as long as the queue and engine take.  Per-call
+#: ``submit(timeout=...)`` overrides win.
+DEFAULT_SERVE_TIMEOUT_MS = 0.0
+
 
 @dataclasses.dataclass
 class Config:
@@ -159,6 +169,25 @@ class Config:
         processes over shared-memory arenas.  Per-call ``procs=``
         overrides win; ``procs=None`` on a farm instance resolves to
         :func:`repro.engine.cpu.available_cpus`.
+    farm_max_retries:
+        Per-panel retry budget of the self-healing farm: a panel lost to
+        a dead or failing worker is re-staged onto a respawned worker at
+        most this many times before the run degrades to finishing the
+        remaining panels in-process (``0`` = degrade on the first
+        failure; degradation preserves the schedule, so the result stays
+        bit-identical).
+    serve_default_timeout_ms:
+        Default deadline (milliseconds) of :meth:`repro.serve.Server.submit`
+        requests.  A request that has no result when its deadline expires
+        is settled with :class:`repro.errors.DeadlineError` and dropped
+        from its coalescing queue without poisoning companions.  ``0``
+        (default) = no deadline; per-call ``timeout=`` overrides win.
+    faults:
+        Fault-injection spec (see :mod:`repro.faults` for the grammar),
+        e.g. ``"farm.worker:kill@p1,serve.batch:raise@0.1"``.  Empty
+        (default) keeps every fault site a zero-overhead no-op — never
+        set in production; this exists for chaos tests and failure
+        drills.
     """
 
     base_case_elements: int = DEFAULT_BASE_CASE_ELEMENTS
@@ -175,6 +204,9 @@ class Config:
     serve_linger_ms: float = DEFAULT_SERVE_LINGER_MS
     memory_budget: int = DEFAULT_MEMORY_BUDGET
     farm_procs: int = DEFAULT_FARM_PROCS
+    farm_max_retries: int = DEFAULT_FARM_MAX_RETRIES
+    serve_default_timeout_ms: float = DEFAULT_SERVE_TIMEOUT_MS
+    faults: str = ""
 
     def __post_init__(self) -> None:
         self.validate()
@@ -226,6 +258,22 @@ class Config:
                 f"farm_procs must be >= 0 (0 = in-process), got "
                 f"{self.farm_procs}"
             )
+        if self.farm_max_retries < 0:
+            raise ConfigurationError(
+                f"farm_max_retries must be >= 0 (0 = degrade on first "
+                f"failure), got {self.farm_max_retries}"
+            )
+        if not (self.serve_default_timeout_ms >= 0):
+            raise ConfigurationError(
+                f"serve_default_timeout_ms must be >= 0 (0 = no deadline), "
+                f"got {self.serve_default_timeout_ms}"
+            )
+        if self.faults:
+            # compile for validation only (lazy import: repro.faults
+            # imports this module); the compiled plan itself is cached by
+            # the faults module keyed on (spec, seed)
+            from .faults import compile_spec
+            compile_spec(self.faults, self.seed)
 
     def replace(self, **changes: Any) -> "Config":
         """Return a copy of this configuration with ``changes`` applied."""
@@ -251,6 +299,13 @@ def _config_from_env() -> Config:
                                   bytes (0 = unbounded).
     ``REPRO_FARM_PROCS``          integer, default panel-farm worker-process
                                   count (0 = in-process).
+    ``REPRO_FARM_MAX_RETRIES``    integer, per-panel retry budget of the
+                                  self-healing farm (0 = degrade on the
+                                  first failure).
+    ``REPRO_SERVE_TIMEOUT_MS``    float, default serving deadline in
+                                  milliseconds (0 = no deadline).
+    ``REPRO_FAULTS``              fault-injection spec (:mod:`repro.faults`
+                                  grammar); empty = all sites disarmed.
     """
     kwargs: dict[str, Any] = {}
     if "REPRO_BASE_CASE" in os.environ:
@@ -273,6 +328,13 @@ def _config_from_env() -> Config:
         kwargs["memory_budget"] = int(os.environ["REPRO_MEMORY_BUDGET"])
     if "REPRO_FARM_PROCS" in os.environ:
         kwargs["farm_procs"] = int(os.environ["REPRO_FARM_PROCS"])
+    if "REPRO_FARM_MAX_RETRIES" in os.environ:
+        kwargs["farm_max_retries"] = int(os.environ["REPRO_FARM_MAX_RETRIES"])
+    if "REPRO_SERVE_TIMEOUT_MS" in os.environ:
+        kwargs["serve_default_timeout_ms"] = float(
+            os.environ["REPRO_SERVE_TIMEOUT_MS"])
+    if "REPRO_FAULTS" in os.environ:
+        kwargs["faults"] = os.environ["REPRO_FAULTS"]
     return Config(**kwargs)
 
 

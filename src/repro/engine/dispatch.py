@@ -134,6 +134,15 @@ class EngineStats:
     #: ``C`` plus every worker's input/output arenas — see
     #: :class:`repro.engine.farm.FarmRunStats`
     farm_bytes_resident_high: int = 0
+    #: worker processes respawned after dying or failing mid-run, across
+    #: all farm runs (0 = no recovery was ever needed)
+    farm_respawns: int = 0
+    #: panel replays: lost panels re-staged onto respawned workers,
+    #: across all farm runs
+    farm_retried_panels: int = 0
+    #: panels completed by the farm's in-process degradation path after
+    #: the per-panel retry budget (``Config.farm_max_retries``) ran out
+    farm_degraded: int = 0
 
     @property
     def plan_hit_rate(self) -> float:
@@ -255,6 +264,9 @@ class ExecutionEngine:
         self._farm_panels = 0
         self._farm_procs = 0
         self._farm_resident_high = 0
+        self._farm_respawns = 0
+        self._farm_retried_panels = 0
+        self._farm_degraded = 0
         self._backend_runs: Dict[str, int] = {}
         # per-engine tuner accounting: a shared BackendTuner's lifetime
         # counters would misattribute other engines' decisions
@@ -559,6 +571,9 @@ class ExecutionEngine:
             self._farm_procs = stats.procs
             self._farm_resident_high = max(self._farm_resident_high,
                                            stats.bytes_resident_high)
+            self._farm_respawns += stats.respawns
+            self._farm_retried_panels += stats.retried_panels
+            self._farm_degraded += stats.degraded_panels
 
     # -- batching -----------------------------------------------------------
     def _batched(self, op: str, items, prepare, algo: str, alpha: float,
@@ -666,6 +681,9 @@ class ExecutionEngine:
             farm_panels=self._farm_panels,
             farm_procs=self._farm_procs,
             farm_bytes_resident_high=self._farm_resident_high,
+            farm_respawns=self._farm_respawns,
+            farm_retried_panels=self._farm_retried_panels,
+            farm_degraded=self._farm_degraded,
         )
 
     def clear(self) -> None:

@@ -1,5 +1,5 @@
 """Multi-process panel farm: fan out-of-core Gram panels to worker
-processes over shared memory.
+processes over shared memory, healing worker loss in flight.
 
 :class:`~repro.engine.ooc.ShardedAtA` streams row panels through the
 engine *in-process*: one Python interpreter, one GIL, one core.  The
@@ -24,7 +24,10 @@ order workers finish in and however many workers there are.  A partial's
 bits depend only on the panel values and the engine configuration —
 never on which worker computed it — so for a fixed panel schedule the
 result is bit-identical (``np.array_equal``) across worker counts and
-across source kinds.
+across source kinds.  The same property is what makes **recovery cheap
+to make correct**: a panel lost to a dead worker is replayed on a fresh
+worker (or in-process) and contributes exactly the bits it would have
+contributed, so a healed run equals the fault-free run bit for bit.
 
 Relative to the in-process executor the farm *re-associates* the
 floating-point sum: :class:`ShardedAtA` accumulates each panel into the
@@ -55,35 +58,69 @@ The working set charged against ``Config.memory_budget`` is::
 set when not even one-row panels fit.  At most ``procs`` panels are ever
 staged and un-folded at one instant — an out-of-order finisher idles
 until the fold reaches its panel — so the accounting above is a true
-high-water bound, not an estimate.
+high-water bound, not an estimate.  Recovery never raises it: a respawn
+allocates its fresh arenas only after copying nothing (the replacement
+input arena is filled *from* the doomed one before it is unlinked, and
+the two coexist only for the duration of that copy), and the degraded
+in-process completion reads staged panels straight out of the surviving
+arenas instead of copying them.
 
-Failure handling
-----------------
-A worker that dies (``os._exit``, a kill, a segfaulting extension)
-or raises is surfaced as :class:`~repro.errors.FarmError` carrying the
-worker name and, for raised errors, the original traceback — the parent
-polls worker liveness while waiting on results, so a dead pool can never
-hang the run.  Workers are always terminated and the arenas always
-unlinked, success or failure.
+Failure handling: heal, then degrade, then fail
+-----------------------------------------------
+Worker loss is the steady state at serving scale, not the exception, so
+the farm treats it as schedulable work:
+
+1. **Prompt detection.**  The parent blocks on
+   :func:`multiprocessing.connection.wait` over every worker's message
+   pipe *and* process sentinel, so a death wakes it immediately — no
+   liveness polling — and the failure is attributed to the exact panel
+   staged on the lost worker.
+2. **Respawn and replay.**  The lost panel's bytes still live in the
+   parent-owned input arena, so recovery never re-reads the (possibly
+   forward-only) source: a fresh worker is spawned on fresh arenas, the
+   panel bytes are carried across, and the task is re-sent.  Each panel
+   gets at most ``Config.farm_max_retries`` replays.
+3. **Graceful degradation.**  With retries exhausted (or a respawn
+   itself failing), the farm finishes every remaining panel **in
+   process** on the same ascending schedule, computing the identical
+   kernel-on-zeros partials the workers would have — the result stays
+   bit-identical to the fault-free run (under deterministic backend
+   selection, the same condition cross-worker-count identity carries).
+4. :class:`~repro.errors.FarmError` is raised only when the degraded
+   completion itself fails, naming the lost panel and chaining the
+   underlying error.
+
+Teardown can never wedge: a worker that survives ``terminate()`` (an
+uninterruptible kernel call, masked signals) is escalated to
+``Process.kill()``, and the arenas are unlinked whatever happened before.
 
 Workers are forked where the platform supports it (runtime-registered
 backends and the live configuration carry over for free); elsewhere the
 pool falls back to the default start method and workers rebuild their
 state from the pickled :class:`~repro.config.Config` snapshot — custom
 backends registered at runtime do not survive that fallback.
+
+Fault injection
+---------------
+The ``farm.worker`` site (:mod:`repro.faults`) is probed by the *parent*
+once per staged panel and the fired token is shipped with the task, so
+trigger state survives the worker it kills: ``kill`` hard-exits the
+worker mid-task, ``raise`` fails it, ``slow`` delays the panel, and
+``poison`` NaN-corrupts the partial (demonstrating what recovery cannot
+detect — a worker that lies is outside the failure model).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import multiprocessing
-import queue as queue_mod
 import traceback
-from multiprocessing import shared_memory
-from typing import Optional, Tuple
+from multiprocessing import connection, shared_memory
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+from .. import faults
 from ..config import Config, get_config, set_config
 from ..errors import BudgetError, FarmError, ShapeError
 from .cpu import available_cpus
@@ -92,8 +129,13 @@ from .plan import split_rows
 
 __all__ = ["PanelFarm", "FarmRunStats", "run_farm"]
 
-#: seconds between liveness checks while waiting on worker results
-_POLL_SECONDS = 0.2
+#: seconds between defensive re-checks while waiting on worker events
+#: (events normally arrive through ``connection.wait`` immediately)
+_WAIT_SECONDS = 5.0
+
+#: seconds granted at each teardown escalation step (join after "stop",
+#: join after terminate(), join after kill())
+_REAP_SECONDS = 2.0
 
 
 def _farm_context():
@@ -131,16 +173,19 @@ def _attach(name: str) -> shared_memory.SharedMemory:
         resource_tracker.register = original
 
 
-def _worker_main(worker_id: int, spec: dict, tasks, results) -> None:
+def _worker_main(worker_id: int, spec: dict, conn) -> None:
     """Worker process body: attach arenas, build an engine, serve tasks.
 
-    Each ``("task", panel_idx, rows)`` message means "the first ``rows``
-    rows of my input arena hold panel ``panel_idx``": the worker zeroes
-    its output arena, runs one ``matmul_ata`` on the shared panel view,
-    and acks ``("done", worker_id, panel_idx)``.  Any exception is
-    reported as ``("error", worker_id, traceback)`` and ends the worker.
+    Each ``("task", panel_idx, rows, fault)`` message means "the first
+    ``rows`` rows of my input arena hold panel ``panel_idx``": the worker
+    enacts any shipped fault token, zeroes its output arena, runs one
+    ``matmul_ata`` on the shared panel view, and acks
+    ``("done", panel_idx)``.  Any exception is reported as
+    ``("error", panel_idx, traceback)`` and ends the worker — the parent
+    decides whether to respawn.
     """
     in_shm = out_shm = None
+    panel_idx: Optional[int] = None
     try:
         set_config(spec["config"])
         in_shm = _attach(spec["in_name"])
@@ -152,20 +197,29 @@ def _worker_main(worker_id: int, spec: dict, tasks, results) -> None:
         engine = ExecutionEngine(**spec["engine"])
         try:
             while True:
-                message = tasks.get()
+                message = conn.recv()
                 if message[0] == "stop":
                     break
-                _, panel_idx, rows = message
+                _, panel_idx, rows, fault = message
+                # kill exits here, raise lands in the except below, slow
+                # sleeps; "poison" comes back for the post-compute step
+                action = faults.perform(fault)
                 panel = np.ndarray((rows, n), dtype=dtype, buffer=in_shm.buf)
                 out.fill(0)
                 engine.matmul_ata(panel, out, spec["alpha"],
                                   algo=spec["algo"], cache=spec["cache"],
                                   parallel=spec["parallel"])
-                results.put(("done", worker_id, panel_idx))
+                if action == "poison":
+                    out[...] = np.nan
+                conn.send(("done", panel_idx))
+                panel_idx = None
         finally:
             engine.close()
     except Exception:
-        results.put(("error", worker_id, traceback.format_exc()))
+        try:
+            conn.send(("error", panel_idx, traceback.format_exc()))
+        except Exception:
+            pass
     finally:
         for shm in (in_shm, out_shm):
             if shm is not None:
@@ -173,6 +227,51 @@ def _worker_main(worker_id: int, spec: dict, tasks, results) -> None:
                     shm.close()
                 except Exception:
                     pass
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+class _Worker:
+    """Parent-side handle of one worker slot: process, message pipe,
+    arenas, and the panel currently staged in its input arena."""
+
+    __slots__ = ("wid", "process", "conn", "in_shm", "out_shm", "out_view",
+                 "panel", "dead")
+
+    def __init__(self, wid, process, conn, in_shm, out_shm, out_view):
+        self.wid = wid
+        self.process = process
+        self.conn = conn
+        self.in_shm = in_shm
+        self.out_shm = out_shm
+        self.out_view = out_view
+        #: panel index staged in the input arena; stays set after "done"
+        #: (the arena keeps the bytes) until the partial is folded
+        self.panel: Optional[int] = None
+        self.dead = False
+
+
+class _Recovery:
+    """Mutable per-run recovery counters (frozen into the stats)."""
+
+    __slots__ = ("respawns", "retried_panels", "degraded_panels")
+
+    def __init__(self) -> None:
+        self.respawns = 0
+        self.retried_panels = 0
+        self.degraded_panels = 0
+
+
+class _DegradeSignal(Exception):
+    """Internal: retries exhausted (or respawn impossible) — finish the
+    remaining panels in-process."""
+
+    def __init__(self, panel: Optional[int], reason: str) -> None:
+        super().__init__(reason)
+        self.panel = panel
+        self.reason = reason
 
 
 @dataclasses.dataclass(frozen=True)
@@ -194,6 +293,17 @@ class FarmRunStats:
         worker.  Never exceeds ``budget_bytes`` when one is set.
     budget_bytes:
         The budget the schedule was sized against (0 = unbounded).
+    respawns:
+        Worker processes spawned beyond the initial pool — dead or
+        failing workers replaced mid-run (plus replacements for workers
+        that died idle while staging work remained).
+    retried_panels:
+        Panel replays: every time a lost panel was re-staged onto a
+        respawned worker.  A panel failing twice counts twice.
+    degraded_panels:
+        Panels completed by the in-process degradation path after the
+        retry budget was exhausted (0 = the process pool computed every
+        panel).
     """
 
     panels: int
@@ -201,6 +311,14 @@ class FarmRunStats:
     procs: int
     bytes_resident_high: int
     budget_bytes: int
+    respawns: int = 0
+    retried_panels: int = 0
+    degraded_panels: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the run fell back to in-process completion."""
+        return self.degraded_panels > 0
 
 
 class PanelFarm:
@@ -210,10 +328,11 @@ class PanelFarm:
     ----------
     engine:
         The parent-side :class:`~repro.engine.dispatch.ExecutionEngine`
-        (default: the process-wide engine).  The parent never runs panel
-        kernels itself — it schedules, stages and folds — but the farm
-        mirrors this engine's worker/parallel/tuner configuration into
-        every worker process and records its run statistics here.
+        (default: the process-wide engine).  The parent runs no panel
+        kernels while the pool is healthy — it schedules, stages and
+        folds — but the farm mirrors this engine's worker/parallel/tuner
+        configuration into every worker process, uses it directly for
+        degraded in-process completion, and records run statistics here.
     procs:
         Worker process count (``None`` resolves to
         :func:`~repro.engine.cpu.available_cpus`; must be >= 1 — for the
@@ -226,11 +345,15 @@ class PanelFarm:
     panel_rows:
         Explicit panel height, overriding the budget-derived one.  The
         budget still validates it.
+    max_retries:
+        Per-panel replay budget before degrading to in-process
+        completion (``None`` reads ``Config.farm_max_retries``).
     """
 
     def __init__(self, engine=None, *, procs: Optional[int] = None,
                  budget: Optional[int] = None,
-                 panel_rows: Optional[int] = None) -> None:
+                 panel_rows: Optional[int] = None,
+                 max_retries: Optional[int] = None) -> None:
         if engine is None:
             from .dispatch import default_engine
             engine = default_engine()
@@ -242,10 +365,14 @@ class PanelFarm:
             raise ShapeError(f"panel_rows must be >= 1, got {panel_rows}")
         if budget is not None and budget < 0:
             raise BudgetError(f"budget must be >= 0 bytes, got {budget}")
+        if max_retries is not None and max_retries < 0:
+            raise ShapeError(
+                f"max_retries must be >= 0, got {max_retries}")
         self.engine = engine
         self.procs = int(procs)
         self.budget = budget
         self.panel_rows = panel_rows
+        self.max_retries = max_retries
 
     # -- schedule -----------------------------------------------------------
     def schedule(self, shape: Tuple[int, int], dtype,
@@ -317,6 +444,78 @@ class PanelFarm:
             spec["tuner"] = "measured"
         return spec
 
+    # -- worker lifecycle ---------------------------------------------------
+    def _spawn(self, context, worker_id: int, widest: int, n: int,
+               dtype: np.dtype, spec_base: dict) -> _Worker:
+        """Create one worker slot: fresh arenas, pipe, process."""
+        in_shm = out_shm = parent_conn = child_conn = process = None
+        try:
+            in_shm = shared_memory.SharedMemory(
+                create=True, size=max(1, widest * n * dtype.itemsize))
+            out_shm = shared_memory.SharedMemory(
+                create=True, size=max(1, n * n * dtype.itemsize))
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            spec = dict(spec_base, in_name=in_shm.name, out_name=out_shm.name)
+            process = context.Process(
+                target=_worker_main, name=f"repro-farm-{worker_id}",
+                args=(worker_id, spec, child_conn), daemon=True)
+            process.start()
+        except Exception:
+            for shm in (in_shm, out_shm):
+                if shm is not None:
+                    try:
+                        shm.close()
+                        shm.unlink()
+                    except Exception:
+                        pass
+            for conn in (parent_conn, child_conn):
+                if conn is not None:
+                    try:
+                        conn.close()
+                    except Exception:
+                        pass
+            raise
+        child_conn.close()  # the parent keeps only its own pipe end
+        out_view = np.ndarray((n, n), dtype=dtype, buffer=out_shm.buf)
+        return _Worker(worker_id, process, parent_conn, in_shm, out_shm,
+                       out_view)
+
+    @staticmethod
+    def _reap(worker: _Worker, unlink: bool = True) -> None:
+        """Retire one worker slot, however stuck its process is.
+
+        Escalation ladder: a cooperative worker exits on its own (the
+        "stop" message or its error path) and the first join collects it;
+        ``terminate()`` handles one ignoring its pipe; a worker that is
+        uninterruptible even then — blocked in a kernel call, signals
+        masked by an extension — gets ``Process.kill()`` (SIGKILL), which
+        no userspace state can ignore, so teardown can never wedge on a
+        single wedged child.  The arenas are closed (and, unless the
+        caller still needs them, unlinked) afterwards in every case.
+        """
+        process = worker.process
+        if process is not None:
+            process.join(timeout=_REAP_SECONDS)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=_REAP_SECONDS)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=_REAP_SECONDS)
+        worker.out_view = None  # release the buffer export before close()
+        worker.dead = True
+        try:
+            worker.conn.close()
+        except Exception:
+            pass
+        for shm in (worker.in_shm, worker.out_shm):
+            try:
+                shm.close()
+                if unlink:
+                    shm.unlink()
+            except Exception:
+                pass
+
     # -- execution ----------------------------------------------------------
     def run(self, a, c: Optional[np.ndarray] = None, alpha: float = 1.0, *,
             beta: float = 1.0, algo: str = "auto",
@@ -351,19 +550,24 @@ class PanelFarm:
         widest = max(hi - lo for lo, hi in bounds)
         resident_high = ((1 + procs) * n * n
                          + procs * widest * n) * dtype.itemsize
-        self._fan_out(source, bounds, c, alpha, procs, widest,
+        recovery = _Recovery()
+        self._fan_out(source, bounds, c, alpha, procs, widest, recovery,
                       algo=algo, cache=cache, parallel=parallel)
         stats = FarmRunStats(panels=len(bounds), panel_rows=widest,
                              procs=procs,
                              bytes_resident_high=resident_high,
-                             budget_bytes=eff_budget)
+                             budget_bytes=eff_budget,
+                             respawns=recovery.respawns,
+                             retried_panels=recovery.retried_panels,
+                             degraded_panels=recovery.degraded_panels)
         record = getattr(self.engine, "_record_farm", None)
         if record is not None:
             record(stats)
         return c, stats
 
     def _fan_out(self, source, bounds, c: np.ndarray, alpha: float,
-                 procs: int, widest: int, *, algo, cache, parallel) -> None:
+                 procs: int, widest: int, recovery: _Recovery, *,
+                 algo, cache, parallel) -> None:
         """Stage panels into worker arenas and fold partials into ``c``.
 
         Panels are staged in ascending order (a forward-only
@@ -371,41 +575,53 @@ class PanelFarm:
         order (the fixed reduction tree).  A worker's arenas are reused
         only after its previous partial is folded, so at most ``procs``
         panels are in flight — exactly what the budget charged.
+
+        Worker loss follows the heal → degrade → fail ladder of the
+        module docstring; ``recovery`` accumulates what healing cost.
         """
         n = c.shape[1]
         dtype = c.dtype
         context = _farm_context()
-        results = context.Queue()
-        workers = []    # (process, task queue, input arena, output arena)
-        out_views = []  # numpy views over the output arenas, index-aligned
         config = get_config()
         if isinstance(config, Config):  # defensive: always true today
             config = config.replace()
+        max_retries = self.max_retries
+        if max_retries is None:
+            max_retries = get_config().farm_max_retries
+        spec_base = {
+            "n": n, "dtype": dtype.str, "alpha": alpha,
+            "algo": algo, "cache": cache, "parallel": parallel,
+            "config": config,
+            "engine": self._worker_engine_spec(),
+        }
+        workers: List[_Worker] = []
+        panels = source.panels(bounds)
+        next_stage = 0
+        next_fold = 0
+        staged = {}   # panel idx -> worker whose input arena holds its bytes
+        ready = {}    # finished panel idx -> worker holding its partial
+        retries = {}  # panel idx -> replays consumed
         try:
-            for worker_id in range(procs):
-                in_shm = shared_memory.SharedMemory(
-                    create=True, size=max(1, widest * n * dtype.itemsize))
-                out_shm = shared_memory.SharedMemory(
-                    create=True, size=max(1, n * n * dtype.itemsize))
-                tasks = context.Queue()
-                spec = {
-                    "in_name": in_shm.name, "out_name": out_shm.name,
-                    "n": n, "dtype": dtype.str, "alpha": alpha,
-                    "algo": algo, "cache": cache, "parallel": parallel,
-                    "config": config,
-                    "engine": self._worker_engine_spec(),
-                }
-                process = context.Process(
-                    target=_worker_main, name=f"repro-farm-{worker_id}",
-                    args=(worker_id, spec, tasks, results), daemon=True)
-                process.start()
-                workers.append((process, tasks, in_shm, out_shm))
-                out_views.append(
-                    np.ndarray((n, n), dtype=dtype, buffer=out_shm.buf))
+            try:
+                for worker_id in range(procs):
+                    workers.append(self._spawn(context, worker_id, widest, n,
+                                               dtype, spec_base))
+            except Exception as exc:
+                raise _DegradeSignal(
+                    None, f"worker pool could not be spawned: {exc!r}"
+                ) from exc
 
-            panels = source.panels(bounds)
+            def send_task(worker: _Worker, panel_idx: int) -> None:
+                lo, hi = bounds[panel_idx]
+                worker.panel = panel_idx
+                staged[panel_idx] = worker
+                fault = faults.probe("farm.worker", index=panel_idx)
+                try:
+                    worker.conn.send(("task", panel_idx, hi - lo, fault))
+                except OSError:
+                    pass  # worker already died; its sentinel reports it
 
-            def stage(panel_idx: int, worker_id: int) -> None:
+            def stage(panel_idx: int, worker: _Worker) -> None:
                 lo, hi = bounds[panel_idx]
                 rows = hi - lo
                 panel = next(panels)
@@ -413,71 +629,188 @@ class PanelFarm:
                     raise ShapeError(
                         f"source yielded a panel of shape {panel.shape}, "
                         f"expected ({rows}, {n})")
-                _, tasks, in_shm, _ = workers[worker_id]
-                arena = np.ndarray((rows, n), dtype=dtype, buffer=in_shm.buf)
+                arena = np.ndarray((rows, n), dtype=dtype,
+                                   buffer=worker.in_shm.buf)
                 try:
                     np.copyto(arena, panel)
                 finally:
                     del arena  # release the buffer export before close()
-                tasks.put(("task", panel_idx, rows))
+                send_task(worker, panel_idx)
 
-            next_stage = 0
+            def replace(worker: _Worker) -> _Worker:
+                """Respawn one slot on fresh arenas (reaping the old)."""
+                try:
+                    fresh = self._spawn(context, worker.wid, widest, n,
+                                        dtype, spec_base)
+                except Exception as exc:
+                    raise _DegradeSignal(
+                        worker.panel,
+                        f"worker {worker.process.name!r} could not be "
+                        f"respawned: {exc!r}") from exc
+                if worker.panel is not None:
+                    # carry the lost panel's bytes across before the old
+                    # arena is unlinked — the source never rewinds
+                    lo, hi = bounds[worker.panel]
+                    rows = hi - lo
+                    old = np.ndarray((rows, n), dtype=dtype,
+                                     buffer=worker.in_shm.buf)
+                    new = np.ndarray((rows, n), dtype=dtype,
+                                     buffer=fresh.in_shm.buf)
+                    try:
+                        np.copyto(new, old)
+                    finally:
+                        del old, new
+                self._reap(worker)
+                workers[worker.wid] = fresh
+                recovery.respawns += 1
+                return fresh
+
+            def recover(worker: _Worker, reason: str) -> None:
+                """Heal one lost worker: respawn and replay its panel."""
+                worker.dead = True
+                panel_idx = worker.panel
+                if panel_idx is None or panel_idx in ready:
+                    # nothing owed (died idle, or after acking its panel);
+                    # the fold loop respawns the slot if staging remains
+                    return
+                if retries.get(panel_idx, 0) >= max_retries:
+                    raise _DegradeSignal(panel_idx, reason)
+                retries[panel_idx] = retries.get(panel_idx, 0) + 1
+                recovery.retried_panels += 1
+                fresh = replace(worker)
+                send_task(fresh, panel_idx)
+
             while next_stage < min(procs, len(bounds)):
-                stage(next_stage, next_stage)
+                stage(next_stage, workers[next_stage])
                 next_stage += 1
 
-            next_fold = 0
-            ready = {}  # finished panel index -> worker id holding it
             while next_fold < len(bounds):
-                try:
-                    message = results.get(timeout=_POLL_SECONDS)
-                except queue_mod.Empty:
-                    for process, _, _, _ in workers:
-                        if not process.is_alive():
-                            raise FarmError(
-                                f"farm worker {process.name!r} died "
-                                f"(exit code {process.exitcode}) before "
-                                "returning its partial; the run cannot "
-                                "complete") from None
-                    continue
-                if message[0] == "error":
-                    _, worker_id, trace = message
-                    name = workers[worker_id][0].name
-                    raise FarmError(
-                        f"farm worker {name!r} failed while computing a "
-                        f"panel:\n{trace}")
-                _, worker_id, panel_idx = message
-                ready[panel_idx] = worker_id
+                live = [w for w in workers if not w.dead]
+                if not live:
+                    raise _DegradeSignal(
+                        None, "every worker slot is retired")  # unreachable
+                sources = {w.conn: w for w in live}
+                sources.update({w.process.sentinel: w for w in live})
+                events = connection.wait(list(sources), timeout=_WAIT_SECONDS)
+                touched = []
+                for obj in events:
+                    worker = sources[obj]
+                    if worker not in touched:
+                        touched.append(worker)
+                for worker in touched:
+                    if worker.dead:
+                        continue  # recovered earlier in this batch
+                    # drain messages first: a worker that acked its panel
+                    # (or reported its failure) just before dying must be
+                    # credited before the sentinel is believed
+                    failure = None
+                    while True:
+                        try:
+                            if not worker.conn.poll(0):
+                                break
+                            message = worker.conn.recv()
+                        except (EOFError, OSError):
+                            break
+                        if message[0] == "done":
+                            ready[message[1]] = worker
+                        elif message[0] == "error":
+                            _, panel_idx, trace = message
+                            failure = (
+                                f"worker {worker.process.name!r} failed "
+                                f"while computing panel "
+                                f"{worker.panel if panel_idx is None else panel_idx}"
+                                f" of {len(bounds)}:\n{trace}")
+                            break
+                    if failure is None and not worker.process.is_alive():
+                        owed = (worker.panel is not None
+                                and worker.panel not in ready)
+                        if owed:
+                            failure = (
+                                f"worker {worker.process.name!r} died "
+                                f"(exit code {worker.process.exitcode}) "
+                                f"while computing panel {worker.panel} of "
+                                f"{len(bounds)}")
+                        else:
+                            # died idle: retire the slot now, respawn
+                            # lazily when the fold loop needs it
+                            worker.dead = True
+                    if failure is not None:
+                        recover(worker, failure)
                 while next_fold in ready:
-                    freed = ready.pop(next_fold)
+                    worker = ready.pop(next_fold)
                     # the fixed reduction tree: partials join C strictly
                     # in ascending panel order, whatever order they
                     # arrived in — worker count can never change the bits
-                    np.add(c, out_views[freed], out=c)
+                    np.add(c, worker.out_view, out=c)
+                    staged.pop(next_fold, None)
+                    worker.panel = None
                     next_fold += 1
                     if next_stage < len(bounds):
-                        stage(next_stage, freed)
+                        if worker.dead:
+                            worker = replace(worker)
+                        stage(next_stage, worker)
                         next_stage += 1
+        except _DegradeSignal as signal:
+            self._finish_in_process(c, alpha, bounds, next_fold, staged,
+                                    panels, recovery, signal,
+                                    algo=algo, cache=cache, parallel=parallel)
         finally:
-            out_views.clear()  # release buffer exports before close()
-            for process, tasks, _, _ in workers:
-                try:
-                    tasks.put(("stop",))
-                except Exception:
-                    pass
-            for process, tasks, in_shm, out_shm in workers:
-                process.join(timeout=2.0)
-                if process.is_alive():
-                    process.terminate()
-                    process.join(timeout=2.0)
-                tasks.close()
-                for shm in (in_shm, out_shm):
+            for worker in workers:
+                if not worker.dead:
                     try:
-                        shm.close()
-                        shm.unlink()
+                        worker.conn.send(("stop",))
                     except Exception:
                         pass
-            results.close()
+            for worker in workers:
+                self._reap(worker)
+
+    def _finish_in_process(self, c: np.ndarray, alpha: float, bounds,
+                           next_fold: int, staged, panels,
+                           recovery: _Recovery, signal: _DegradeSignal, *,
+                           algo, cache, parallel) -> None:
+        """Graceful degradation: complete the remaining panels in-process.
+
+        Replays the exact fold the workers would have produced — one
+        kernel-on-zeros partial per remaining panel, added in ascending
+        order — so the healed result stays bit-identical to the
+        fault-free run.  Panels already staged are read straight out of
+        the surviving shared-memory arenas (the parent owns them; a dead
+        worker cannot take them along); panels beyond the staging
+        frontier keep streaming from the source, which is positioned
+        exactly there.  Raises :class:`FarmError` — the farm's only
+        failure mode left — when this last line of defence fails too.
+        """
+        n = c.shape[1]
+        partial = np.zeros_like(c)
+        panel_idx = next_fold
+        try:
+            for panel_idx in range(next_fold, len(bounds)):
+                lo, hi = bounds[panel_idx]
+                rows = hi - lo
+                worker = staged.get(panel_idx)
+                if worker is not None:
+                    panel = np.ndarray((rows, n), dtype=c.dtype,
+                                       buffer=worker.in_shm.buf)
+                else:
+                    panel = next(panels)
+                    if panel.shape != (rows, n):
+                        raise ShapeError(
+                            f"source yielded a panel of shape {panel.shape},"
+                            f" expected ({rows}, {n})")
+                partial.fill(0)
+                try:
+                    self.engine.matmul_ata(panel, partial, alpha, algo=algo,
+                                           cache=cache, parallel=parallel)
+                finally:
+                    del panel  # release any arena buffer export
+                np.add(c, partial, out=c)
+                recovery.degraded_panels += 1
+        except Exception as exc:
+            raise FarmError(
+                f"farm could not heal a worker failure ({signal.reason}); "
+                f"the retry budget was exhausted and the degraded "
+                f"in-process completion failed at panel {panel_idx} of "
+                f"{len(bounds)}: {exc!r}") from exc
 
 
 # ---------------------------------------------------------------------------
@@ -488,10 +821,13 @@ def run_farm(a, c: Optional[np.ndarray] = None, alpha: float = 1.0, *,
              beta: float = 1.0, algo: str = "auto", cache=None,
              parallel: Optional[str] = None, budget: Optional[int] = None,
              panel_rows: Optional[int] = None,
-             procs: Optional[int] = None) -> Tuple[np.ndarray, FarmRunStats]:
+             procs: Optional[int] = None,
+             max_retries: Optional[int] = None
+             ) -> Tuple[np.ndarray, FarmRunStats]:
     """Multi-process out-of-core ``C = alpha * A^T A + beta * C`` on the
     default engine, returning ``(C, FarmRunStats)``; see :class:`PanelFarm`."""
     from .dispatch import default_engine
-    return PanelFarm(default_engine(), procs=procs).run(
+    return PanelFarm(default_engine(), procs=procs,
+                     max_retries=max_retries).run(
         a, c, alpha, beta=beta, algo=algo, cache=cache, parallel=parallel,
         budget=budget, panel_rows=panel_rows)

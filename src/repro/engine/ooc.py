@@ -76,6 +76,7 @@ from typing import Iterable, Iterator, Optional, Tuple, Union
 
 import numpy as np
 
+from .. import faults
 from ..cache.model import CacheModel
 from ..config import get_config
 from ..errors import BudgetError, DTypeError, ShapeError
@@ -284,6 +285,12 @@ class OocRunStats:
         The budget the schedule was sized against (0 = unbounded).
     prefetched:
         Whether the double-buffered loader thread was active.
+    prefetch_degraded:
+        Whether a loader failure mid-run degraded the stream to
+        synchronous staging of the remaining panels (prefetching is an
+        optimisation, never a correctness dependency — a degraded run
+        delivers the same panels in the same order, hence the same
+        bits).
     """
 
     panels: int
@@ -291,6 +298,7 @@ class OocRunStats:
     bytes_resident_high: int
     budget_bytes: int
     prefetched: bool
+    prefetch_degraded: bool = False
 
 
 class ShardedAtA:
@@ -403,7 +411,23 @@ class ShardedAtA:
 
     # -- streaming ----------------------------------------------------------
     @staticmethod
-    def _stream(source, bounds: Bounds, prefetch: bool) -> Iterator[np.ndarray]:
+    def _faulted_panels(panels: Iterator[np.ndarray]) -> Iterator[np.ndarray]:
+        """Wrap a panel iterator with the ``ooc.stream`` fault site.
+
+        Only interposed when a fault spec is armed — the production
+        stream never pays the per-panel site evaluation.  ``truncate``
+        ends the stream early; the executor's panel count check turns
+        that into the same :class:`ShapeError` a genuinely short custom
+        source would earn.
+        """
+        for index, panel in enumerate(panels):
+            if faults.maybe("ooc.stream", index=index) == "truncate":
+                return
+            yield panel
+
+    @staticmethod
+    def _stream(source, bounds: Bounds, prefetch: bool,
+                state: Optional[dict] = None) -> Iterator[np.ndarray]:
         """Yield the scheduled panels, optionally staged one ahead by a
         loader thread.
 
@@ -417,8 +441,19 @@ class ShardedAtA:
         queue alone would not bound this: a loader that has already
         handed off panel ``k+1`` would happily materialise ``k+2`` while
         waiting for queue space.)
+
+        Prefetching is an optimisation, never a correctness dependency: a
+        loader-machinery failure (the ``ooc.prefetch`` fault site stands
+        in for one) degrades the stream to synchronous staging of the
+        remaining panels — same panels, same order, same bits — and is
+        reported through ``state["prefetch_degraded"]`` rather than
+        failing the run.  Failures raised by the *source* itself (bad
+        chunk shapes, a short stream) still propagate: those are data
+        errors, not machinery errors.
         """
         panels = source.panels(bounds)
+        if faults.armed():
+            panels = ShardedAtA._faulted_panels(panels)
         if not prefetch:
             yield from panels
             return
@@ -426,6 +461,7 @@ class ShardedAtA:
         stop = threading.Event()
         slots = threading.Semaphore(2)  # panels materialised at once
         done = object()
+        degrade = object()
 
         def put(item) -> bool:
             while not stop.is_set():
@@ -439,14 +475,22 @@ class ShardedAtA:
         def load() -> None:
             item = done
             try:
+                index = 0
                 while True:
                     while not slots.acquire(timeout=0.1):
                         if stop.is_set():
                             return
                     try:
+                        faults.maybe("ooc.prefetch", index=index)
+                    except Exception:
+                        slots.release()
+                        item = degrade
+                        break
+                    try:
                         panel = next(panels)
                     except StopIteration:
                         break
+                    index += 1
                     if not put(panel):
                         return
                     panel = None  # the queue's reference is the staged one
@@ -461,6 +505,15 @@ class ShardedAtA:
             while True:
                 item = handoff.get()
                 if item is done:
+                    break
+                if item is degrade:
+                    # the loader is done with the panel iterator (the
+                    # marker is the last thing it sends); finish staging
+                    # synchronously from where it stopped
+                    loader.join(timeout=2.0)
+                    if state is not None:
+                        state["prefetch_degraded"] = True
+                    yield from panels
                     break
                 if isinstance(item, BaseException):
                     raise item
@@ -521,18 +574,29 @@ class ShardedAtA:
         else:
             staged_rows = widest
         resident_high = (n * n + staged_rows * n) * itemsize
-        for panel in self._stream(source, bounds, use_prefetch):
+        stream_state = {"prefetch_degraded": False}
+        consumed = 0
+        for panel in self._stream(source, bounds, use_prefetch, stream_state):
             self.engine.matmul_ata(panel, c, alpha, algo=algo, cache=cache,
                                    parallel=parallel)
             # drop the reference before asking for the next panel: the
             # prefetch stream recycles this panel's buffer slot only once
             # nothing points at it, keeping the double buffer double
             panel = None
+            consumed += 1
+        if consumed != len(bounds):
+            # a custom source whose panels() stops short would otherwise
+            # return a silently partial Gram — fail loudly instead
+            raise ShapeError(
+                f"panel stream ended after {consumed} of {len(bounds)} "
+                f"scheduled panels; the source delivered fewer panels "
+                f"than its declared shape promised")
         stats = OocRunStats(panels=len(bounds),
                             panel_rows=widest,
                             bytes_resident_high=resident_high,
                             budget_bytes=eff_budget,
-                            prefetched=use_prefetch)
+                            prefetched=use_prefetch,
+                            prefetch_degraded=stream_state["prefetch_degraded"])
         record = getattr(self.engine, "_record_ooc", None)
         if record is not None:
             record(stats)

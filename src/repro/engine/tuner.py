@@ -72,6 +72,7 @@ except ImportError:  # pragma: no cover - non-Windows platform
 
 import numpy as np
 
+from .. import faults
 from ..cache.model import CacheModel, default_cache_model
 from ..config import Config, get_config
 from .cache import plan_config_fingerprint
@@ -424,6 +425,9 @@ class BackendTuner:
         path = self.path
         tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
         try:
+            # chaos site: an injected save failure must be swallowed by
+            # the handler below exactly like a real disk error
+            faults.maybe("tuner.save")
             directory = os.path.dirname(path)
             if directory:
                 os.makedirs(directory, exist_ok=True)

@@ -96,12 +96,40 @@ class FarmError(ReproError, RuntimeError):
     """Raised when a multi-process panel farm cannot complete a run.
 
     :class:`repro.engine.farm.PanelFarm` fans panels out to worker
-    processes over shared-memory arenas.  A worker that dies (killed by
-    the OS, ``os._exit``, a segfaulting extension) or reports a failure
-    is surfaced as this error — naming the worker and, when one was
-    reported, the original traceback — instead of hanging the parent on
-    a result that will never arrive.  Budget infeasibility keeps raising
-    :class:`BudgetError`; this error is strictly about the process pool.
+    processes over shared-memory arenas.  Worker loss is no longer fatal
+    by itself: a worker that dies (killed by the OS, ``os._exit``, a
+    segfaulting extension) or reports a failure is respawned and its
+    panel replayed, bounded by ``Config.farm_max_retries``; with retries
+    exhausted the farm degrades to finishing the remaining panels
+    in-process on the same schedule.  This error is raised only when
+    that last line of defence fails too — naming the panel in flight
+    and carrying the underlying failure — instead of hanging the parent
+    on a result that will never arrive.  Budget infeasibility keeps
+    raising :class:`BudgetError`; this error is strictly about the
+    process pool and its recovery path.
+    """
+
+
+class DeadlineError(ReproError, TimeoutError):
+    """Raised when a serving request's deadline expires before its result.
+
+    ``Server.submit(..., timeout=...)`` (default
+    ``Config.serve_default_timeout_ms``) bounds how long a request may
+    wait; a request whose deadline passes is settled with this error and
+    dropped from its coalescing queue through the same dead-waiter path
+    that handles cancellation, so an expired request can never poison the
+    batch its companions form.  The server ledger counts these under
+    ``expired``.
+    """
+
+
+class FaultInjected(ReproError, RuntimeError):
+    """Raised by an armed fault-injection site (:mod:`repro.faults`).
+
+    Never raised in production configurations: sites are zero-overhead
+    no-ops unless a fault spec (``Config.faults`` / ``REPRO_FAULTS``)
+    arms them.  Carrying a dedicated type keeps injected chaos
+    distinguishable from organic failures in tests and logs.
     """
 
 

@@ -15,11 +15,14 @@ Public surface:
 
 * :class:`Server` — the front-end (``submit`` / ``close`` / ``stats``);
 * :class:`ServerStats` / :class:`QueueStats` — accounting snapshots;
+* :func:`retry` — client-side jittered-backoff retry for transient
+  :class:`~repro.errors.QueueFullError` backpressure;
 * :func:`queue_key` — the coalescing-key function (exposed for tests and
   capacity planning: traffic mapping to one key batches together).
 """
 
 from .queues import BatchQueue, Request, queue_key
+from .retry import retry
 from .server import Server
 from .stats import QueueStats, ServerStats
 
@@ -30,4 +33,5 @@ __all__ = [
     "BatchQueue",
     "Request",
     "queue_key",
+    "retry",
 ]

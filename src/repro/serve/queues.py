@@ -95,11 +95,13 @@ class BatchQueue:
         """Pop up to ``max_batch`` *live* requests for one batch.
 
         Requests whose future is already done — cancelled by their client
-        while waiting — are silently dropped here and never join a batch,
-        which is what keeps a cancellation from corrupting the coalesced
-        results (the batch's positional ``zip`` with its outputs only ever
-        covers live requests).  Their admission accounting is handled by
-        the server's future done-callback.
+        while waiting, or settled with
+        :class:`~repro.errors.DeadlineError` by an expired deadline timer
+        — are silently dropped here and never join a batch, which is what
+        keeps a dead waiter from corrupting the coalesced results (the
+        batch's positional ``zip`` with its outputs only ever covers live
+        requests).  Their admission accounting is handled by the server's
+        future done-callback.
         """
         batch: List[Request] = []
         while self.pending and len(batch) < max_batch:

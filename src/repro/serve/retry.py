@@ -1,0 +1,105 @@
+"""Client-side retry with jittered exponential backoff.
+
+Admission control makes overload visible:
+:meth:`repro.serve.Server.submit` raises
+:class:`~repro.errors.QueueFullError` the moment the in-flight bound is
+hit instead of queueing unboundedly.  The flip side of that contract is
+that *transient* rejection is normal at saturation, and the canonical
+client response is to back off and try again — with jitter, so a crowd
+of rejected clients does not resubmit in lockstep and re-create the very
+spike that rejected them (the thundering herd).
+
+:func:`retry` packages that idiom::
+
+    from repro.serve import Server, retry
+    result = await retry(lambda: server.submit(a))
+
+Only errors listed in ``retryable`` are retried (by default exactly
+``QueueFullError`` — the one error that *means* "try later").  Deadline
+expiries (:class:`~repro.errors.DeadlineError`), shape errors and server
+shutdown are not transient and propagate immediately; widen
+``retryable`` deliberately if a use case calls for it.
+
+Backoff is deterministic under a seeded ``rng``, which is how the test
+suite pins the schedule; production callers just take the default
+process RNG.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Awaitable, Callable, Optional, Tuple, Type, TypeVar
+
+from ..errors import ConfigurationError, QueueFullError
+
+__all__ = ["retry"]
+
+T = TypeVar("T")
+
+
+async def retry(fn: Callable[[], Awaitable[T]], *,
+                attempts: int = 5,
+                backoff: float = 0.05,
+                factor: float = 2.0,
+                max_backoff: float = 2.0,
+                jitter: float = 0.5,
+                retryable: Tuple[Type[BaseException], ...] = (QueueFullError,),
+                rng: Optional[random.Random] = None) -> T:
+    """Await ``fn()`` until it succeeds, backing off between attempts.
+
+    Parameters
+    ----------
+    fn:
+        Zero-argument callable returning a fresh awaitable per attempt
+        (``lambda: server.submit(a)`` — a bare coroutine object could be
+        awaited only once).
+    attempts:
+        Total tries including the first (>= 1).  The last attempt's
+        failure propagates unchanged.
+    backoff:
+        Base delay in seconds before the second attempt.
+    factor:
+        Multiplier applied to the delay after every failed attempt
+        (>= 1; ``2.0`` doubles), capped at ``max_backoff``.
+    max_backoff:
+        Upper bound on any single delay, in seconds.
+    jitter:
+        Fraction of each delay that is randomised (in ``[0, 1]``): the
+        actual sleep is uniform in ``[delay * (1 - jitter), delay]``.
+        ``0`` disables jitter entirely.
+    retryable:
+        Exception types worth retrying.  Anything else propagates
+        immediately, first attempt included.
+    rng:
+        Source of jitter (default: a process-wide ``random.Random``).
+        Pass a seeded instance for a reproducible schedule.
+    """
+    if attempts < 1:
+        raise ConfigurationError(f"attempts must be >= 1, got {attempts}")
+    if backoff < 0:
+        raise ConfigurationError(f"backoff must be >= 0, got {backoff}")
+    if factor < 1:
+        raise ConfigurationError(f"factor must be >= 1, got {factor}")
+    if max_backoff < 0:
+        raise ConfigurationError(
+            f"max_backoff must be >= 0, got {max_backoff}")
+    if not 0.0 <= jitter <= 1.0:
+        raise ConfigurationError(
+            f"jitter must be in [0, 1], got {jitter}")
+    if rng is None:
+        rng = random
+    delay = float(backoff)
+    for attempt in range(attempts):
+        try:
+            return await fn()
+        except retryable:
+            if attempt == attempts - 1:
+                raise
+        sleep_for = min(delay, max_backoff)
+        if jitter:
+            sleep_for *= 1.0 - jitter * rng.random()
+        if sleep_for > 0:
+            await asyncio.sleep(sleep_for)
+        delay *= factor
+    raise AssertionError("unreachable")  # the loop returns or raises

@@ -19,6 +19,14 @@ workspace pool and tuner table.  The moving parts:
   :class:`~repro.errors.QueueFullError` immediately (backpressure), and
   submits after :meth:`close` raise
   :class:`~repro.errors.ServerClosedError`;
+* **deadlines** — ``submit(..., timeout=)`` (default
+  ``Config.serve_default_timeout_ms``) bounds how long a request may
+  wait for its result; on expiry the awaiter gets
+  :class:`~repro.errors.DeadlineError` and the request is dropped
+  through the same dead-waiter path as cancellation, so an expired
+  request never poisons the batch its companions form.  Pair with
+  :func:`repro.serve.retry` on the client side to absorb transient
+  :class:`QueueFullError` backpressure with jittered backoff;
 * **off-loop execution** — batches run on a small
   :class:`~concurrent.futures.ThreadPoolExecutor`, so the event loop stays
   responsive while numpy grinds (the kernels release the GIL, so with
@@ -58,6 +66,7 @@ from typing import Dict, List, Optional, Set
 
 import numpy as np
 
+from .. import faults
 from ..blas.kernels import validate_matrix
 from ..cache.model import default_cache_model
 from ..config import get_config
@@ -66,6 +75,7 @@ from ..engine.backends import get_backend
 from ..engine.dispatch import validate_atb_operands
 from ..errors import (
     ConfigurationError,
+    DeadlineError,
     QueueFullError,
     ServerClosedError,
     ShapeError,
@@ -149,6 +159,7 @@ class Server:
         self.max_inflight = int(max_inflight if max_inflight is not None
                                 else cfg.serve_max_inflight)
         linger = linger_ms if linger_ms is not None else cfg.serve_linger_ms
+        self.default_timeout_seconds = float(cfg.serve_default_timeout_ms) / 1000.0
         if self.max_batch < 1:
             raise ConfigurationError(
                 f"max_batch must be >= 1, got {self.max_batch}")
@@ -180,6 +191,7 @@ class Server:
         self._failed = 0
         self._rejected = 0
         self._cancelled = 0
+        self._expired = 0
         self._inflight = 0
 
     # -- loop binding -------------------------------------------------------
@@ -240,7 +252,8 @@ class Server:
     async def submit(self, a: np.ndarray, op: str = "ata",
                      b: Optional[np.ndarray] = None, *,
                      algo: str = "auto",
-                     alpha: float = 1.0) -> np.ndarray:
+                     alpha: float = 1.0,
+                     timeout: Optional[float] = None) -> np.ndarray:
         """Serve one ``alpha * A^T A`` (or ``alpha * A^T B``) request.
 
         Coalesces with concurrent compatible requests; the returned array
@@ -250,10 +263,26 @@ class Server:
         :class:`ServerClosedError` after :meth:`close`, and shape/dtype
         errors for malformed operands.  Cancelling the awaiting task
         abandons the request cleanly (it never corrupts a batch).
+
+        ``timeout`` is the request's deadline in **seconds** (the asyncio
+        idiom); ``None`` reads ``Config.serve_default_timeout_ms``, and
+        ``0`` means no deadline (the config default).  A request whose
+        deadline passes before its result arrives is settled with
+        :class:`DeadlineError` and dropped through the cancelled-waiter
+        path: still-pending it simply never joins a batch, already
+        batched its slot is skipped when results are zipped back — the
+        expiry never poisons companion requests.  Expiries are ledgered
+        under ``expired``, a separate bucket from ``failed``.
         """
         loop = self._bind_loop()
         if self._closing:
             raise ServerClosedError("server is closed to new submissions")
+        if timeout is None:
+            timeout = self.default_timeout_seconds
+        timeout = float(timeout)
+        if timeout < 0:
+            raise ConfigurationError(
+                f"timeout must be >= 0 seconds, got {timeout}")
         self._validate(op, a, b, algo)
         with self._lock:
             self._submitted += 1
@@ -265,6 +294,12 @@ class Server:
             self._inflight += 1
         future = loop.create_future()
         future.add_done_callback(self._on_request_done)
+        if timeout > 0:
+            deadline_timer = loop.call_later(
+                timeout, self._expire, future, timeout)
+            # the timer must not outlive the request, however it settles
+            future.add_done_callback(
+                lambda _, handle=deadline_timer: handle.cancel())
         request = Request(a=a, b=b, op=op, algo=algo, alpha=float(alpha),
                           future=future)
         key = queue_key(op, algo, a.dtype, self._request_shape(op, a, b),
@@ -291,6 +326,19 @@ class Server:
             return a.shape
         return (a.shape[0], a.shape[1], b.shape[1])
 
+    def _expire(self, future: "asyncio.Future", timeout: float) -> None:
+        """Deadline timer callback (runs on the event loop).
+
+        Settling the future is the whole drop: :meth:`BatchQueue.take`
+        skips done futures when forming a batch, and :meth:`_run_batch`
+        skips them when zipping results back — the same two-sided path
+        that makes cancellation batch-safe.
+        """
+        if not future.done():
+            future.set_exception(DeadlineError(
+                f"request deadline of {timeout:g}s expired before a "
+                f"result was ready"))
+
     def _on_request_done(self, future: "asyncio.Future") -> None:
         """Single accounting point for every admitted request's outcome."""
         with self._lock:
@@ -298,7 +346,10 @@ class Server:
             if future.cancelled():
                 self._cancelled += 1
             elif future.exception() is not None:
-                self._failed += 1
+                if isinstance(future.exception(), DeadlineError):
+                    self._expired += 1
+                else:
+                    self._failed += 1
             else:
                 self._completed += 1
 
@@ -385,6 +436,10 @@ class Server:
         head = batch[0]
         start = time.monotonic()
         try:
+            # chaos sites: a failing batch dispatch and a slow engine call
+            # (the latter drives deadline expiry in the chaos suite)
+            faults.maybe("serve.batch")
+            faults.maybe("serve.engine")
             if head.op == "ata":
                 return self.engine.run_batch(
                     [request.a for request in batch],
@@ -490,6 +545,7 @@ class Server:
                 failed=self._failed,
                 rejected=self._rejected,
                 cancelled=self._cancelled,
+                expired=self._expired,
                 inflight=self._inflight,
                 depth=sum(snap.depth for snap in queues.values()),
                 batches=sum(snap.batches for snap in queues.values()),

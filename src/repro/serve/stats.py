@@ -12,11 +12,12 @@ with derived rates as properties.  Two levels exist:
 * :class:`ServerStats` — the server-wide admission-control ledger.  The
   accounting identity every drained server satisfies is::
 
-      submitted == completed + failed + rejected + cancelled
+      submitted == completed + failed + rejected + cancelled + expired
 
   (while requests are in flight the right-hand side lags by
-  ``inflight``).  ``tests/test_serve_admission.py`` asserts this
-  reconciliation under load, cancellation and injected failures.
+  ``inflight``).  ``tests/test_serve_admission.py`` and
+  ``tests/test_fault_injection.py`` assert this reconciliation under
+  load, cancellation, deadline expiry and injected failures.
 """
 
 from __future__ import annotations
@@ -78,7 +79,10 @@ class ServerStats:
     rejected: int
     #: requests cancelled by their client before a result was delivered
     cancelled: int
-    #: admitted requests not yet completed/failed/cancelled
+    #: requests whose deadline expired before a result was delivered
+    #: (:class:`~repro.errors.DeadlineError`)
+    expired: int
+    #: admitted requests not yet completed/failed/cancelled/expired
     inflight: int
     #: requests currently pending across all queues
     depth: int
@@ -99,7 +103,8 @@ class ServerStats:
 
     @property
     def accounted(self) -> int:
-        """``completed + failed + rejected + cancelled`` — equals
-        ``submitted`` once the server is drained (lags by ``inflight``
-        while work is outstanding)."""
-        return self.completed + self.failed + self.rejected + self.cancelled
+        """``completed + failed + rejected + cancelled + expired`` —
+        equals ``submitted`` once the server is drained (lags by
+        ``inflight`` while work is outstanding)."""
+        return (self.completed + self.failed + self.rejected
+                + self.cancelled + self.expired)

@@ -20,6 +20,19 @@ def rng() -> np.random.Generator:
     return np.random.default_rng(0xC0FFEE)
 
 
+@pytest.fixture(autouse=True)
+def _fresh_fault_plans():
+    """Isolate fault-injection trigger state between tests.
+
+    Compiled fault plans are cached per ``(spec, seed)`` with their fired
+    counts (deliberately: one spec = one continuous chaos schedule), so
+    two tests arming the same spec would otherwise share one-shot
+    triggers."""
+    from repro import faults
+    faults.reset()
+    yield
+
+
 @pytest.fixture
 def small_base_case():
     """Shrink the recursion base case so small matrices still recurse."""

@@ -11,9 +11,13 @@ The acceptance contract under test:
   bit-identical to its own fixed reduction tree (partials folded in
   ascending panel order) at every worker count, and agrees with the
   in-process chain to rounding — the documented re-association caveat;
-* a worker that dies mid-run surfaces :class:`repro.errors.FarmError`
-  promptly instead of hanging, and a failing worker's traceback rides
-  along;
+* worker loss self-heals: a worker that dies or fails mid-run is
+  respawned and its panel replayed (bounded by
+  ``Config.farm_max_retries``), degrading to bit-identical in-process
+  completion when retries run out; :class:`repro.errors.FarmError`
+  surfaces — promptly, never a hang, with the failing worker's
+  traceback riding along — only when degradation itself fails
+  (the deeper chaos matrix lives in ``tests/test_fault_injection.py``);
 * infeasible budgets fail up front with :class:`BudgetError` naming the
   farm's working set; feasible ones bound the resident high-water mark;
 * farm runs are visible in :class:`repro.engine.EngineStats`;
@@ -99,24 +103,17 @@ def farm_run(a_source, *, procs: int, **kwargs):
     return c
 
 
-class _DieBackend(Backend):
-    """A backend that kills its worker process mid-panel."""
-
-    name = "farm-test-die"
-    ops = ("ata",)
-
-    def supports(self, *args, **kwargs):
-        return True
-
-    def cost(self, *args, **kwargs):
-        return 0.0
-
-    def run(self, *args, **kwargs):
-        os._exit(17)
-
-
 class _RaiseBackend(Backend):
-    """A backend that raises inside the worker (error-report path)."""
+    """A backend that raises wherever it runs.
+
+    In a worker it exercises the error-report/respawn path; once retries
+    are exhausted it fails the in-process degradation pass too, which is
+    the one remaining road to :class:`FarmError`.  (A backend that
+    ``os._exit``\\ s would be a trap here: the degradation pass runs the
+    backend in the *parent*, i.e. the test process — worker death is
+    simulated through the ``farm.worker:kill`` fault site instead, which
+    only ever fires in the disposable worker.)
+    """
 
     name = "farm-test-raise"
     ops = ("ata",)
@@ -290,27 +287,42 @@ class TestBudget:
 
 
 # ---------------------------------------------------------------------------
-# failure handling: death and error surfacing, never a hang
+# failure handling: heal, degrade, and only then FarmError — never a hang
 # ---------------------------------------------------------------------------
 
 class TestWorkerFailure:
-    def test_worker_death_raises_farm_error(self, rng):
-        register_backend(_DieBackend())
-        try:
-            a = rng.standard_normal((60, 12))
-            with pytest.raises(FarmError, match="died"):
-                PanelFarm(ExecutionEngine(), procs=2).run(
-                    a, algo="farm-test-die", panel_rows=17)
-        finally:
-            unregister_backend("farm-test-die")
+    def test_worker_death_heals_bit_identically(self, rng):
+        """A killed worker is respawned, its panel replayed: same bits as
+        the fault-free run, with the recovery visible in the stats."""
+        a = rng.standard_normal((60, 12))
+        expected = in_process_reference(a, panel_rows=17, algo="syrk")
+        with configured(faults="farm.worker:kill@p1"):
+            got, stats = PanelFarm(ExecutionEngine(), procs=2).run(
+                a, algo="syrk", panel_rows=17)
+        assert np.array_equal(got, expected)
+        assert stats.respawns >= 1 and stats.retried_panels >= 1
+        assert stats.degraded_panels == 0
 
-    def test_worker_exception_carries_traceback(self, rng):
+    def test_worker_exception_exhausts_retries_into_farm_error(self, rng):
+        """A backend failing everywhere defeats replay *and* degradation;
+        the FarmError carries the worker traceback and names the panel."""
         register_backend(_RaiseBackend())
         try:
             a = rng.standard_normal((60, 12))
             with pytest.raises(FarmError,
                                match="synthetic panel failure"):
                 PanelFarm(ExecutionEngine(), procs=2).run(
+                    a, algo="farm-test-raise", panel_rows=17)
+        finally:
+            unregister_backend("farm-test-raise")
+
+    def test_farm_error_names_the_lost_panel(self, rng):
+        register_backend(_RaiseBackend())
+        try:
+            a = rng.standard_normal((60, 12))
+            with pytest.raises(FarmError, match=r"panel 0 of 4"):
+                PanelFarm(ExecutionEngine(), procs=1,
+                          max_retries=0).run(
                     a, algo="farm-test-raise", panel_rows=17)
         finally:
             unregister_backend("farm-test-raise")
@@ -322,14 +334,27 @@ class TestWorkerFailure:
 
     def test_arenas_cleaned_up_after_failure(self, rng):
         """No shared-memory litter survives a failed run."""
-        register_backend(_DieBackend())
+        register_backend(_RaiseBackend())
         try:
             a = rng.standard_normal((60, 12))
             with pytest.raises(FarmError):
                 PanelFarm(ExecutionEngine(), procs=1).run(
-                    a, algo="farm-test-die", panel_rows=17)
+                    a, algo="farm-test-raise", panel_rows=17)
         finally:
-            unregister_backend("farm-test-die")
+            unregister_backend("farm-test-raise")
+        shm_dir = "/dev/shm"
+        if os.path.isdir(shm_dir):
+            litter = [name for name in os.listdir(shm_dir)
+                      if name.startswith("psm_")]
+            assert litter == []
+
+    def test_arenas_cleaned_up_after_healed_run(self, rng):
+        """Respawning allocates fresh arenas; the doomed ones must not
+        leak either."""
+        a = rng.standard_normal((60, 12))
+        with configured(faults="farm.worker:kill@p0"):
+            PanelFarm(ExecutionEngine(), procs=2).run(
+                a, algo="syrk", panel_rows=17)
         shm_dir = "/dev/shm"
         if os.path.isdir(shm_dir):
             litter = [name for name in os.listdir(shm_dir)
