@@ -94,6 +94,15 @@ DEFAULT_FARM_MAX_RETRIES = 2
 #: ``submit(timeout=...)`` overrides win.
 DEFAULT_SERVE_TIMEOUT_MS = 0.0
 
+#: Modes the ``fuse`` field / ``REPRO_FUSE`` env var accept.
+FUSE_MODES = ("off", "on", "auto")
+
+#: Modes the ``codegen`` field / ``REPRO_CODEGEN`` env var accept.
+CODEGEN_MODES = ("off", "on", "auto")
+
+#: Modes the ``tuner_mode`` field / ``REPRO_TUNER`` env var accept.
+TUNER_MODES = ("off", "measured", "frozen")
+
 
 @dataclasses.dataclass
 class Config:
@@ -188,6 +197,31 @@ class Config:
         (default) keeps every fault site a zero-overhead no-op — never
         set in production; this exists for chaos tests and failure
         drills.
+    fuse:
+        Plan-fusion mode for ``algo="auto"`` dispatch: ``"on"`` (default)
+        compiles plans with the step-fusion pass (bit-identical to the
+        unfused replay, fewer Python dispatches), ``"off"`` disables it,
+        and ``"auto"`` defers the fused-vs-unfused choice to an attached
+        measured tuner per (op, dtype, shape-bucket) — identical to
+        ``"on"`` on engines without a tuner.  Explicit ``algo=`` calls
+        and direct :func:`repro.engine.plan.compile_plan` calls are
+        unaffected.
+    codegen:
+        Compiled lowering of fused units (:mod:`repro.engine.codegen`):
+        ``"off"`` (default) always interprets; ``"on"``/``"auto"`` lower
+        fused units to jitted kernels when a provider (numba) is
+        importable, verifying each kernel bit-for-bit against the
+        interpreter on its first call and falling back bit-identically
+        when the toolchain is absent or a kernel miscompiles.
+    tuner_mode:
+        How the *default* engine attaches the measured auto-tuner:
+        ``"off"`` (default) keeps heuristic dispatch, ``"measured"``
+        attaches a recording tuner (explores, then exploits — repeated
+        runs may time differently while exploring), ``"frozen"`` attaches
+        a read-only tuner that only ever exploits the persisted table —
+        deterministic backend choices across runs, falling back to the
+        heuristic for buckets the table has never sampled.  Engines
+        constructed explicitly pass their own ``tuner=``.
     """
 
     base_case_elements: int = DEFAULT_BASE_CASE_ELEMENTS
@@ -207,6 +241,9 @@ class Config:
     farm_max_retries: int = DEFAULT_FARM_MAX_RETRIES
     serve_default_timeout_ms: float = DEFAULT_SERVE_TIMEOUT_MS
     faults: str = ""
+    fuse: str = "on"
+    codegen: str = "off"
+    tuner_mode: str = "off"
 
     def __post_init__(self) -> None:
         self.validate()
@@ -274,6 +311,20 @@ class Config:
             # the faults module keyed on (spec, seed)
             from .faults import compile_spec
             compile_spec(self.faults, self.seed)
+        if self.fuse not in FUSE_MODES:
+            raise ConfigurationError(
+                f"unknown fuse mode {self.fuse!r}; expected one of {FUSE_MODES}"
+            )
+        if self.codegen not in CODEGEN_MODES:
+            raise ConfigurationError(
+                f"unknown codegen mode {self.codegen!r}; expected one of "
+                f"{CODEGEN_MODES}"
+            )
+        if self.tuner_mode not in TUNER_MODES:
+            raise ConfigurationError(
+                f"unknown tuner_mode {self.tuner_mode!r}; expected one of "
+                f"{TUNER_MODES}"
+            )
 
     def replace(self, **changes: Any) -> "Config":
         """Return a copy of this configuration with ``changes`` applied."""
@@ -306,6 +357,12 @@ def _config_from_env() -> Config:
                                   milliseconds (0 = no deadline).
     ``REPRO_FAULTS``              fault-injection spec (:mod:`repro.faults`
                                   grammar); empty = all sites disarmed.
+    ``REPRO_FUSE``                plan-fusion mode (one of
+                                  :data:`FUSE_MODES`).
+    ``REPRO_CODEGEN``             compiled-lowering mode (one of
+                                  :data:`CODEGEN_MODES`).
+    ``REPRO_TUNER``               default-engine tuner mode (one of
+                                  :data:`TUNER_MODES`).
     """
     kwargs: dict[str, Any] = {}
     if "REPRO_BASE_CASE" in os.environ:
@@ -335,6 +392,12 @@ def _config_from_env() -> Config:
             os.environ["REPRO_SERVE_TIMEOUT_MS"])
     if "REPRO_FAULTS" in os.environ:
         kwargs["faults"] = os.environ["REPRO_FAULTS"]
+    if "REPRO_FUSE" in os.environ:
+        kwargs["fuse"] = os.environ["REPRO_FUSE"]
+    if "REPRO_CODEGEN" in os.environ:
+        kwargs["codegen"] = os.environ["REPRO_CODEGEN"]
+    if "REPRO_TUNER" in os.environ:
+        kwargs["tuner_mode"] = os.environ["REPRO_TUNER"]
     return Config(**kwargs)
 
 

@@ -38,7 +38,8 @@ from ..blas.kernels import scale, validate_matrix
 from ..cache.model import CacheModel, default_cache_model
 from ..config import get_config
 from ..errors import ConfigurationError, DTypeError, ShapeError
-from .backends import Backend, candidates, choose_heuristic, get_backend
+from .backends import (Backend, PlanBackend, candidates, choose_heuristic,
+                       get_backend)
 from .cache import PlanCache
 from .cpu import available_cpus
 from .dag import DagExecutor
@@ -143,6 +144,22 @@ class EngineStats:
     #: panels completed by the farm's in-process degradation path after
     #: the per-panel retry budget (``Config.farm_max_retries``) ran out
     farm_degraded: int = 0
+    #: primitive steps executed inside fused dispatch units, summed over
+    #: every fused-plan execution (0 = fusion off or no chains found)
+    fused_steps: int = 0
+    #: compiled kernels attached to fused units by the codegen layer
+    #: (each is verified bit-for-bit against the interpreter on its first
+    #: call before being trusted)
+    codegen_kernels: int = 0
+    #: batch invocations whose entries were interleaved through one
+    #: cross-entry super-DAG instead of executing serially
+    interleaved_batches: int = 0
+    #: batch entries those interleaved invocations carried in total
+    interleaved_items: int = 0
+    #: lifetime high-water mark (bytes) of the engine's pooled workspaces
+    #: (idle + checked out) — the figure the out-of-core executor charges
+    #: against ``Config.memory_budget``
+    pool_bytes_high: int = 0
 
     @property
     def plan_hit_rate(self) -> float:
@@ -186,9 +203,26 @@ class ExecutionEngine:
         Backend auto-tuning for ``algo="auto"`` requests.  ``None`` /
         ``"off"`` (default) uses the deterministic modeled-cost heuristic;
         ``"measured"`` attaches a :class:`~repro.engine.tuner.BackendTuner`
-        persisting to the configured table path; an explicit
-        :class:`BackendTuner` instance is used as-is (several engines may
-        share one).
+        persisting to the configured table path; ``"frozen"`` attaches a
+        read-only tuner that only exploits the persisted table (falling
+        through to the heuristic on unsampled buckets — deterministic
+        choices across runs); an explicit :class:`BackendTuner` instance
+        is used as-is (several engines may share one).
+    fuse:
+        Plan-fusion mode for this engine (``None`` reads ``Config.fuse``
+        per call): ``"on"`` compiles ``algo="auto"`` plans with the
+        compiler's step-fusion pass, ``"off"`` disables it, ``"auto"``
+        lets an attached measured tuner arbitrate fused-vs-unfused per
+        (op, dtype, shape-bucket) exactly as it arbitrates backends
+        (without a tuner, ``"auto"`` behaves like ``"on"``).  Fused
+        execution is bit-identical to the unfused replay.
+    codegen:
+        Compiled lowering of fused units (``None`` reads
+        ``Config.codegen``): ``"on"``/``"auto"`` attach jitted kernels to
+        fused units when a provider is importable (see
+        :mod:`repro.engine.codegen`); ``"off"`` always interprets.
+        Absence-clean: with no provider, execution is exactly the
+        interpreter.
 
     Notes
     -----
@@ -207,12 +241,22 @@ class ExecutionEngine:
     def __init__(self, plan_capacity: int = 128, pool_size: int = 8,
                  workers: int = 1, parallel: ParallelMode = "auto",
                  scratch_lanes: Optional[int] = None,
-                 tuner: Union[str, BackendTuner, None] = None) -> None:
+                 tuner: Union[str, BackendTuner, None] = None,
+                 fuse: Optional[str] = None,
+                 codegen: Optional[str] = None) -> None:
         if parallel not in _PARALLEL_MODES:
             raise ConfigurationError(f"unknown parallel mode {parallel!r}; "
                                      "expected 'auto', 'dag' or 'off'")
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if fuse is not None and fuse not in ("off", "on", "auto"):
+            raise ConfigurationError(f"unknown fuse mode {fuse!r}; "
+                                     "expected 'off', 'on' or 'auto'")
+        if codegen is not None and codegen not in ("off", "on", "auto"):
+            raise ConfigurationError(f"unknown codegen mode {codegen!r}; "
+                                     "expected 'off', 'on' or 'auto'")
+        self._fuse = fuse
+        self._codegen = codegen
         if scratch_lanes is not None and scratch_lanes < 1:
             raise ConfigurationError(
                 f"scratch_lanes must be >= 1, got {scratch_lanes}")
@@ -241,12 +285,14 @@ class ExecutionEngine:
             self.tuner: Optional[BackendTuner] = None
         elif tuner == "measured":
             self.tuner = BackendTuner()
+        elif tuner == "frozen":
+            self.tuner = BackendTuner(frozen=True)
         elif isinstance(tuner, BackendTuner):
             self.tuner = tuner
         else:
             raise ConfigurationError(
-                f"unknown tuner {tuner!r}; expected 'off', 'measured' or a "
-                "BackendTuner instance")
+                f"unknown tuner {tuner!r}; expected 'off', 'measured', "
+                "'frozen' or a BackendTuner instance")
         # timings from a DAG-parallel engine describe different executions
         # than a sequential engine's, so tuner cells key on this signature
         # (None = sequential) and engines with different scheduling never
@@ -272,23 +318,49 @@ class ExecutionEngine:
         # counters would misattribute other engines' decisions
         self._tuner_hits = 0
         self._tuner_explores = 0
+        self._fused_steps = 0
+        self._codegen_kernels = 0
+        self._interleaved_batches = 0
+        self._interleaved_items = 0
+        # a tuner-arbitrated fused-vs-unfused decision must reach _plan()
+        # through Backend.run, whose signature is frozen (custom backends
+        # registered by callers predate the fuse knob); backend.run
+        # executes synchronously on the calling thread, so a thread-local
+        # override set around the call is race-free
+        self._fuse_local = threading.local()
         self._stats_lock = threading.Lock()
 
     # -- plan acquisition ---------------------------------------------------
+    def _fuse_mode(self) -> str:
+        return self._fuse if self._fuse is not None else get_config().fuse
+
+    def _codegen_mode(self) -> str:
+        return self._codegen if self._codegen is not None else get_config().codegen
+
     def _plan(self, backend: str, kind: str, shape: tuple, dtype,
-              model: CacheModel) -> ExecutionPlan:
+              model: CacheModel,
+              fuse: Optional[bool] = None) -> ExecutionPlan:
         """Fetch (or compile) the plan for ``(backend, kind, shape)``.
 
         The key leads with the backend id, so two backends compiling the
-        same plan kind can never collide in the cache.
+        same plan kind can never collide in the cache, and carries the
+        resolved fused flag, so fused and unfused plans never alias.
+        ``fuse=None`` resolves through the per-call thread-local override
+        (a tuner-arbitrated decision) and then the engine's fuse mode.
         """
+        if fuse is None:
+            fuse = getattr(self._fuse_local, "value", None)
+            if fuse is None:
+                fuse = self._fuse_mode() != "off"
+        fuse = bool(fuse)
         lanes = self._lanes if self._dag_capable else 1
         key = (backend, kind, shape, np.dtype(dtype).str,
-               model.capacity_words, model.line_words, lanes)
+               model.capacity_words, model.line_words, lanes, fuse)
         return self.plans.get_or_compile(
             key, lambda: compile_plan(kind, shape, dtype, model, key=key,
                                       lanes=lanes,
-                                      build_dag=self._dag_capable))
+                                      build_dag=self._dag_capable,
+                                      fuse=fuse))
 
     # -- backend resolution -------------------------------------------------
     def _effective_sched(self, parallel: Optional[str]) -> Optional[str]:
@@ -310,15 +382,25 @@ class ExecutionEngine:
     def _resolve_backend(self, op: str, shape: Tuple[int, ...], dtype,
                          model: CacheModel, algo: str,
                          parallel: Optional[str] = None
-                         ) -> Tuple[Backend, bool, Optional[str]]:
+                         ) -> Tuple[Backend, bool, Optional[str],
+                                    Optional[bool], str]:
         """Resolve a request to a backend.
 
-        Returns ``(backend, measured, sched)`` where ``measured`` marks a
-        tuner decision whose execution should be timed, and ``sched`` is
-        the scheduling signature that decision was filed under (threaded
-        through to the matching ``record`` so the two can never disagree).
+        Returns ``(backend, measured, sched, fuse, record_name)`` where
+        ``measured`` marks a tuner decision whose execution should be
+        timed, ``sched`` is the scheduling signature that decision was
+        filed under (threaded through to the matching ``record`` so the
+        two can never disagree), ``fuse`` is the tuner-arbitrated
+        fused-vs-unfused decision (``None`` = engine default), and
+        ``record_name`` the candidate name the timing is recorded under
+        (``"<backend>+fused"`` for arbitrated fused variants).
         Precedence: explicit ``algo`` > configured ``Config.backend`` >
         tuner > modeled-cost heuristic.
+
+        With fuse mode ``"auto"`` and a tuner attached, every
+        plan-compiled candidate enters the table twice — plain and
+        ``"+fused"`` — and the measured table arbitrates the pair exactly
+        as it arbitrates distinct backends.
         """
         if algo != "auto":
             backend = get_backend(algo, op)
@@ -326,7 +408,7 @@ class ExecutionEngine:
                 raise ShapeError(
                     f"backend {algo!r} cannot serve {op!r} on shape {shape} "
                     f"with dtype {np.dtype(dtype)} on this host")
-            return backend, False, None
+            return backend, False, None, None, backend.name
         forced = get_config().backend
         if forced != "auto":
             try:
@@ -334,45 +416,73 @@ class ExecutionEngine:
             except ShapeError:
                 backend = None  # forced backend does not serve this op
             if backend is not None and backend.supports(op, shape, dtype, model):
-                return backend, False, None
+                return backend, False, None, None, backend.name
         pool = candidates(op, shape, dtype, model)
-        if self.tuner is not None and len(pool) > 1:
-            sched = self._effective_sched(parallel)
-            name, explored = self.tuner.choose(op, shape, dtype,
-                                               tuple(b.name for b in pool),
-                                               model=model, sched=sched)
-            with self._stats_lock:
-                if explored:
-                    self._tuner_explores += 1
-                else:
-                    self._tuner_hits += 1
-            # only explore decisions are timed: recording further samples
-            # for an already-converged winner can only lower its own best
-            # time, never flip the decision, so exploit calls skip the
-            # measurement overhead entirely
-            return next(b for b in pool if b.name == name), explored, sched
-        return choose_heuristic(op, shape, dtype, model, pool), False, None
+        if self.tuner is not None:
+            arbitrate = self._fuse_mode() == "auto"
+            names = [b.name for b in pool]
+            if arbitrate:
+                names += [b.name + "+fused" for b in pool
+                          if isinstance(b, PlanBackend)]
+            if len(names) > 1:
+                sched = self._effective_sched(parallel)
+                name, explored = self.tuner.choose(op, shape, dtype,
+                                                   tuple(names),
+                                                   model=model, sched=sched)
+                if name is not None:  # a frozen tuner may abstain
+                    with self._stats_lock:
+                        if explored:
+                            self._tuner_explores += 1
+                        else:
+                            self._tuner_hits += 1
+                    # only explore decisions are timed: recording further
+                    # samples for an already-converged winner can only lower
+                    # its own best time, never flip the decision, so exploit
+                    # calls skip the measurement overhead entirely
+                    fuse: Optional[bool] = None
+                    base = name
+                    if name.endswith("+fused"):
+                        base = name[:-len("+fused")]
+                        fuse = True
+                    elif arbitrate:
+                        fuse = False
+                    backend = next(b for b in pool if b.name == base)
+                    return backend, explored, sched, fuse, name
+        return (choose_heuristic(op, shape, dtype, model, pool), False, None,
+                None, "")
 
     def _run_backend(self, backend: Backend, op: str, shape: Tuple[int, ...],
                      a: np.ndarray, c: np.ndarray, alpha: float,
                      b: Optional[np.ndarray], model: CacheModel,
                      parallel: Optional[str], measured: bool,
                      sched: Optional[str] = None,
-                     held: Optional[dict] = None) -> None:
+                     held: Optional[dict] = None,
+                     fuse: Optional[bool] = None,
+                     record_name: str = "") -> None:
         """Execute through ``backend``, timing the call into the tuner's
         table when it was a tuner explore decision (``sched`` is the cell
-        signature the decision was filed under)."""
-        if measured and self.tuner is not None:
-            start = self.tuner.timer()
-            backend.run(self, op, a, c, alpha, b, model, parallel, held)
-            self.tuner.record(op, shape, a.dtype, backend.name,
-                              self.tuner.timer() - start, model=model,
-                              sched=sched)
-        else:
-            backend.run(self, op, a, c, alpha, b, model, parallel, held)
+        signature and ``record_name`` the candidate name the decision was
+        filed under).  A tuner-arbitrated ``fuse`` decision travels to
+        ``_plan`` through a thread-local override — ``backend.run``
+        executes synchronously on this thread, and its frozen signature
+        cannot carry the flag."""
+        self._fuse_local.value = fuse
+        try:
+            if measured and self.tuner is not None:
+                start = self.tuner.timer()
+                backend.run(self, op, a, c, alpha, b, model, parallel, held)
+                self.tuner.record(op, shape, a.dtype,
+                                  record_name or backend.name,
+                                  self.tuner.timer() - start, model=model,
+                                  sched=sched)
+            else:
+                backend.run(self, op, a, c, alpha, b, model, parallel, held)
+        finally:
+            self._fuse_local.value = None
+        run_name = record_name or backend.name
         with self._stats_lock:
-            self._backend_runs[backend.name] = \
-                self._backend_runs.get(backend.name, 0) + 1
+            self._backend_runs[run_name] = \
+                self._backend_runs.get(run_name, 0) + 1
 
     # -- scheduling ---------------------------------------------------------
     def _resolve_parallel(self, parallel: Optional[str]) -> str:
@@ -392,6 +502,15 @@ class ExecutionEngine:
     def _execute(self, plan: ExecutionPlan, a: np.ndarray, c: np.ndarray,
                  alpha: float, workspace, b: Optional[np.ndarray],
                  parallel: Optional[str]) -> None:
+        if plan.fused_steps:
+            with self._stats_lock:
+                self._fused_steps += plan.fused_steps
+            if self._codegen_mode() != "off":
+                from . import codegen
+                attached = codegen.prepare_plan(plan)
+                if attached:
+                    with self._stats_lock:
+                        self._codegen_kernels += attached
         mode = self._resolve_parallel(parallel)
         use_dag = (self.dag is not None and plan.dag is not None
                    and mode != "off"
@@ -454,11 +573,12 @@ class ExecutionEngine:
             raise ShapeError(f"A and C must share a dtype, got {a.dtype} and {c.dtype}")
 
         model = cache if cache is not None else default_cache_model(a.dtype)
-        backend, measured, sched = self._resolve_backend(
+        backend, measured, sched, fuse, record_name = self._resolve_backend(
             "ata", (m, n), a.dtype, model, algo, parallel)
         scale(c, beta)
         self._run_backend(backend, "ata", (m, n), a, c, alpha, None, model,
-                          parallel, measured, sched)
+                          parallel, measured, sched, fuse=fuse,
+                          record_name=record_name)
         return c
 
     # -- A^T B --------------------------------------------------------------
@@ -491,10 +611,11 @@ class ExecutionEngine:
                              f"{sorted({str(a.dtype), str(c.dtype)})}")
 
         model = cache if cache is not None else default_cache_model(a.dtype)
-        backend, measured, sched = self._resolve_backend(
+        backend, measured, sched, fuse, record_name = self._resolve_backend(
             "atb", (m, n, k), a.dtype, model, algo, parallel)
         self._run_backend(backend, "atb", (m, n, k), a, c, alpha, b, model,
-                          parallel, measured, sched)
+                          parallel, measured, sched, fuse=fuse,
+                          record_name=record_name)
         return c
 
     # -- out-of-core --------------------------------------------------------
@@ -582,23 +703,65 @@ class ExecutionEngine:
         """Shared mechanics of :meth:`run_batch` / :meth:`run_batch_atb`.
 
         ``prepare(item)`` validates one item and returns ``(a, b, shape,
-        c)``.  Workspaces are shared per plan key across the whole batch
-        (checked out once, released once); the batch counters count only
-        completed invocations.
+        c)``.  On a DAG-capable engine, plan-executed entries are
+        *interleaved*: their step DAGs merge into one cross-entry
+        super-DAG (each entry keeps its own output and its own
+        pool-acquired workspace — disjoint arena namespaces) so workers
+        stay busy across entries, small entries filling the bubbles left
+        by large ones; every entry's internal step order is still a
+        topological order of its own DAG, so each result is bit-identical
+        to the serial path.  Entries the super-DAG cannot carry —
+        non-plan backends, tuner explore decisions that must be timed
+        individually — run serially exactly as before, with workspaces
+        shared per plan key across the whole batch.  The batch counters
+        count only completed invocations.
         """
         if algo != "auto":
             get_backend(algo, op)  # reject unknown/unsupported up front
+        mode = self._resolve_parallel(parallel)
+        can_weave = (self.dag is not None and mode != "off"
+                     and (mode == "dag" or self._auto_workers > 1))
         held: dict = {}
-        results: List[np.ndarray] = []
+        prepared = [prepare(item) for item in items]
+        results: List[Optional[np.ndarray]] = [None] * len(prepared)
+        woven: List[tuple] = []  # (index, plan, a, b, c, backend_name)
         try:
-            for item in items:
-                a, b, shape, c = prepare(item)
+            for i, (a, b, shape, c) in enumerate(prepared):
                 model = cache if cache is not None else default_cache_model(a.dtype)
-                backend, measured, sched = self._resolve_backend(
-                    op, shape, a.dtype, model, algo, parallel)
+                backend, measured, sched, fuse, record_name = \
+                    self._resolve_backend(op, shape, a.dtype, model, algo,
+                                          parallel)
+                if (can_weave and not measured
+                        and type(backend).run is PlanBackend.run):
+                    plan = self._plan(backend.name, backend.kinds[op], shape,
+                                      a.dtype, model, fuse=fuse)
+                    woven.append((i, plan, a, b, c, backend.name))
+                    continue
                 self._run_backend(backend, op, shape, a, c, alpha, b,
-                                  model, parallel, measured, sched, held=held)
-                results.append(c)
+                                  model, parallel, measured, sched, held=held,
+                                  fuse=fuse, record_name=record_name)
+                results[i] = c
+            interleave = (len(woven) > 1
+                          and sum(t[1].n_steps for t in woven) >= _DAG_MIN_STEPS
+                          and all(t[1].dag is not None for t in woven))
+            if interleave:
+                self._run_interleaved(woven, alpha, mode)
+            else:
+                # too little work to interleave: replay the held-workspace
+                # serial path (exactly what PlanBackend.run does)
+                for i, plan, a, b, c, name in woven:
+                    workspace = None
+                    if plan.needs_workspace:
+                        workspace = held.get(plan.key)
+                        if workspace is None:
+                            workspace = held[plan.key] = \
+                                self.pool.acquire(plan, a.dtype)
+                    self._execute(plan, a, c, alpha, workspace, b, parallel)
+            for i, plan, a, b, c, name in woven:
+                results[i] = c
+                with self._stats_lock:
+                    self._backend_runs[name] = \
+                        self._backend_runs.get(name, 0) + 1
             with self._stats_lock:
                 self._batch_calls += 1
                 self._batch_items += len(results)
@@ -606,6 +769,29 @@ class ExecutionEngine:
             for workspace in held.values():
                 self.pool.release(workspace)
         return results
+
+    def _run_interleaved(self, woven: List[tuple], alpha: float,
+                         mode: str) -> None:
+        """Execute plan-backed batch entries as one cross-entry super-DAG."""
+        for _, plan, a, b, c, _ in woven:
+            if plan.fused_steps:
+                with self._stats_lock:
+                    self._fused_steps += plan.fused_steps
+                if self._codegen_mode() != "off":
+                    from . import codegen
+                    attached = codegen.prepare_plan(plan)
+                    if attached:
+                        with self._stats_lock:
+                            self._codegen_kernels += attached
+        cap = self._auto_workers if mode == "auto" else None
+        entries = [(plan, a, b, c) for _, plan, a, b, c, _ in woven]
+        self.dag.execute_batch(entries, alpha,
+                               acquire=self.pool.acquire,
+                               release=self.pool.release,
+                               max_workers=cap)
+        with self._stats_lock:
+            self._interleaved_batches += 1
+            self._interleaved_items += len(entries)
 
     def run_batch(self, matrices: Sequence[np.ndarray], *,
                   algo: AtaAlgo = "auto", alpha: float = 1.0,
@@ -684,6 +870,11 @@ class ExecutionEngine:
             farm_respawns=self._farm_respawns,
             farm_retried_panels=self._farm_retried_panels,
             farm_degraded=self._farm_degraded,
+            fused_steps=self._fused_steps,
+            codegen_kernels=self._codegen_kernels,
+            interleaved_batches=self._interleaved_batches,
+            interleaved_items=self._interleaved_items,
+            pool_bytes_high=self.pool.bytes_high_water,
         )
 
     def clear(self) -> None:
@@ -702,8 +893,12 @@ class ExecutionEngine:
             self.tuner.flush()
 
 
-#: The process-wide engine serving the library's rewired call sites.
-_DEFAULT_ENGINE = ExecutionEngine()
+#: The process-wide engine serving the library's rewired call sites.  Its
+#: tuner attachment reads ``Config.tuner_mode`` / ``REPRO_TUNER`` once at
+#: import: ``"frozen"`` is the warm-table determinism story — repeated
+#: runs over a persisted table make identical backend choices (see
+#: :class:`repro.engine.tuner.BackendTuner`).
+_DEFAULT_ENGINE = ExecutionEngine(tuner=get_config().tuner_mode)
 
 
 def default_engine() -> ExecutionEngine:

@@ -291,6 +291,17 @@ class OocRunStats:
         optimisation, never a correctness dependency — a degraded run
         delivers the same panels in the same order, hence the same
         bits).
+    workspace_bytes:
+        The engine workspace pool's footprint (idle + checked-out
+        scratch) when the run finished.  Pooled scratch is the one
+        engine-side allocation that outlives a panel, so it is the part
+        of the working set the resident accounting above cannot see.
+    workspace_trimmed:
+        Idle pooled workspaces dropped before the run so that pooled
+        scratch plus the panel-resident set fit ``budget_bytes``
+        together (0 when unbounded or nothing needed dropping).
+        Trimming only ever frees memory — it never alters the panel
+        schedule, so the determinism contract is untouched.
     """
 
     panels: int
@@ -299,6 +310,8 @@ class OocRunStats:
     budget_bytes: int
     prefetched: bool
     prefetch_degraded: bool = False
+    workspace_bytes: int = 0
+    workspace_trimmed: int = 0
 
 
 class ShardedAtA:
@@ -574,6 +587,16 @@ class ShardedAtA:
         else:
             staged_rows = widest
         resident_high = (n * n + staged_rows * n) * itemsize
+        # budget coordination with the engine's workspace pool: idle
+        # pooled scratch left over from earlier (possibly larger) traffic
+        # counts against the same budget as the panel-resident set, so
+        # shed it down to the headroom the schedule leaves.  This frees
+        # memory only — the schedule above is already fixed, so results
+        # are unaffected; per-panel plans re-acquire scratch as needed.
+        pool = getattr(self.engine, "pool", None)
+        trimmed = 0
+        if pool is not None and eff_budget:
+            trimmed = pool.trim(max(0, eff_budget - resident_high))
         stream_state = {"prefetch_degraded": False}
         consumed = 0
         for panel in self._stream(source, bounds, use_prefetch, stream_state):
@@ -596,7 +619,10 @@ class ShardedAtA:
                             bytes_resident_high=resident_high,
                             budget_bytes=eff_budget,
                             prefetched=use_prefetch,
-                            prefetch_degraded=stream_state["prefetch_degraded"])
+                            prefetch_degraded=stream_state["prefetch_degraded"],
+                            workspace_bytes=(pool.footprint()
+                                             if pool is not None else 0),
+                            workspace_trimmed=trimmed)
         record = getattr(self.engine, "_record_ooc", None)
         if record is not None:
             record(stats)

@@ -57,6 +57,14 @@ class WorkspacePool:
     drops:
         Released workspaces discarded because the idle list was full of
         workspaces at least as large.
+    trims:
+        Idle workspaces dropped by :meth:`trim` to honour a byte budget.
+    bytes_high_water:
+        Largest pool footprint (idle + checked-out bytes) observed since
+        construction (or the last :meth:`clear_stats`).  This is the
+        number the out-of-core executor charges against
+        ``Config.memory_budget`` — the pool's *peak* demand, not its
+        current state.
     """
 
     def __init__(self, max_idle: int = 8) -> None:
@@ -69,6 +77,25 @@ class WorkspacePool:
         self.reuses = 0
         self.evictions = 0
         self.drops = 0
+        self.trims = 0
+        self.bytes_high_water = 0
+        self._bytes_idle = 0
+        self._bytes_in_use = 0
+
+    @staticmethod
+    def _nbytes(ws: StrassenWorkspace) -> int:
+        return int(ws.total_elements) * np.dtype(ws.dtype).itemsize
+
+    def _note_footprint_locked(self) -> None:
+        footprint = self._bytes_idle + self._bytes_in_use
+        if footprint > self.bytes_high_water:
+            self.bytes_high_water = footprint
+
+    def footprint(self) -> int:
+        """Current pool footprint in bytes: idle workspaces plus the ones
+        checked out through :meth:`acquire` and not yet released."""
+        with self._lock:
+            return self._bytes_idle + self._bytes_in_use
 
     @property
     def idle_count(self) -> int:
@@ -96,10 +123,18 @@ class WorkspacePool:
                         best, best_total = index, total
             if best >= 0:
                 self.reuses += 1
-                return self._idle.pop(best)
+                ws = self._idle.pop(best)
+                nbytes = self._nbytes(ws)
+                self._bytes_idle -= nbytes
+                self._bytes_in_use += nbytes
+                return ws
             self.allocations += 1
         m, n, k = plan.ws_shape
-        return StrassenWorkspace(m, n, k, dtype=dtype, requirement=req)
+        ws = StrassenWorkspace(m, n, k, dtype=dtype, requirement=req)
+        with self._lock:
+            self._bytes_in_use += self._nbytes(ws)
+            self._note_footprint_locked()
+        return ws
 
     def release(self, workspace: Optional[StrassenWorkspace]) -> None:
         """Return a workspace to the idle list (no-op for ``None``).
@@ -112,9 +147,16 @@ class WorkspacePool:
         """
         if workspace is None:
             return
+        nbytes = self._nbytes(workspace)
         with self._lock:
+            # clamp: a workspace the caller allocated directly (never
+            # acquired from this pool) may be released here — it was
+            # never charged to the in-use total
+            self._bytes_in_use = max(0, self._bytes_in_use - nbytes)
             if len(self._idle) < self.max_idle:
                 self._idle.append(workspace)
+                self._bytes_idle += nbytes
+                self._note_footprint_locked()
                 return
             if not self._idle:  # max_idle == 0
                 self.drops += 1
@@ -122,19 +164,49 @@ class WorkspacePool:
             smallest = min(range(len(self._idle)),
                            key=lambda i: self._idle[i].total_elements)
             if self._idle[smallest].total_elements < workspace.total_elements:
+                self._bytes_idle -= self._nbytes(self._idle[smallest])
                 self._idle[smallest] = workspace
+                self._bytes_idle += nbytes
+                self._note_footprint_locked()
                 self.evictions += 1
             else:
                 self.drops += 1
+
+    def trim(self, max_bytes: int) -> int:
+        """Drop idle workspaces, largest first, until the *idle* footprint
+        fits in ``max_bytes``; returns how many were dropped.
+
+        Checked-out workspaces are untouched (the pool cannot reclaim
+        scratch that a running plan is addressing).  The out-of-core
+        executor calls this before a sharded run so pooled scratch and the
+        shard-resident set share ``Config.memory_budget`` instead of each
+        claiming the whole budget independently.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        dropped = 0
+        with self._lock:
+            while self._idle and self._bytes_idle > max_bytes:
+                largest = max(range(len(self._idle)),
+                              key=lambda i: self._idle[i].total_elements)
+                self._bytes_idle -= self._nbytes(self._idle[largest])
+                self._idle.pop(largest)
+                dropped += 1
+            self.trims += dropped
+        return dropped
 
     def clear(self) -> int:
         """Drop all idle workspaces; returns how many were dropped."""
         with self._lock:
             dropped = len(self._idle)
             self._idle.clear()
+            self._bytes_idle = 0
             return dropped
 
     def clear_stats(self) -> None:
-        """Reset the allocation/reuse/eviction counters."""
+        """Reset the counters; the byte high-water restarts from the
+        current footprint (not zero — the pool may still hold memory)."""
         with self._lock:
             self.allocations = self.reuses = self.evictions = self.drops = 0
+            self.trims = 0
+            self.bytes_high_water = self._bytes_idle + self._bytes_in_use

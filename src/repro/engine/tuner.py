@@ -233,6 +233,13 @@ class BackendTuner:
     save_every:
         Persist the table after this many recorded samples (and on
         :meth:`flush`).
+    frozen:
+        Read-only mode: :meth:`choose` only ever *exploits* the loaded
+        table (returning ``(None, False)`` for buckets with no sampled
+        candidate, so dispatch falls through to its heuristic) and
+        :meth:`record` is a no-op — repeated runs over a warm table make
+        identical backend choices, which is the determinism story the
+        default engine opts into via ``Config.tuner_mode="frozen"``.
 
     Attributes
     ----------
@@ -249,7 +256,9 @@ class BackendTuner:
                  explore_budget: Optional[int] = None,
                  timer=_time.perf_counter,
                  persist: bool = True,
-                 save_every: int = 8) -> None:
+                 save_every: int = 8,
+                 frozen: bool = False) -> None:
+        self.frozen = bool(frozen)
         self._explicit_budget = explore_budget
         if explore_budget is not None and explore_budget < 1:
             raise ValueError(
@@ -479,7 +488,7 @@ class BackendTuner:
     def choose(self, op: str, shape: Sequence[int], dtype,
                candidate_names: Sequence[str],
                model: Optional[CacheModel] = None,
-               sched: Optional[str] = None) -> Tuple[str, bool]:
+               sched: Optional[str] = None) -> Tuple[Optional[str], bool]:
         """Pick a backend for this request.
 
         Returns ``(name, explored)`` where ``explored`` is ``True`` when
@@ -490,6 +499,11 @@ class BackendTuner:
         skip measurement when ``explored`` is ``False``.
         ``candidate_names`` must be non-empty; order breaks exploration
         ties, so callers pass registration order for determinism.
+
+        A :attr:`frozen` tuner never explores: it exploits the best
+        *sampled* candidate, or returns ``(None, False)`` when the bucket
+        has no sampled candidate at all — the caller falls through to its
+        heuristic, deterministically.
         """
         if not candidate_names:
             raise ValueError("choose() requires at least one candidate")
@@ -498,6 +512,14 @@ class BackendTuner:
             self._check_config()
             entry = self._table.get(
                 _bucket_key(op, dtype, shape_bucket(shape), model, sched), {})
+            if self.frozen:
+                sampled = [n for n in candidate_names
+                           if entry.get(n, {}).get("count", 0) > 0]
+                if not sampled:
+                    return None, False
+                name = min(sampled, key=lambda n: entry[n]["best"])
+                self.hits += 1
+                return name, False
             counts = {name: entry.get(name, {}).get("count", 0)
                       for name in candidate_names}
             least = min(counts.values())
@@ -516,7 +538,10 @@ class BackendTuner:
                model: Optional[CacheModel] = None,
                sched: Optional[str] = None) -> None:
         """Feed one measured execution into the table (and autosave every
-        ``save_every`` samples)."""
+        ``save_every`` samples).  No-op on a :attr:`frozen` tuner — the
+        loaded table is the whole story."""
+        if self.frozen:
+            return
         seconds = float(seconds)
         if seconds < 0 or not np.isfinite(seconds):
             return  # a broken clock must not poison the table
