@@ -142,3 +142,60 @@ class TestRegressionTrackingMicrobenchmarks:
             engine.run_batch(wave_matrices)  # warm plans + pool
             benchmark.pedantic(lambda: engine.run_batch(wave_matrices),
                                rounds=5, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.benchmark(group="serve_net")
+class TestWireTierMicrobenchmarks:
+    """TCP front-door timings for the CI compare step (group
+    ``serve_net``): the loopback round trip prices framing, the
+    handshake'd socket hop and result marshalling on top of the
+    in-process serving path benchmarked above."""
+
+    @pytest.fixture(scope="class")
+    def wave_matrices(self):
+        return [random_matrix(96, 96, seed=i) for i in range(16)]
+
+    def test_bench_wire_wave_single_connection(self, benchmark,
+                                               wave_matrices):
+        """A coalesced 16-request wave over one warm TCP connection.
+
+        Loop, NetServer, client connection and the warm-up compile all
+        live outside the timed callable, so each round measures exactly
+        the wire path: encode, loopback socket, decode, the in-process
+        serving path, and the result frame back."""
+        from repro.serve import Client, NetServer
+
+        loop = asyncio.new_event_loop()
+        try:
+            with configured(base_case_elements=256):
+                engine = ExecutionEngine()
+
+                async def make_net():
+                    net = NetServer(engine=engine, max_batch=8,
+                                    linger_ms=1.0)
+                    await net.start()
+                    client = Client(port=net.port)
+                    await client.connect()
+                    await client.submit(wave_matrices[0])  # warm compile
+                    return net, client
+
+                net, client = loop.run_until_complete(
+                    asyncio.wait_for(make_net(), timeout=60))
+
+                async def wave() -> None:
+                    await asyncio.gather(
+                        *(client.submit(a) for a in wave_matrices))
+
+                benchmark.pedantic(
+                    lambda: loop.run_until_complete(
+                        asyncio.wait_for(wave(), timeout=60)),
+                    rounds=5, iterations=1, warmup_rounds=1)
+
+                async def teardown():
+                    await client.aclose()
+                    await net.close()
+
+                loop.run_until_complete(
+                    asyncio.wait_for(teardown(), timeout=60))
+        finally:
+            loop.close()

@@ -60,8 +60,10 @@ from .errors import (
     ConfigurationError,
     DeadlineError,
     DTypeError,
+    FairnessError,
     FarmError,
     FaultInjected,
+    ProtocolError,
     QueueFullError,
     ReproError,
     SchedulerError,
@@ -115,6 +117,8 @@ __all__ = [
     "FaultInjected",
     "ConfigurationError",
     "DTypeError",
+    "FairnessError",
+    "ProtocolError",
     "QueueFullError",
     "ReproError",
     "SchedulerError",

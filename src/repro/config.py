@@ -89,6 +89,20 @@ DEFAULT_FARM_PROCS = 0
 #: worker before the run degrades to in-process completion.
 DEFAULT_FARM_MAX_RETRIES = 2
 
+#: Default TCP port of the serving network front door
+#: (:class:`repro.serve.NetServer`).  ``0`` binds an ephemeral port (the
+#: listener reports the one the OS picked), which is also the right
+#: default for tests and benchmarks sharing one host.
+DEFAULT_SERVE_PORT = 0
+
+#: Default per-client fair share of the serving admission window, as a
+#: fraction of ``serve_max_inflight`` in ``(0, 1]``.  ``1.0`` disables
+#: fairness (admission is first-come, the pre-PR-9 behaviour); smaller
+#: values bound any one client id to ``max(1, floor(share *
+#: max_inflight))`` in-flight requests, rejected beyond that with
+#: :class:`repro.errors.FairnessError`.
+DEFAULT_SERVE_FAIR_SHARE = 1.0
+
 #: Default serving deadline in milliseconds.  ``0`` means no deadline: a
 #: request waits as long as the queue and engine take.  Per-call
 #: ``submit(timeout=...)`` overrides win.
@@ -162,6 +176,18 @@ class Config:
     serve_linger_ms:
         Default milliseconds a serving queue holds its first request open
         for coalescing companions before flushing a partial batch.
+    serve_port:
+        Default TCP port of the serving network front door
+        (:class:`repro.serve.NetServer`); ``0`` (default) binds an
+        ephemeral port.
+    serve_fair_share:
+        Default per-client fair share of the serving admission window,
+        as a fraction of ``serve_max_inflight`` in ``(0, 1]``.  ``1.0``
+        (default) keeps admission first-come; below it, one client id
+        may hold at most ``max(1, floor(share * max_inflight))``
+        in-flight requests (:class:`repro.errors.FairnessError` beyond),
+        and queue drains interleave clients round-robin so a chatty
+        client cannot starve its queue's companions.
     memory_budget:
         Out-of-core working-set budget in bytes for
         :class:`repro.engine.ooc.ShardedAtA` /
@@ -236,6 +262,8 @@ class Config:
     serve_max_batch: int = DEFAULT_SERVE_MAX_BATCH
     serve_max_inflight: int = DEFAULT_SERVE_MAX_INFLIGHT
     serve_linger_ms: float = DEFAULT_SERVE_LINGER_MS
+    serve_port: int = DEFAULT_SERVE_PORT
+    serve_fair_share: float = DEFAULT_SERVE_FAIR_SHARE
     memory_budget: int = DEFAULT_MEMORY_BUDGET
     farm_procs: int = DEFAULT_FARM_PROCS
     farm_max_retries: int = DEFAULT_FARM_MAX_RETRIES
@@ -284,6 +312,16 @@ class Config:
         if not (self.serve_linger_ms >= 0):
             raise ConfigurationError(
                 f"serve_linger_ms must be >= 0, got {self.serve_linger_ms}"
+            )
+        if not (0 <= self.serve_port <= 65535):
+            raise ConfigurationError(
+                f"serve_port must be in [0, 65535] (0 = ephemeral), got "
+                f"{self.serve_port}"
+            )
+        if not (0.0 < self.serve_fair_share <= 1.0):
+            raise ConfigurationError(
+                f"serve_fair_share must be in (0, 1] (1 = fairness off), "
+                f"got {self.serve_fair_share}"
             )
         if self.memory_budget < 0:
             raise ConfigurationError(
@@ -346,6 +384,9 @@ def _config_from_env() -> Config:
     ``REPRO_SERVE_MAX_BATCH``     integer, serving coalesced-batch bound.
     ``REPRO_SERVE_MAX_INFLIGHT``  integer, serving admission-control bound.
     ``REPRO_SERVE_LINGER_MS``     float, serving queue linger (milliseconds).
+    ``REPRO_SERVE_PORT``          integer, serving TCP port (0 = ephemeral).
+    ``REPRO_SERVE_FAIR_SHARE``    float in (0, 1], per-client share of the
+                                  serving admission window (1 = off).
     ``REPRO_MEMORY_BUDGET``       integer, out-of-core working-set budget in
                                   bytes (0 = unbounded).
     ``REPRO_FARM_PROCS``          integer, default panel-farm worker-process
@@ -381,6 +422,11 @@ def _config_from_env() -> Config:
         kwargs["serve_max_inflight"] = int(os.environ["REPRO_SERVE_MAX_INFLIGHT"])
     if "REPRO_SERVE_LINGER_MS" in os.environ:
         kwargs["serve_linger_ms"] = float(os.environ["REPRO_SERVE_LINGER_MS"])
+    if "REPRO_SERVE_PORT" in os.environ:
+        kwargs["serve_port"] = int(os.environ["REPRO_SERVE_PORT"])
+    if "REPRO_SERVE_FAIR_SHARE" in os.environ:
+        kwargs["serve_fair_share"] = float(
+            os.environ["REPRO_SERVE_FAIR_SHARE"])
     if "REPRO_MEMORY_BUDGET" in os.environ:
         kwargs["memory_budget"] = int(os.environ["REPRO_MEMORY_BUDGET"])
     if "REPRO_FARM_PROCS" in os.environ:

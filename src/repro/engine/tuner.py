@@ -141,7 +141,7 @@ _ZERO_CELL = {"count": 0, "total": 0.0, "best": float("inf")}
 
 
 @contextlib.contextmanager
-def _table_lock(path: str) -> Iterator[None]:
+def _table_lock(path: str, *, unlink: bool = True) -> Iterator[None]:
     """Advisory exclusive lock around a read-merge-write of the table file.
 
     Locks a ``<path>.lock`` sidecar (never the table itself — the table
@@ -150,16 +150,41 @@ def _table_lock(path: str) -> Iterator[None]:
     neither is available, or the lock file cannot be created, degrades to
     running unlocked: saves stay atomic and readers still never see a
     torn file, concurrent *merges* may merely lose the race.
+
+    With ``unlink=True`` (the default on POSIX) the sidecar is removed
+    on release, *while the lock is still held*, so a save never leaves a
+    stray ``.lock`` file behind.  That makes acquisition subtle: a
+    waiter blocked in ``flock`` on the old inode wakes holding a lock on
+    an **anonymous** file, while a third process may already have locked
+    a fresh sidecar at the same path — so after every acquisition the
+    fd's inode is revalidated against the path and the open is retried
+    on mismatch.  Windows keeps the sidecar (an open locked file cannot
+    be unlinked there); unlink failures are swallowed like every other
+    persistence error (the ``tuner.lock`` chaos site injects them).
     """
+    lock_path = path + ".lock"
     handle = None
     try:
         try:
-            handle = open(path + ".lock", "a+")
-            if fcntl is not None:
-                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
-            elif msvcrt is not None:  # pragma: no cover - Windows only
-                handle.seek(0)
-                msvcrt.locking(handle.fileno(), msvcrt.LK_LOCK, 1)
+            while True:
+                handle = open(lock_path, "a+")
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+                    try:
+                        fresh = (os.fstat(handle.fileno()).st_ino
+                                 == os.stat(lock_path).st_ino)
+                    except OSError:
+                        fresh = False  # sidecar unlinked while we waited
+                    if fresh:
+                        break
+                    handle.close()
+                    handle = None
+                else:
+                    if msvcrt is not None:  # pragma: no cover - Windows
+                        handle.seek(0)
+                        msvcrt.locking(handle.fileno(), msvcrt.LK_LOCK, 1)
+                    unlink = False  # held sidecars are not removable
+                    break
         except OSError:
             if handle is not None:
                 handle.close()
@@ -167,6 +192,14 @@ def _table_lock(path: str) -> Iterator[None]:
         yield
     finally:
         if handle is not None:
+            if unlink:
+                try:
+                    # chaos site: an injected unlink failure must stay as
+                    # silent as a real one — hygiene never fails a save
+                    faults.maybe("tuner.lock")
+                    os.unlink(lock_path)
+                except Exception:
+                    pass
             try:
                 if fcntl is not None:
                     fcntl.flock(handle.fileno(), fcntl.LOCK_UN)

@@ -69,6 +69,34 @@ class QueueFullError(ReproError, RuntimeError):
     """
 
 
+class FairnessError(QueueFullError):
+    """Raised when a single client's share of the admission budget is
+    exhausted.
+
+    With ``Config.serve_fair_share < 1`` the server bounds how much of
+    ``max_inflight`` any one client id may occupy, so a flooding client
+    saturates *its share*, not the whole admission window — companions
+    keep being admitted.  Subclassing :class:`QueueFullError` keeps the
+    client contract uniform: the error still means "back off and retry"
+    (and :func:`repro.serve.retry` already retries it); it is a distinct
+    type so tests and dashboards can tell per-client throttling from
+    server-wide saturation.
+    """
+
+
+class ProtocolError(ReproError, RuntimeError):
+    """Raised by the serving wire protocol on malformed or incompatible
+    frames.
+
+    Covers framing violations (oversized or truncated frames, connections
+    closed mid-frame), handshake failures (missing/unsupported protocol
+    version), undecodable headers and unknown frame operations — the
+    errors of the *transport conversation*, as opposed to errors of the
+    *request* (shape/dtype/backpressure), which are returned to the
+    client as typed error frames and re-raised under their own classes.
+    """
+
+
 class ServerClosedError(ReproError, RuntimeError):
     """Raised when submitting to a :class:`repro.serve.Server` that is
     closing or closed.

@@ -73,6 +73,20 @@ Known sites
 ``serve.batch``           per dispatched batch; ``raise`` fails the batch
 ``serve.engine``          per dispatched batch; ``slow`` delays the engine
                           call (drives deadline expiry)
+``serve.conn``            per received wire-protocol frame (``index`` =
+                          frames seen on the connection); evaluated with
+                          :func:`probe` and enacted by the connection
+                          handler, never by :func:`maybe` — ``kill`` in
+                          a *server* process must drop the connection,
+                          not the server: ``kill``/``raise``/``truncate``
+                          abort the connection (half-open from the
+                          client's view), and the handler settles every
+                          request the dead connection had in flight
+                          (they ledger as ``cancelled``, never leaking
+                          admission slots); ``slow`` stalls the read loop
+``tuner.lock``            per lock-sidecar cleanup attempt; ``raise``
+                          makes the unlink fail (must stay silent — lock
+                          hygiene is best-effort, never a save failure)
 ``tuner.save``            per tuner persistence attempt; ``raise`` makes
                           the save fail (must stay silent — the
                           never-raises contract)

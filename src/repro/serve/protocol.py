@@ -1,0 +1,292 @@
+"""Length-prefixed binary framing for the serving wire protocol.
+
+One frame is::
+
+    +-----+------------+-------------+----------------+---------------+
+    | tag | header len | payload len | header bytes   | payload bytes |
+    | 1 B | 4 B (BE)   | 4 B (BE)    | JSON / msgpack | raw array     |
+    +-----+------------+-------------+----------------+---------------+
+
+The **tag** byte names the header encoding — ``J`` for JSON, ``M`` for
+msgpack — so a reader never guesses; the two length fields bound the
+reads (:data:`MAX_HEADER_BYTES` / :data:`MAX_PAYLOAD_BYTES` cap them
+against hostile or corrupt peers).  The *header* is a small mapping
+(operation, request id, algorithm, alpha, dtype, shape, ...); the
+*payload* is raw little-endian array bytes appended verbatim — matrices
+never pass through the structured encoder, so a request's operand and a
+response's result round-trip **bit-identically** regardless of header
+encoding.
+
+msgpack is optional: when the :mod:`msgpack` package is importable both
+sides may negotiate it during the hello handshake (it is the client's
+preference order that decides); otherwise everything speaks JSON.  The
+negotiated encoding is per-connection and symmetric.
+
+The handshake is versioned: the first frame on a connection must be a
+``hello`` carrying :data:`PROTOCOL_VERSION`; a mismatch is answered with
+an ``error`` frame and the connection closes.  Remote errors travel as
+``error`` frames naming the exception class; :func:`raise_remote`
+rehydrates them from :data:`ERROR_TYPES` on the client so
+:class:`~repro.errors.QueueFullError` backpressure (and its
+:class:`~repro.errors.FairnessError` subclass) stays retryable through
+:func:`repro.serve.retry` across the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import (
+    BudgetError,
+    ConfigurationError,
+    DeadlineError,
+    DTypeError,
+    FairnessError,
+    FaultInjected,
+    ProtocolError,
+    QueueFullError,
+    ReproError,
+    ServerClosedError,
+    ShapeError,
+    WorkspaceError,
+)
+
+try:  # optional; the container may not ship it — JSON is the floor
+    import msgpack  # type: ignore
+except ImportError:  # pragma: no cover - environment-dependent
+    msgpack = None
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ENCODINGS",
+    "HAVE_MSGPACK",
+    "MAX_HEADER_BYTES",
+    "MAX_PAYLOAD_BYTES",
+    "ERROR_TYPES",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+    "pack_array",
+    "unpack_array",
+    "error_header",
+    "raise_remote",
+]
+
+#: bumped on incompatible frame or handshake changes; both sides assert
+#: equality during hello
+PROTOCOL_VERSION = 1
+
+HAVE_MSGPACK = msgpack is not None
+
+#: header encodings this process can speak, in no particular order —
+#: negotiation follows the *client's* preference list
+ENCODINGS: Tuple[str, ...] = (("json", "msgpack") if HAVE_MSGPACK
+                              else ("json",))
+
+#: tag byte, header length, payload length — all big-endian
+_PREFIX = struct.Struct(">BII")
+
+_TAG_JSON = ord("J")
+_TAG_MSGPACK = ord("M")
+_TAGS = {"json": _TAG_JSON, "msgpack": _TAG_MSGPACK}
+
+#: sanity bounds enforced on every read; violations raise
+#: :class:`ProtocolError` before any allocation happens
+MAX_HEADER_BYTES = 1 << 20
+MAX_PAYLOAD_BYTES = 1 << 31
+
+#: exception classes an ``error`` frame may rehydrate into, by name.
+#: Anything unrecognised falls back to :class:`ProtocolError` — the
+#: client still fails loudly, just less specifically.
+ERROR_TYPES: Dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        BudgetError,
+        ConfigurationError,
+        DeadlineError,
+        DTypeError,
+        FairnessError,
+        FaultInjected,
+        ProtocolError,
+        QueueFullError,
+        ReproError,
+        ServerClosedError,
+        ShapeError,
+        WorkspaceError,
+    )
+}
+
+
+def _encode_header(header: Dict[str, Any], encoding: str) -> Tuple[int, bytes]:
+    if encoding == "json":
+        return _TAG_JSON, json.dumps(header, separators=(",", ":")).encode()
+    if encoding == "msgpack":
+        if msgpack is None:
+            raise ProtocolError(
+                "msgpack encoding negotiated but the msgpack package is "
+                "not importable in this process")
+        return _TAG_MSGPACK, msgpack.packb(header, use_bin_type=True)
+    raise ProtocolError(f"unknown header encoding {encoding!r}; "
+                        f"this process speaks {ENCODINGS}")
+
+
+def _decode_header(tag: int, raw: bytes) -> Dict[str, Any]:
+    try:
+        if tag == _TAG_JSON:
+            header = json.loads(raw.decode())
+        elif tag == _TAG_MSGPACK:
+            if msgpack is None:
+                raise ProtocolError(
+                    "peer sent a msgpack frame but the msgpack package "
+                    "is not importable in this process")
+            header = msgpack.unpackb(raw, raw=False)
+        else:
+            raise ProtocolError(
+                f"unknown frame tag byte {tag!r}; expected "
+                f"{_TAG_JSON} ('J') or {_TAG_MSGPACK} ('M')")
+    except ProtocolError:
+        raise
+    except Exception as exc:
+        raise ProtocolError(f"undecodable frame header: {exc}") from exc
+    if not isinstance(header, dict) or "op" not in header:
+        raise ProtocolError(
+            f"frame header must be a mapping with an 'op' key, got "
+            f"{type(header).__name__}")
+    return header
+
+
+def encode_frame(header: Dict[str, Any], payload: bytes = b"",
+                 encoding: str = "json") -> bytes:
+    """Render one complete frame as a single ``bytes``."""
+    tag, raw = _encode_header(header, encoding)
+    if len(raw) > MAX_HEADER_BYTES:
+        raise ProtocolError(
+            f"frame header of {len(raw)} bytes exceeds the "
+            f"{MAX_HEADER_BYTES}-byte bound")
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_PAYLOAD_BYTES}-byte bound")
+    return _PREFIX.pack(tag, len(raw), len(payload)) + raw + bytes(payload)
+
+
+async def write_frame(writer, header: Dict[str, Any],
+                      payload: bytes = b"", encoding: str = "json") -> None:
+    """Write one frame and drain.
+
+    The prefix+header and the payload go out as two ``write`` calls (no
+    concatenation copy of a possibly-large payload); callers that share
+    a writer across tasks must hold their write lock around this.
+    """
+    tag, raw = _encode_header(header, encoding)
+    if len(raw) > MAX_HEADER_BYTES:
+        raise ProtocolError(
+            f"frame header of {len(raw)} bytes exceeds the "
+            f"{MAX_HEADER_BYTES}-byte bound")
+    size = len(payload) if not isinstance(payload, np.ndarray) else payload.nbytes
+    if size > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(
+            f"frame payload of {size} bytes exceeds the "
+            f"{MAX_PAYLOAD_BYTES}-byte bound")
+    writer.write(_PREFIX.pack(tag, len(raw), size) + raw)
+    if size:
+        writer.write(payload if isinstance(payload, (bytes, bytearray,
+                                                     memoryview))
+                     else memoryview(payload))
+    await writer.drain()
+
+
+async def read_frame(reader) -> Tuple[Dict[str, Any], bytes]:
+    """Read one frame; returns ``(header, payload bytes)``.
+
+    Raises :class:`asyncio.IncompleteReadError` on EOF (``.partial ==
+    b""`` at a frame boundary means a clean disconnect) and
+    :class:`ProtocolError` on bound violations or undecodable headers.
+    """
+    prefix = await reader.readexactly(_PREFIX.size)
+    tag, header_len, payload_len = _PREFIX.unpack(prefix)
+    if header_len > MAX_HEADER_BYTES:
+        raise ProtocolError(
+            f"peer announced a {header_len}-byte frame header; the bound "
+            f"is {MAX_HEADER_BYTES}")
+    if payload_len > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(
+            f"peer announced a {payload_len}-byte frame payload; the "
+            f"bound is {MAX_PAYLOAD_BYTES}")
+    raw = await reader.readexactly(header_len)
+    payload = await reader.readexactly(payload_len) if payload_len else b""
+    return _decode_header(tag, raw), payload
+
+
+# ---------------------------------------------------------------------------
+# array <-> (header fragment, payload bytes)
+# ---------------------------------------------------------------------------
+
+def pack_array(a: np.ndarray, prefix: str = "") -> Tuple[Dict[str, Any],
+                                                         bytes]:
+    """``(header fragment, raw bytes)`` describing ``a``.
+
+    The fragment carries ``{prefix}dtype`` (numpy's unambiguous
+    byte-order-qualified string, e.g. ``"<f8"``) and ``{prefix}shape``;
+    the bytes are the C-contiguous buffer, copied only if ``a`` is not
+    already contiguous.
+    """
+    contiguous = np.ascontiguousarray(a)
+    meta = {f"{prefix}dtype": contiguous.dtype.str,
+            f"{prefix}shape": list(contiguous.shape)}
+    return meta, memoryview(contiguous).cast("B")
+
+
+def unpack_array(header: Dict[str, Any], payload: bytes, prefix: str = "",
+                 offset: int = 0) -> np.ndarray:
+    """Rebuild the array a :func:`pack_array` fragment describes.
+
+    Reads ``header[f"{prefix}dtype"]`` / ``[f"{prefix}shape"]`` and
+    slices ``payload`` from ``offset``; a size mismatch raises
+    :class:`ProtocolError` (never a silent short array).  The result
+    is a fresh writable array — it does not alias ``payload``.
+    """
+    try:
+        dtype = np.dtype(header[f"{prefix}dtype"])
+        shape = tuple(int(n) for n in header[f"{prefix}shape"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(
+            f"frame header carries no decodable {prefix or 'array '}"
+            f"dtype/shape: {exc}") from exc
+    count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+    nbytes = count * dtype.itemsize
+    if offset + nbytes > len(payload):
+        raise ProtocolError(
+            f"frame payload holds {len(payload) - offset} bytes from "
+            f"offset {offset}; shape {shape} of {dtype} needs {nbytes}")
+    flat = np.frombuffer(payload, dtype=dtype, count=count, offset=offset)
+    return flat.reshape(shape).copy()
+
+
+# ---------------------------------------------------------------------------
+# remote errors
+# ---------------------------------------------------------------------------
+
+def error_header(request_id: Optional[int], exc: BaseException) -> Dict[str, Any]:
+    """The ``error`` frame header reporting ``exc`` for ``request_id``."""
+    return {"op": "error", "id": request_id,
+            "error": type(exc).__name__, "message": str(exc)}
+
+
+def raise_remote(header: Dict[str, Any]) -> None:
+    """Rehydrate and raise the exception an ``error`` frame carries.
+
+    Known class names (see :data:`ERROR_TYPES`) come back as themselves —
+    preserving, e.g., the retryability of :class:`QueueFullError` —
+    anything else as :class:`ProtocolError` naming the original type.
+    """
+    name = header.get("error", "ProtocolError")
+    message = header.get("message", "remote error")
+    cls = ERROR_TYPES.get(name)
+    if cls is None:
+        raise ProtocolError(f"remote {name}: {message}")
+    raise cls(message)

@@ -53,6 +53,9 @@ class Request:
     algo: str
     alpha: float
     future: Any  # asyncio.Future, created on the server's loop
+    #: the submitting client id — what fairness arbitrates over (one id
+    #: per connection on the wire, ``submit(client=...)`` in process)
+    client: str = "anonymous"
     enqueued: float = dataclasses.field(default_factory=time.monotonic)
 
 
@@ -69,6 +72,8 @@ class BatchQueue:
         self.pending: Deque[Request] = deque()
         #: the armed linger timer (an ``asyncio.TimerHandle``), or ``None``
         self.timer: Any = None
+        #: round-robin rotation of the client drain order across batches
+        self._rr = 0
         #: dispatched batches not yet finished — the server retires a
         #: queue (drops it from the live map, folding its counters into
         #: the retired aggregate) only when pending, timer and
@@ -91,8 +96,35 @@ class BatchQueue:
             self.timer.cancel()
             self.timer = None
 
+    def live_count(self) -> int:
+        """Pending requests whose future is still unsettled.
+
+        This — not ``len(pending)`` — is what the server's flush
+        threshold compares against ``max_batch``: the deque also holds
+        husks (cancelled or deadline-expired requests awaiting their
+        drop at :meth:`take` time), and counting those would dispatch
+        premature partial batches under deadline churn.
+        """
+        return sum(1 for request in self.pending
+                   if not request.future.done())
+
+    def prune(self) -> None:
+        """Drop settled husks from the pending deque.
+
+        Called when a deadline timer fires: expiry under load settles
+        requests that stay physically queued until the next flush, and
+        letting them pile up would make every ``live_count`` scan pay
+        for the dead.  Dropping them here is safe for the same reason
+        :meth:`take`'s drop is — a done future never joins a batch, and
+        its admission accounting already ran via the done-callback.
+        """
+        if any(request.future.done() for request in self.pending):
+            self.pending = deque(request for request in self.pending
+                                 if not request.future.done())
+
     def take(self, max_batch: int) -> List[Request]:
-        """Pop up to ``max_batch`` *live* requests for one batch.
+        """Pop up to ``max_batch`` *live* requests for one batch,
+        interleaving clients round-robin.
 
         Requests whose future is already done — cancelled by their client
         while waiting, or settled with
@@ -102,24 +134,68 @@ class BatchQueue:
         batch's positional ``zip`` with its outputs only ever covers live
         requests).  Their admission accounting is handled by the server's
         future done-callback.
+
+        The batch is filled by cycling over the queue's clients (each
+        client's own requests stay FIFO; the cycle's starting client
+        rotates batch to batch), so when a chatty client has queued a
+        pile ahead of a companion, the companion's request still rides
+        the very next batch instead of waiting out the pile — the
+        round-robin half of the fairness policy (admission shares are
+        the other half).  With one client this degenerates to exact
+        FIFO.  Requests left over stay pending in arrival order.
         """
+        order = list(self.pending)
+        self.pending.clear()
+        live = [request for request in order if not request.future.done()]
+        if not live:
+            return []
+        per_client: dict = {}
+        clients: List[str] = []
+        for request in live:
+            if request.client not in per_client:
+                per_client[request.client] = deque()
+                clients.append(request.client)
+            per_client[request.client].append(request)
+        if len(clients) > 1:
+            rotation = self._rr % len(clients)
+            clients = clients[rotation:] + clients[:rotation]
+            self._rr += 1
         batch: List[Request] = []
-        while self.pending and len(batch) < max_batch:
-            request = self.pending.popleft()
-            if request.future.done():
-                continue
-            batch.append(request)
+        while per_client and len(batch) < max_batch:
+            for client in list(clients):
+                queue = per_client.get(client)
+                if queue is None:
+                    continue
+                batch.append(queue.popleft())
+                if not queue:
+                    del per_client[client]
+                    clients.remove(client)
+                if len(batch) >= max_batch:
+                    break
+        chosen = {id(request) for request in batch}
+        self.pending.extend(request for request in live
+                            if id(request) not in chosen)
         return batch
 
-    def note_dispatch(self, batch: List[Request], now: float) -> None:
-        """Record one dispatched batch into the queue's counters."""
+    def note_dispatch(self, batch: List[Request]) -> List[float]:
+        """Record one dispatched batch into the queue's counters;
+        returns each request's wait (enqueue -> dispatch) in seconds.
+
+        Samples the clock itself, per call: a multi-batch flush that
+        charged one pre-loop timestamp to every batch would understate
+        ``wait_seconds`` for the later batches by however long the
+        earlier dispatches took.
+        """
+        now = time.monotonic()
+        waits = [now - request.enqueued for request in batch]
         size = len(batch)
         self.outstanding += 1
         self.batches += 1
         self.batched_requests += size
         self.max_batch_size = max(self.max_batch_size, size)
         self.size_histogram[size] += 1
-        self.wait_seconds += sum(now - request.enqueued for request in batch)
+        self.wait_seconds += sum(waits)
+        return waits
 
     def snapshot(self) -> QueueStats:
         return QueueStats(

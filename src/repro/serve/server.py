@@ -58,6 +58,7 @@ Quickstart
 from __future__ import annotations
 
 import asyncio
+import tempfile
 import threading
 import time
 from collections import Counter
@@ -76,12 +77,13 @@ from ..engine.dispatch import validate_atb_operands
 from ..errors import (
     ConfigurationError,
     DeadlineError,
+    FairnessError,
     QueueFullError,
     ServerClosedError,
     ShapeError,
 )
 from .queues import BatchQueue, Request, queue_key
-from .stats import QueueStats, ServerStats
+from .stats import ClientStats, QueueStats, ServerStats, ServingMetrics
 
 __all__ = ["Server"]
 
@@ -92,6 +94,16 @@ _OPS = ("ata", "atb")
 #: diversity (e.g. a client sweeping per-request alphas)
 _RETIRED_KEYS = 256
 _OVERFLOW_KEY = "~retired-overflow~"
+
+#: per-client ledger entries kept before the oldest settled ones merge
+#: into the shared overflow id — same bounding story as retired queues,
+#: for servers whose wire clients mint one id per connection forever
+_CLIENT_KEYS = 256
+_CLIENT_OVERFLOW = "~client-overflow~"
+
+#: ledger buckets tracked per client id
+_LEDGER_FIELDS = ("submitted", "completed", "failed", "rejected",
+                  "cancelled", "expired")
 
 
 def _empty_counters() -> dict:
@@ -152,6 +164,7 @@ class Server:
                  max_batch: Optional[int] = None,
                  max_inflight: Optional[int] = None,
                  linger_ms: Optional[float] = None,
+                 fair_share: Optional[float] = None,
                  workers: int = 1) -> None:
         cfg = get_config()
         self.max_batch = int(max_batch if max_batch is not None
@@ -159,6 +172,7 @@ class Server:
         self.max_inflight = int(max_inflight if max_inflight is not None
                                 else cfg.serve_max_inflight)
         linger = linger_ms if linger_ms is not None else cfg.serve_linger_ms
+        share = fair_share if fair_share is not None else cfg.serve_fair_share
         self.default_timeout_seconds = float(cfg.serve_default_timeout_ms) / 1000.0
         if self.max_batch < 1:
             raise ConfigurationError(
@@ -168,9 +182,18 @@ class Server:
                 f"max_inflight must be >= 1, got {self.max_inflight}")
         if not (float(linger) >= 0):
             raise ConfigurationError(f"linger_ms must be >= 0, got {linger}")
+        if not (0.0 < float(share) <= 1.0):
+            raise ConfigurationError(
+                f"fair_share must be in (0, 1], got {share}")
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         self.linger_seconds = float(linger) / 1000.0
+        self.fair_share = float(share)
+        #: admission slots one client id may hold; ``fair_share == 1``
+        #: disables the per-client bound (any client may fill the window)
+        self.client_cap = (self.max_inflight if self.fair_share >= 1.0
+                           else max(1, int(self.max_inflight
+                                           * self.fair_share)))
         self.engine = engine if engine is not None else ExecutionEngine()
         self._owns_engine = engine is None
         self._executor = ThreadPoolExecutor(
@@ -183,6 +206,7 @@ class Server:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._closing = False
         self._closed = False
+        self._close_task: Optional[asyncio.Task] = None
         # counters are mutated on the loop but read by stats() from any
         # thread; the lock keeps multi-field snapshots consistent
         self._lock = threading.Lock()
@@ -193,6 +217,14 @@ class Server:
         self._cancelled = 0
         self._expired = 0
         self._inflight = 0
+        #: per-client admitted-but-unsettled counts (entries drop at 0)
+        self._client_inflight: Dict[str, int] = {}
+        #: per-client ledgers (bounded; oldest settled entries merge into
+        #: the ``_CLIENT_OVERFLOW`` bucket)
+        self._clients: Dict[str, dict] = {}
+        #: decaying latency / batch-size estimators behind
+        #: :meth:`metrics_text` (recorded under ``_lock``)
+        self._metrics = ServingMetrics()
 
     # -- loop binding -------------------------------------------------------
     def _bind_loop(self) -> asyncio.AbstractEventLoop:
@@ -207,10 +239,14 @@ class Server:
             # idle rebind across loops: timer handles minted on the old
             # loop will never fire, so a surviving one would suppress
             # flush scheduling forever; idle means every admitted request
-            # has settled, so any pending entries are cancelled husks
-            for queue in self._queues.values():
+            # has settled, so any pending entries are cancelled husks.
+            # Draining a queue here leaves it eligible for retirement —
+            # retire it now, or it lingers in the live map until
+            # unrelated same-key traffic happens to flush it again
+            for queue in list(self._queues.values()):
                 queue.cancel_timer()
                 queue.pending.clear()
+                self._maybe_retire(queue)
         self._loop = loop
         return loop
 
@@ -248,12 +284,60 @@ class Server:
                     f"backend {algo!r} cannot serve {op!r} on shape "
                     f"{shape} with dtype {np.dtype(a.dtype)} on this host")
 
+    # -- admission ----------------------------------------------------------
+    def _client_entry(self, client: str) -> dict:
+        """The (lazily created) per-client ledger entry; callers hold
+        ``_lock``.  Bounded like retired queues: the oldest *settled*
+        entries merge into the overflow id so wire traffic minting one
+        client id per connection cannot grow the map forever."""
+        entry = self._clients.get(client)
+        if entry is None:
+            entry = self._clients[client] = dict.fromkeys(_LEDGER_FIELDS, 0)
+            while len(self._clients) > _CLIENT_KEYS:
+                oldest = next(
+                    (key for key in self._clients
+                     if key != _CLIENT_OVERFLOW and key != client
+                     and not self._client_inflight.get(key)), None)
+                if oldest is None:
+                    break  # everything else still has work in flight
+                overflow = self._clients.setdefault(
+                    _CLIENT_OVERFLOW, dict.fromkeys(_LEDGER_FIELDS, 0))
+                for field, count in self._clients.pop(oldest).items():
+                    overflow[field] += count
+        return entry
+
+    def _admit(self, client: str) -> None:
+        """Count one submission and claim an admission slot, enforcing
+        the global bound and the per-client fair share."""
+        with self._lock:
+            self._submitted += 1
+            entry = self._client_entry(client)
+            entry["submitted"] += 1
+            if self._inflight >= self.max_inflight:
+                self._rejected += 1
+                entry["rejected"] += 1
+                raise QueueFullError(
+                    f"server is at its admission limit "
+                    f"({self.max_inflight} requests in flight)")
+            held = self._client_inflight.get(client, 0)
+            if held >= self.client_cap:
+                self._rejected += 1
+                entry["rejected"] += 1
+                raise FairnessError(
+                    f"client {client!r} holds {held} of its fair share of "
+                    f"{self.client_cap} in-flight requests "
+                    f"(fair_share={self.fair_share:g} of "
+                    f"max_inflight={self.max_inflight})")
+            self._inflight += 1
+            self._client_inflight[client] = held + 1
+
     # -- submission ---------------------------------------------------------
     async def submit(self, a: np.ndarray, op: str = "ata",
                      b: Optional[np.ndarray] = None, *,
                      algo: str = "auto",
                      alpha: float = 1.0,
-                     timeout: Optional[float] = None) -> np.ndarray:
+                     timeout: Optional[float] = None,
+                     client: str = "anonymous") -> np.ndarray:
         """Serve one ``alpha * A^T A`` (or ``alpha * A^T B``) request.
 
         Coalesces with concurrent compatible requests; the returned array
@@ -273,6 +357,15 @@ class Server:
         batched its slot is skipped when results are zipped back — the
         expiry never poisons companion requests.  Expiries are ledgered
         under ``expired``, a separate bucket from ``failed``.
+
+        ``client`` attributes the request to a client id for the
+        fairness policy and the per-client ledger: one id may hold at
+        most ``fair_share * max_inflight`` admission slots
+        (:class:`~repro.errors.FairnessError` beyond — a
+        :class:`QueueFullError` subclass, so :func:`repro.serve.retry`
+        backs off the same way), and queue drains interleave client ids
+        round-robin.  The wire front door passes its per-connection id
+        automatically.
         """
         loop = self._bind_loop()
         if self._closing:
@@ -283,25 +376,14 @@ class Server:
         if timeout < 0:
             raise ConfigurationError(
                 f"timeout must be >= 0 seconds, got {timeout}")
+        client = str(client)
         self._validate(op, a, b, algo)
-        with self._lock:
-            self._submitted += 1
-            if self._inflight >= self.max_inflight:
-                self._rejected += 1
-                raise QueueFullError(
-                    f"server is at its admission limit "
-                    f"({self.max_inflight} requests in flight)")
-            self._inflight += 1
+        self._admit(client)
         future = loop.create_future()
-        future.add_done_callback(self._on_request_done)
-        if timeout > 0:
-            deadline_timer = loop.call_later(
-                timeout, self._expire, future, timeout)
-            # the timer must not outlive the request, however it settles
-            future.add_done_callback(
-                lambda _, handle=deadline_timer: handle.cancel())
+        future.add_done_callback(
+            lambda fut: self._on_request_done(fut, client))
         request = Request(a=a, b=b, op=op, algo=algo, alpha=float(alpha),
-                          future=future)
+                          future=future, client=client)
         key = queue_key(op, algo, a.dtype, self._request_shape(op, a, b),
                         float(alpha))
         with self._lock:  # stats() iterates the queue map from any thread
@@ -309,7 +391,17 @@ class Server:
             if queue is None:
                 queue = self._queues[key] = BatchQueue(key)
             queue.append(request)
-        if len(queue.pending) >= self.max_batch:
+        if timeout > 0:
+            deadline_timer = loop.call_later(
+                timeout, self._expire, future, timeout, queue)
+            # the timer must not outlive the request, however it settles
+            future.add_done_callback(
+                lambda _, handle=deadline_timer: handle.cancel())
+        # the flush threshold counts *live* futures: the deque may also
+        # hold cancelled/expired husks that take() will drop, and under
+        # deadline churn counting those would dispatch premature partial
+        # batches
+        if queue.live_count() >= self.max_batch:
             self._flush(queue)
         elif queue.timer is None:
             if self.linger_seconds <= 0:
@@ -326,32 +418,233 @@ class Server:
             return a.shape
         return (a.shape[0], a.shape[1], b.shape[1])
 
-    def _expire(self, future: "asyncio.Future", timeout: float) -> None:
+    # -- out-of-core / streaming submission ---------------------------------
+    async def submit_ooc(self, a: np.ndarray, *, algo: str = "auto",
+                         alpha: float = 1.0,
+                         timeout: Optional[float] = None,
+                         client: str = "anonymous",
+                         **ooc_kwargs) -> np.ndarray:
+        """Serve one ``alpha * A^T A`` request through the out-of-core
+        panel path instead of the coalescing queues.
+
+        ``a`` is typically a :class:`numpy.memmap` (or any 2-D float
+        array) too tall to be worth materialising per-request copies of:
+        the request bypasses batching — there is nothing to coalesce a
+        multi-gigabyte operand with — and runs
+        :meth:`~repro.engine.ExecutionEngine.run_ooc` on the executor,
+        streaming panels through the shared engine's plan cache.  All
+        the *other* serving guarantees are inherited: the request passes
+        admission control (and the fairness share for ``client``), holds
+        its slot until settled, honours ``timeout`` with
+        :class:`DeadlineError`, is ledgered like any other request, and
+        is awaited by :meth:`close`.  Extra keyword arguments
+        (``budget=``, ``panel_rows=``, ``procs=``, ...) pass through to
+        ``run_ooc``.
+        """
+        loop = self._bind_loop()
+        if self._closing:
+            raise ServerClosedError("server is closed to new submissions")
+        if timeout is None:
+            timeout = self.default_timeout_seconds
+        timeout = float(timeout)
+        if timeout < 0:
+            raise ConfigurationError(
+                f"timeout must be >= 0 seconds, got {timeout}")
+        client = str(client)
+        validate_matrix(a, "A")
+        if algo != "auto":
+            get_backend(algo, "ata")  # unknown name -> ShapeError, pre-admission
+        self._admit(client)
+        future = loop.create_future()
+        future.add_done_callback(
+            lambda fut: self._on_request_done(fut, client))
+        task = loop.create_task(
+            self._run_ooc(future, a, algo, float(alpha), ooc_kwargs))
+        self._batch_tasks.add(task)
+        task.add_done_callback(self._batch_tasks.discard)
+        if timeout > 0:
+            deadline_timer = loop.call_later(
+                timeout, self._expire, future, timeout, None)
+            future.add_done_callback(
+                lambda _, handle=deadline_timer: handle.cancel())
+        return await future
+
+    async def submit_stream(self, chunks, *, algo: str = "auto",
+                            alpha: float = 1.0,
+                            timeout: Optional[float] = None,
+                            client: str = "anonymous",
+                            **ooc_kwargs) -> np.ndarray:
+        """Serve ``alpha * A^T A`` of a matrix delivered as an iterator
+        of row-chunks, without ever materialising it in memory.
+
+        ``chunks`` is a sync or async iterable of 2-D arrays sharing a
+        dtype and column count; they are spooled in arrival order to an
+        anonymous temporary file, wrapped as a read-only
+        :class:`numpy.memmap`, and handed to the out-of-core path
+        exactly like :meth:`submit_ooc` (whose admission / fairness /
+        deadline / ledger semantics this shares — the admission slot is
+        claimed before spooling starts, so streaming clients feel
+        backpressure too).  This is how the wire front door serves
+        batches far larger than RAM: frames stream off the socket
+        straight into the spool.
+        """
+        loop = self._bind_loop()
+        if self._closing:
+            raise ServerClosedError("server is closed to new submissions")
+        if timeout is None:
+            timeout = self.default_timeout_seconds
+        timeout = float(timeout)
+        if timeout < 0:
+            raise ConfigurationError(
+                f"timeout must be >= 0 seconds, got {timeout}")
+        client = str(client)
+        if algo != "auto":
+            get_backend(algo, "ata")
+        self._admit(client)
+        future = loop.create_future()
+        future.add_done_callback(
+            lambda fut: self._on_request_done(fut, client))
+        task = loop.create_task(
+            self._run_stream(future, chunks, algo, float(alpha), ooc_kwargs))
+        self._batch_tasks.add(task)
+        task.add_done_callback(self._batch_tasks.discard)
+        if timeout > 0:
+            deadline_timer = loop.call_later(
+                timeout, self._expire, future, timeout, None)
+            future.add_done_callback(
+                lambda _, handle=deadline_timer: handle.cancel())
+        return await future
+
+    async def _run_ooc(self, future: "asyncio.Future", a: np.ndarray,
+                       algo: str, alpha: float, ooc_kwargs: dict) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(
+                self._executor, self._execute_ooc, a, algo, alpha,
+                ooc_kwargs)
+        except asyncio.CancelledError:
+            if not future.done():
+                future.set_exception(ServerClosedError(
+                    "out-of-core request aborted by server shutdown"))
+            raise
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+            return
+        if not future.done():
+            future.set_result(result)
+
+    async def _run_stream(self, future: "asyncio.Future", chunks,
+                          algo: str, alpha: float,
+                          ooc_kwargs: dict) -> None:
+        loop = asyncio.get_running_loop()
+        spool = tempfile.TemporaryFile(prefix="repro-serve-stream-")
+        try:
+            rows = 0
+            cols: Optional[int] = None
+            dtype: Optional[np.dtype] = None
+
+            def spool_chunk(chunk) -> int:
+                nonlocal cols, dtype
+                validate_matrix(chunk, "stream chunk")
+                if cols is None:
+                    cols, dtype = chunk.shape[1], chunk.dtype
+                elif chunk.shape[1] != cols:
+                    raise ShapeError(
+                        f"stream chunk has {chunk.shape[1]} columns; "
+                        f"earlier chunks had {cols}")
+                elif chunk.dtype != dtype:
+                    raise ShapeError(
+                        f"stream chunk dtype {chunk.dtype} differs from "
+                        f"earlier chunks' {dtype}")
+                spool.write(np.ascontiguousarray(chunk))
+                return chunk.shape[0]
+
+            if hasattr(chunks, "__aiter__"):
+                async for chunk in chunks:
+                    rows += await loop.run_in_executor(
+                        self._executor, spool_chunk, chunk)
+            else:
+                for chunk in chunks:
+                    rows += await loop.run_in_executor(
+                        self._executor, spool_chunk, chunk)
+            if rows == 0:
+                raise ShapeError("stream produced no rows")
+            spool.flush()
+            a = np.memmap(spool, dtype=dtype, mode="r", shape=(rows, cols))
+            result = await loop.run_in_executor(
+                self._executor, self._execute_ooc, a, algo, alpha,
+                ooc_kwargs)
+        except asyncio.CancelledError:
+            if not future.done():
+                future.set_exception(ServerClosedError(
+                    "streaming request aborted by server shutdown"))
+            raise
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+            return
+        else:
+            if not future.done():
+                future.set_result(result)
+        finally:
+            spool.close()
+
+    def _execute_ooc(self, a: np.ndarray, algo: str, alpha: float,
+                     ooc_kwargs: dict) -> np.ndarray:
+        """Runs on an executor thread, like :meth:`_execute_batch`."""
+        start = time.monotonic()
+        try:
+            result, _ = self.engine.run_ooc(a, alpha=alpha, algo=algo,
+                                            **ooc_kwargs)
+            return result
+        finally:
+            with self._lock:
+                self._metrics.observe_run(time.monotonic() - start)
+
+    def _expire(self, future: "asyncio.Future", timeout: float,
+                queue: Optional[BatchQueue]) -> None:
         """Deadline timer callback (runs on the event loop).
 
         Settling the future is the whole drop: :meth:`BatchQueue.take`
         skips done futures when forming a batch, and :meth:`_run_batch`
         skips them when zipping results back — the same two-sided path
-        that makes cancellation batch-safe.
+        that makes cancellation batch-safe.  The sweep of the queue's
+        settled husks piggybacks here so expiry storms do not leave the
+        deque full of dead entries between flushes (out-of-core requests
+        pass no queue — they never sit in one).
         """
         if not future.done():
             future.set_exception(DeadlineError(
                 f"request deadline of {timeout:g}s expired before a "
                 f"result was ready"))
+        if queue is not None:
+            queue.prune()
 
-    def _on_request_done(self, future: "asyncio.Future") -> None:
+    def _on_request_done(self, future: "asyncio.Future",
+                         client: str) -> None:
         """Single accounting point for every admitted request's outcome."""
         with self._lock:
             self._inflight -= 1
+            held = self._client_inflight.get(client, 0) - 1
+            if held > 0:
+                self._client_inflight[client] = held
+            else:
+                self._client_inflight.pop(client, None)
+            entry = self._client_entry(client)
             if future.cancelled():
                 self._cancelled += 1
+                entry["cancelled"] += 1
             elif future.exception() is not None:
                 if isinstance(future.exception(), DeadlineError):
                     self._expired += 1
+                    entry["expired"] += 1
                 else:
                     self._failed += 1
+                    entry["failed"] += 1
             else:
                 self._completed += 1
+                entry["completed"] += 1
 
     # -- batching -----------------------------------------------------------
     def _flush(self, queue: BatchQueue) -> None:
@@ -359,13 +652,16 @@ class Server:
         at most ``max_batch`` (runs on the event loop: from a linger
         timer, a full queue in ``submit``, or ``close``)."""
         queue.cancel_timer()
-        now = time.monotonic()
         while queue.pending:
             batch = queue.take(self.max_batch)
             if not batch:
                 break  # only cancelled stragglers remained
             with self._lock:
-                queue.note_dispatch(batch, now)
+                # note_dispatch samples the clock per batch: charging one
+                # pre-loop timestamp to a multi-batch flush understated
+                # wait_seconds for every batch after the first
+                waits = queue.note_dispatch(batch)
+                self._metrics.observe_dispatch(waits, len(batch))
             task = self._loop.create_task(self._run_batch(queue, batch))
             self._batch_tasks.add(task)
             task.add_done_callback(self._batch_tasks.discard)
@@ -449,7 +745,9 @@ class Server:
                 algo=head.algo, alpha=head.alpha)
         finally:
             with self._lock:
-                queue.run_seconds += time.monotonic() - start
+                elapsed = time.monotonic() - start
+                queue.run_seconds += elapsed
+                self._metrics.observe_run(elapsed)
 
     # -- lifecycle ----------------------------------------------------------
     async def close(self, *, drain: bool = True) -> None:
@@ -461,11 +759,24 @@ class Server:
         :class:`ServerClosedError` and only already-dispatched batches are
         awaited.  Idempotent; afterwards ``submit`` raises
         :class:`ServerClosedError`.
+
+        The shutdown itself is **single-flight**: the first call's
+        ``drain`` policy wins and every concurrent or later ``close``
+        awaits that one drain task instead of entering the body again —
+        so a ``close(drain=False)`` racing a ``close(drain=True)`` can
+        no longer fail requests the first call is mid-way through
+        draining.  A caller cancelled while awaiting does not cancel the
+        shutdown (other callers may be awaiting it too).
         """
         self._closing = True
         if self._closed:
             return
         self._bind_loop()
+        if self._close_task is None:
+            self._close_task = self._loop.create_task(self._shutdown(drain))
+        await asyncio.shield(self._close_task)
+
+    async def _shutdown(self, drain: bool) -> None:
         for queue in list(self._queues.values()):
             queue.cancel_timer()
             if drain:
@@ -539,6 +850,11 @@ class Server:
             histogram: Counter = Counter()
             for snap in queues.values():
                 histogram.update(snap.size_histogram)
+            clients = {
+                cid: ClientStats(client=cid,
+                                 inflight=self._client_inflight.get(cid, 0),
+                                 **entry)
+                for cid, entry in self._clients.items()}
             return ServerStats(
                 submitted=self._submitted,
                 completed=self._completed,
@@ -556,4 +872,101 @@ class Server:
                     default=0),
                 size_histogram=dict(histogram),
                 queues=queues,
+                clients=clients,
             )
+
+    def metrics_text(self) -> str:
+        """Render the serving metrics in the Prometheus exposition
+        format (safe from any thread; the wire front door serves this
+        as its ``metrics`` op).
+
+        Cumulative ledger counters come first; then the **decaying**
+        estimators — sliding-window histograms (only the trailing
+        ``window`` seconds of samples; a spike ages out of the scrape
+        instead of flattening into day-old totals) and time-decayed
+        EWMA gauges of wait latency, run latency and coalesced batch
+        size; then the per-client ledger, labelled by client id.
+        """
+        stats = self.stats()
+        lines: List[str] = []
+
+        def counter(name: str, value, help_text: str,
+                    kind: str = "counter") -> None:
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            lines.append(f"{name} {value}")
+
+        counter("repro_serve_requests_submitted_total", stats.submitted,
+                "Requests that entered admission control.")
+        lines.append("# HELP repro_serve_requests_total "
+                     "Settled requests by outcome.")
+        lines.append("# TYPE repro_serve_requests_total counter")
+        for outcome in ("completed", "failed", "rejected", "cancelled",
+                        "expired"):
+            lines.append(f'repro_serve_requests_total'
+                         f'{{outcome="{outcome}"}} '
+                         f'{getattr(stats, outcome)}')
+        counter("repro_serve_inflight", stats.inflight,
+                "Admitted requests not yet settled.", kind="gauge")
+        counter("repro_serve_queue_depth", stats.depth,
+                "Requests pending across all coalescing queues.",
+                kind="gauge")
+        counter("repro_serve_batches_total", stats.batches,
+                "Batches dispatched to the engine.")
+        counter("repro_serve_batched_requests_total",
+                stats.batched_requests,
+                "Requests carried by dispatched batches.")
+
+        with self._lock:
+            now = self._metrics.clock()
+            window = self._metrics.window
+            hists = (
+                ("repro_serve_wait_seconds", self._metrics.wait_hist,
+                 "Request wait (enqueue to dispatch) seconds"),
+                ("repro_serve_run_seconds", self._metrics.run_hist,
+                 "Engine batch execution seconds"),
+                ("repro_serve_batch_size", self._metrics.batch_hist,
+                 "Coalesced batch sizes"),
+            )
+            rendered = []
+            for name, hist, help_text in hists:
+                cumulative, total, count = hist.snapshot(now)
+                rendered.append((name, hist.bounds, cumulative, total,
+                                 count, help_text))
+            gauges = (
+                ("repro_serve_wait_seconds_ewma",
+                 self._metrics.wait_ewma.value(),
+                 "Time-decayed mean request wait in seconds."),
+                ("repro_serve_run_seconds_ewma",
+                 self._metrics.run_ewma.value(),
+                 "Time-decayed mean batch execution time in seconds."),
+                ("repro_serve_batch_size_ewma",
+                 self._metrics.batch_ewma.value(),
+                 "Time-decayed mean coalesced batch size."),
+            )
+
+        for name, bounds, cumulative, total, count, help_text in rendered:
+            lines.append(f"# HELP {name} {help_text} over the trailing "
+                         f"{window:g}s window.")
+            lines.append(f"# TYPE {name} histogram")
+            for bound, running in zip(bounds, cumulative):
+                lines.append(f'{name}_bucket{{le="{bound:g}"}} {running}')
+            lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative[-1]}')
+            lines.append(f"{name}_sum {total:g}")
+            lines.append(f"{name}_count {count}")
+        for name, value, help_text in gauges:
+            counter(name, f"{value:g}", help_text, kind="gauge")
+
+        lines.append("# HELP repro_serve_client_requests_total "
+                     "Per-client ledger by outcome.")
+        lines.append("# TYPE repro_serve_client_requests_total counter")
+        for cid in sorted(stats.clients):
+            snap = stats.clients[cid]
+            label = (cid.replace("\\", r"\\").replace('"', r'\"')
+                     .replace("\n", r"\n"))
+            for outcome in _LEDGER_FIELDS:
+                lines.append(
+                    f'repro_serve_client_requests_total'
+                    f'{{client="{label}",outcome="{outcome}"}} '
+                    f'{getattr(snap, outcome)}')
+        return "\n".join(lines) + "\n"

@@ -30,8 +30,8 @@ def test_examples_directory_contents():
     names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
     assert {"quickstart.py", "least_squares_regression.py", "heat_kernel_diffusion.py",
             "distributed_scaling.py", "reproduce_figures.py",
-            "serving_concurrent_clients.py", "out_of_core_gram.py",
-            "multiprocess_gram.py"} <= names
+            "serving_concurrent_clients.py", "serving_over_tcp.py",
+            "out_of_core_gram.py", "multiprocess_gram.py"} <= names
 
 
 @pytest.mark.slow
@@ -64,6 +64,15 @@ def test_serving_example():
     assert "[serve]" in out
     assert "bit-identical to direct engine calls: True" in out
     assert "rejected=0" in out
+
+
+@pytest.mark.slow
+def test_serving_over_tcp_example():
+    out = run_example("serving_over_tcp.py")
+    assert "[tcp]" in out
+    assert "ledger reconciles exactly: True" in out
+    assert "repro_serve_requests_submitted_total 16" in out
+    assert "bit-identical after the wire round trip: True" in out
 
 
 @pytest.mark.slow

@@ -24,6 +24,7 @@ from repro.config import configured
 from repro.engine import ExecutionEngine
 from repro.errors import (
     ConfigurationError,
+    DeadlineError,
     QueueFullError,
     ServerClosedError,
     ShapeError,
@@ -49,7 +50,7 @@ def rng():
 def _reconciled(stats):
     return (stats.submitted
             == stats.completed + stats.failed + stats.rejected
-            + stats.cancelled)
+            + stats.cancelled + stats.expired)
 
 
 class TestBackpressure:
@@ -470,3 +471,222 @@ class TestConfigKnobs:
             Config(serve_max_inflight=0)
         with pytest.raises(ConfigurationError):
             Config(serve_linger_ms=-0.5)
+
+
+# ---------------------------------------------------------------------------
+# regression tests for the serving-ledger bugfix sweep (ISSUE 9)
+# ---------------------------------------------------------------------------
+
+class TestDispatchClockSampling:
+    """``note_dispatch`` samples the clock per batch: a multi-batch flush
+    must not charge one pre-loop timestamp to every batch."""
+
+    def test_waits_are_sampled_per_dispatch(self):
+        import time as _time
+        from repro.serve.queues import BatchQueue, Request
+
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            queue = BatchQueue("k")
+
+            def request():
+                return Request(a=np.ones((2, 2)), b=None, op="ata",
+                               algo="auto", alpha=1.0,
+                               future=loop.create_future())
+
+            for _ in range(4):
+                queue.append(request())
+            first = queue.note_dispatch(queue.take(2))
+            _time.sleep(0.05)  # a slow earlier dispatch
+            second = queue.note_dispatch(queue.take(2))
+            # the second batch's requests waited through the sleep; a
+            # stale pre-loop timestamp would report near-equal waits
+            assert min(second) >= max(first) + 0.04
+            assert queue.wait_seconds >= sum(first) + sum(second) - 1e-9
+        run(scenario())
+
+    def test_multi_batch_close_accounts_every_batchs_wait(self, rng):
+        mats = [rng.standard_normal((32, 16)) for _ in range(6)]
+
+        async def scenario():
+            server = Server(ExecutionEngine(), max_batch=2,
+                            linger_ms=10_000.0)
+            waiters = [asyncio.ensure_future(server.submit(a))
+                       for a in mats]
+            await asyncio.sleep(0)  # all queued behind the long linger
+            await server.close()  # one flush, three batches
+            await asyncio.gather(*waiters)
+            stats = server.stats()
+            assert stats.batches == 3
+            assert stats.batched_requests == 6
+            assert _reconciled(stats)
+        run(scenario())
+
+
+class TestLiveCountFlushThreshold:
+    """The flush threshold counts live futures, not deque husks."""
+
+    def test_cancelled_husks_do_not_trigger_premature_flush(self, rng):
+        a = rng.standard_normal((32, 16))
+
+        async def scenario():
+            server = Server(ExecutionEngine(), max_batch=2,
+                            linger_ms=10_000.0)
+            doomed = asyncio.ensure_future(server.submit(a))
+            await asyncio.sleep(0)
+            doomed.cancel()
+            await asyncio.sleep(0)
+            # one live + one husk: len(pending) == 2 == max_batch, but
+            # only one live future — the batch must NOT dispatch yet
+            live = asyncio.ensure_future(server.submit(a))
+            await asyncio.sleep(0.05)
+            assert server.stats().batches == 0
+            # the second live request reaches the threshold for real
+            companion = asyncio.ensure_future(server.submit(a))
+            await asyncio.gather(live, companion)
+            stats = server.stats()
+            await server.close()
+            assert stats.batches == 1
+            assert stats.max_batch_size == 2
+            assert _reconciled(stats) and stats.cancelled == 1
+        run(scenario())
+
+    def test_expiry_prunes_settled_husks_from_the_deque(self, rng):
+        a = rng.standard_normal((32, 16))
+
+        async def scenario():
+            server = Server(ExecutionEngine(), max_batch=64,
+                            linger_ms=10_000.0)
+            doomed = [asyncio.ensure_future(
+                server.submit(a, timeout=0.02)) for _ in range(4)]
+            await asyncio.sleep(0.1)  # all deadlines fire
+            results = await asyncio.gather(*doomed,
+                                           return_exceptions=True)
+            assert all(isinstance(c, DeadlineError) for c in results)
+            # the deadline timer's prune swept the husks out of the
+            # pending deque — no dead entries linger until close
+            assert server.stats().depth == 0
+            await server.close()
+            stats = server.stats()
+            assert stats.expired == 4
+            assert _reconciled(stats)
+        run(scenario())
+
+
+class TestIdleRebindRetiresHuskQueues:
+    """An idle cross-loop rebind retires drained queues instead of
+    leaking them in the live map forever."""
+
+    def test_husk_queue_is_retired_at_rebind(self, rng):
+        a = rng.standard_normal((32, 16))
+        server = Server(ExecutionEngine(), max_batch=8,
+                        linger_ms=10_000.0)
+
+        async def first_loop():
+            doomed = asyncio.ensure_future(server.submit(a, alpha=3.0))
+            await asyncio.sleep(0)
+            doomed.cancel()
+            try:
+                await doomed
+            except asyncio.CancelledError:
+                pass
+            # the queue still holds the husk and an armed linger timer
+            assert len(server._queues) == 1
+
+        async def second_loop():
+            # binding a new loop while idle must retire the old queue
+            # (different alpha -> different key, so no same-key flush
+            # would ever have cleaned it up)
+            c = await server.submit(a, alpha=1.0)
+            assert len(server._queues) <= 1  # old husk queue is gone
+            assert not any("a3.0" in key for key in server._queues)
+            await server.close()
+            return c
+
+        run(first_loop())
+        result = run(second_loop())
+        assert np.array_equal(result, server.engine.matmul_ata(a))
+        stats = server.stats()
+        assert stats.cancelled == 1 and stats.completed == 1
+        assert _reconciled(stats)
+
+
+class TestSingleFlightClose:
+    """``close`` is single-flight: the first caller's drain policy wins
+    and every later or concurrent caller awaits the same shutdown."""
+
+    def test_drain_false_racing_drain_true_does_not_fail_requests(
+            self, rng):
+        mats = [rng.standard_normal((32, 16)) for _ in range(4)]
+
+        async def scenario():
+            server = Server(ExecutionEngine(), max_batch=64,
+                            linger_ms=10_000.0)
+            waiters = [asyncio.ensure_future(server.submit(a))
+                       for a in mats]
+            await asyncio.sleep(0)  # queued, lingering
+            first = asyncio.ensure_future(server.close(drain=True))
+            second = asyncio.ensure_future(server.close(drain=False))
+            await asyncio.gather(first, second)
+            # drain=True won: every request has its result, none were
+            # failed by the racing drain=False caller
+            results = await asyncio.gather(*waiters)
+            stats = server.stats()
+            for a, c in zip(mats, results):
+                assert np.array_equal(c, server.engine.matmul_ata(a))
+            assert stats.completed == 4 and stats.failed == 0
+            assert _reconciled(stats)
+        run(scenario())
+
+    def test_first_policy_wins_when_drain_false_is_first(self, rng):
+        mats = [rng.standard_normal((32, 16)) for _ in range(3)]
+
+        async def scenario():
+            server = Server(ExecutionEngine(), max_batch=64,
+                            linger_ms=10_000.0)
+            waiters = [asyncio.ensure_future(server.submit(a))
+                       for a in mats]
+            await asyncio.sleep(0)
+            first = asyncio.ensure_future(server.close(drain=False))
+            second = asyncio.ensure_future(server.close(drain=True))
+            await asyncio.gather(first, second)
+            results = await asyncio.gather(*waiters,
+                                           return_exceptions=True)
+            stats = server.stats()
+            # drain=False won deterministically: pending requests were
+            # failed with ServerClosedError, not half-drained
+            assert all(isinstance(c, ServerClosedError) for c in results)
+            assert stats.failed == 3 and stats.completed == 0
+            assert _reconciled(stats)
+        run(scenario())
+
+    def test_close_is_idempotent_after_completion(self, rng):
+        async def scenario():
+            server = Server(ExecutionEngine())
+            await server.submit(rng.standard_normal((32, 16)))
+            await server.close()
+            assert server.closed
+            await server.close()  # later caller: a no-op, not an error
+            await server.close(drain=False)
+            assert server.closed
+        run(scenario())
+
+    def test_cancelled_waiter_does_not_cancel_the_shutdown(self, rng):
+        mats = [rng.standard_normal((32, 16)) for _ in range(2)]
+
+        async def scenario():
+            server = Server(ExecutionEngine(), max_batch=64,
+                            linger_ms=10_000.0)
+            waiters = [asyncio.ensure_future(server.submit(a))
+                       for a in mats]
+            await asyncio.sleep(0)
+            first = asyncio.ensure_future(server.close())
+            second = asyncio.ensure_future(server.close())
+            await asyncio.sleep(0)
+            first.cancel()  # one impatient caller bails
+            await second    # the shutdown itself must still finish
+            results = await asyncio.gather(*waiters)
+            for a, c in zip(mats, results):
+                assert np.array_equal(c, server.engine.matmul_ata(a))
+            assert server.closed
+        run(scenario())
