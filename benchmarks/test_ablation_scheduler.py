@@ -7,7 +7,6 @@ the evaluation of the Eq. 5 / Eq. 6 level formulas, and regenerate the
 communication ablation comparing measured AtA-D traffic to Prop. 4.2.
 """
 
-import numpy as np
 import pytest
 
 from repro.bench.figures import ablation_communication, ablation_flops, ablation_levels

@@ -14,7 +14,6 @@ import pytest
 
 from repro.bench.harness import run_experiment
 from repro.bench.workloads import random_matrix
-from repro.config import configured
 from repro.engine import ExecutionEngine, ShardedAtA, split_rows
 
 pytestmark = pytest.mark.timeout(300)

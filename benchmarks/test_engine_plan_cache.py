@@ -10,7 +10,6 @@ comparison through ``repro-bench``.
 import time
 
 import numpy as np
-import pytest
 
 from repro.bench.harness import run_experiment
 from repro.bench.workloads import random_matrix

@@ -36,7 +36,7 @@ def main() -> None:
     print(f"[farm] input: {M}x{N} float64, schedule: {ref_stats.panels} "
           f"panels of {ref_stats.panel_rows} rows")
     print(f"[farm] host grants this process {available_cpus()} CPU(s) "
-          f"(affinity-aware)")
+          "(affinity-aware)")
 
     all_identical = True
     for procs in (1, 2, 4):

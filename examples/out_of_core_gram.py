@@ -46,11 +46,11 @@ def main() -> None:
         print(f"[ooc] schedule: {stats.panels} panels of "
               f"{stats.panel_rows} rows (prefetch "
               f"{'on' if stats.prefetched else 'off'})")
-        print(f"[ooc] resident high-water: "
+        print("[ooc] resident high-water: "
               f"{stats.bytes_resident_high / 1024:.1f} KiB "
               f"<= budget: {stats.bytes_resident_high <= BUDGET}")
         estats = engine.stats()
-        print(f"[ooc] engine plan hit rate across panels: "
+        print("[ooc] engine plan hit rate across panels: "
               f"{estats.plan_hit_rate:.3f} "
               f"({estats.plan_misses} compiles for {stats.panels} panels)")
 
@@ -60,7 +60,7 @@ def main() -> None:
         reference = np.zeros((N, N))
         for lo, hi in split_rows(M, stats.panel_rows):
             reference_engine.matmul_ata(np.asarray(mm[lo:hi]), reference)
-        print(f"[ooc] bit-identical to the in-memory panel schedule: "
+        print("[ooc] bit-identical to the in-memory panel schedule: "
               f"{np.array_equal(gram, reference)}")
 
         # And numerically it is the Gram matrix (lower triangle).
@@ -72,7 +72,7 @@ def main() -> None:
         # Config.memory_budget / REPRO_MEMORY_BUDGET.
         with repro.configured(memory_budget=BUDGET):
             again = repro.matmul_ata_ooc(mm)
-        print(f"[ooc] repro.matmul_ata_ooc under Config.memory_budget "
+        print("[ooc] repro.matmul_ata_ooc under Config.memory_budget "
               f"matches: {np.array_equal(again, gram)}")
 
 

@@ -49,7 +49,7 @@ def main() -> None:
     classical_mults = classical_work.total_flops // 2
     print(f"[ata]            multiplications            = {fast_mults:,}")
     print(f"[classical syrk] multiplications            = {classical_mults:,}")
-    print(f"[ata]            fraction of classical work = "
+    print("[ata]            fraction of classical work = "
           f"{fast_mults / classical_mults:.2f}  (tends to ~n^2.807 / n^3)\n")
 
     # ------------------------------------------------------------------ #
@@ -57,7 +57,7 @@ def main() -> None:
     # ------------------------------------------------------------------ #
     b = rng.standard_normal((m, 400))
     c_atb = repro.fast_strassen(a, b)
-    print(f"[fast_strassen]  max |error| vs numpy      = "
+    print("[fast_strassen]  max |error| vs numpy      = "
           f"{np.max(np.abs(c_atb - a.T @ b)):.2e}")
 
     # ------------------------------------------------------------------ #
@@ -65,11 +65,11 @@ def main() -> None:
     # ------------------------------------------------------------------ #
     c_shared, report, tree = repro.ata_shared(a, threads=8, executor="threads",
                                               return_report=True)
-    print(f"[ata_shared]     max |error| vs numpy      = "
+    print("[ata_shared]     max |error| vs numpy      = "
           f"{np.max(np.abs(np.tril(c_shared) - np.tril(reference))):.2e}")
     print(f"[ata_shared]     task tree: {len(tree.tasks())} leaf tasks on "
           f"{len(tree.owners())} workers, {tree.levels} parallel level(s)")
-    print(f"[ata_shared]     critical-path time        = "
+    print("[ata_shared]     critical-path time        = "
           f"{report.critical_path_time * 1e3:.1f} ms "
           f"(busy total {report.total_busy_time * 1e3:.1f} ms)\n")
 
@@ -77,7 +77,7 @@ def main() -> None:
     # 5. AtA-D: the distributed algorithm on the simulated MPI layer      #
     # ------------------------------------------------------------------ #
     c_dist, stats = repro.ata_distributed(a, processes=8, return_stats=True)
-    print(f"[ata_distributed] max |error| vs numpy     = "
+    print("[ata_distributed] max |error| vs numpy     = "
           f"{np.max(np.abs(np.tril(c_dist) - np.tril(reference))):.2e}")
     print(f"[ata_distributed] messages = {stats.total_messages}, "
           f"volume = {stats.total_bytes / 1e6:.1f} MB, "

@@ -46,7 +46,7 @@ async def main() -> None:
           f"{stats.batches} batches "
           f"(mean size {stats.mean_batch_size:.2f}, "
           f"max {stats.max_batch_size})")
-    print(f"[serve] batch-size histogram: "
+    print("[serve] batch-size histogram: "
           + ", ".join(f"{size}x{count}" for size, count
                       in sorted(stats.size_histogram.items())))
     print(f"[serve] admission ledger: submitted={stats.submitted} "

@@ -67,14 +67,14 @@ async def main() -> None:
           f"{REQUESTS_PER_CONNECTION} requests on 127.0.0.1:{net.port} -> "
           f"{stats.batches} batches "
           f"(mean size {stats.mean_batch_size:.2f})")
-    print(f"[tcp] per-client ledger: "
+    print("[tcp] per-client ledger: "
           + ", ".join(f"{cid}={cs.completed}/{cs.submitted}"
                       for cid, cs in sorted(stats.clients.items())))
     print(f"[tcp] ledger reconciles exactly: {ledger_ok}")
     scraped = [line for line in exposition.splitlines()
                if line.startswith("repro_serve_requests_submitted_total")]
     print(f"[tcp] metrics scrape: {scraped[0]}")
-    print(f"[tcp] results bit-identical after the wire round trip: "
+    print("[tcp] results bit-identical after the wire round trip: "
           f"{identical}")
 
 

@@ -85,6 +85,7 @@ from .engine import (
     ChunkSource,
     ExecutionEngine,
     ExecutionPlan,
+    LowRank,
     PanelFarm,
     ShardedAtA,
     available_cpus,
@@ -138,6 +139,7 @@ __all__ = [
     "build_task_tree",
     "ExecutionEngine",
     "ExecutionPlan",
+    "LowRank",
     "PanelFarm",
     "ShardedAtA",
     "ChunkSource",

@@ -17,7 +17,7 @@ regularisation for rank-deficient systems.
 from __future__ import annotations
 
 import dataclasses
-from typing import Literal, Optional
+from typing import Literal
 
 import numpy as np
 import scipy.linalg

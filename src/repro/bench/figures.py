@@ -24,12 +24,11 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..baselines import caps_multiply, cosma_multiply, mkl_gemm_t, mkl_syrk, pdsyrk
+from ..baselines import cosma_multiply, mkl_gemm_t, mkl_syrk, pdsyrk
 from ..core import (
     NaiveWorkspace,
     StrassenWorkspace,
     ata_multiplications,
-    ata_to_strassen_ratio,
     fast_strassen,
     strassen_multiplications,
 )
@@ -58,13 +57,11 @@ from ..scheduler import parallel_levels_distributed, parallel_levels_shared
 from .harness import register, time_callable
 from .reporting import ExperimentTable
 from .workloads import (
-    DEFAULT_SCALE,
     FIG3_SIZES,
     FIG5_CORES,
     FIG5_MATRICES,
     FIG6_MATRICES,
     FIG6_PROCESSES,
-    MeasuredScale,
     TABLE1_SIZES,
     random_matrix,
 )

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from ..blas.counters import CounterSet, counting
 from ..errors import BenchmarkError
@@ -93,7 +93,7 @@ def register(name: str, description: str, paper_reference: str
 def registry() -> Dict[str, Experiment]:
     """The registered experiments, keyed by name (fig3, fig4, ... table1)."""
     # importing figures lazily avoids a circular import at package load
-    from . import engine_bench, farm_bench, figures, fusion_bench, ooc_bench, serve_bench  # noqa: F401  (registration side effect)
+    from . import engine_bench, farm_bench, figures, fusion_bench, ooc_bench, serve_bench, sparse_bench  # noqa: F401  (registration side effect)
     return dict(_REGISTRY)
 
 

@@ -14,7 +14,7 @@ wall-clock throughput is reported for context, never asserted.
 from __future__ import annotations
 
 import asyncio
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from ..config import configured
 from ..engine import ExecutionEngine

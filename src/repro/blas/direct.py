@@ -285,7 +285,7 @@ def direct_gemm_t(a: np.ndarray, b: np.ndarray, c: np.ndarray,
     m, n = a.shape
     mb, k = b.shape
     if mb != m:
-        raise ShapeError(f"A and B must share their first dimension, "
+        raise ShapeError("A and B must share their first dimension, "
                          f"got {a.shape} and {b.shape}")
     if c.shape != (n, k):
         raise ShapeError(f"C must have shape ({n}, {k}), got {c.shape}")

@@ -51,7 +51,8 @@ DEFAULT_SEED = 0x5EED
 #: are selected per call via ``algo=<name>`` instead of through the
 #: process-wide configuration, which keeps this validation closed.
 KNOWN_BACKENDS = ("auto", "syrk", "ata", "tiled", "recursive_gemm",
-                  "strassen", "blas_direct")
+                  "strassen", "blas_direct", "sparse_gram", "densify",
+                  "banded_ata", "lowrank_gram")
 
 #: Default exploration budget of the measured auto-tuner: how many timed
 #: samples each candidate backend gets per shape bucket before the tuner
@@ -315,32 +316,32 @@ class Config:
             )
         if not (0 <= self.serve_port <= 65535):
             raise ConfigurationError(
-                f"serve_port must be in [0, 65535] (0 = ephemeral), got "
+                "serve_port must be in [0, 65535] (0 = ephemeral), got "
                 f"{self.serve_port}"
             )
         if not (0.0 < self.serve_fair_share <= 1.0):
             raise ConfigurationError(
-                f"serve_fair_share must be in (0, 1] (1 = fairness off), "
+                "serve_fair_share must be in (0, 1] (1 = fairness off), "
                 f"got {self.serve_fair_share}"
             )
         if self.memory_budget < 0:
             raise ConfigurationError(
-                f"memory_budget must be >= 0 bytes (0 = unbounded), got "
+                "memory_budget must be >= 0 bytes (0 = unbounded), got "
                 f"{self.memory_budget}"
             )
         if self.farm_procs < 0:
             raise ConfigurationError(
-                f"farm_procs must be >= 0 (0 = in-process), got "
+                "farm_procs must be >= 0 (0 = in-process), got "
                 f"{self.farm_procs}"
             )
         if self.farm_max_retries < 0:
             raise ConfigurationError(
-                f"farm_max_retries must be >= 0 (0 = degrade on first "
+                "farm_max_retries must be >= 0 (0 = degrade on first "
                 f"failure), got {self.farm_max_retries}"
             )
         if not (self.serve_default_timeout_ms >= 0):
             raise ConfigurationError(
-                f"serve_default_timeout_ms must be >= 0 (0 = no deadline), "
+                "serve_default_timeout_ms must be >= 0 (0 = no deadline), "
                 f"got {self.serve_default_timeout_ms}"
             )
         if self.faults:

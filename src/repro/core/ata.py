@@ -38,7 +38,7 @@ from ..cache.model import CacheModel, default_cache_model
 from ..config import get_config
 from ..errors import ShapeError
 from .partition import quadrants, split_dim
-from .strassen import _strassen, fast_strassen
+from .strassen import _strassen
 from .workspace import StrassenWorkspace
 
 __all__ = ["ata", "ata_full", "aat"]

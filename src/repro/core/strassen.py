@@ -49,8 +49,8 @@ from ..blas.kernels import add_into, gemm_t, validate_matrix
 from ..cache.model import CacheModel, default_cache_model
 from ..config import get_config
 from ..errors import ShapeError
-from .partition import quadrants, split_dim
-from .workspace import NaiveWorkspace, StrassenWorkspace
+from .partition import quadrants
+from .workspace import StrassenWorkspace
 
 __all__ = ["fast_strassen", "strassen_atb", "strassen_schedule", "STRASSEN_PRODUCTS"]
 

@@ -28,7 +28,7 @@ interface but allocates a fresh array on every request.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Iterator, Tuple
+from typing import Callable, Tuple
 
 import numpy as np
 

@@ -142,6 +142,8 @@ from .ooc import (
     MemmapSource,
     OocRunStats,
     ShardedAtA,
+    SparseChunkSource,
+    SparseSource,
     as_source,
     matmul_ata_ooc,
     run_ooc,
@@ -156,6 +158,14 @@ from .plan import (
     PLAN_KINDS,
 )
 from .pool import WorkspacePool
+from .sparse import (
+    HAVE_SCIPY,
+    LowRank,
+    SPARSE_BACKENDS,
+    density_bucket,
+    is_sparse,
+    operand_kind,
+)
 from .tuner import BackendTuner, default_tuner_path, shape_bucket
 
 __all__ = [
@@ -194,6 +204,8 @@ __all__ = [
     "ArraySource",
     "MemmapSource",
     "ChunkSource",
+    "SparseSource",
+    "SparseChunkSource",
     "as_source",
     "matmul_ata_ooc",
     "run_ooc",
@@ -201,4 +213,10 @@ __all__ = [
     "FarmRunStats",
     "run_farm",
     "available_cpus",
+    "HAVE_SCIPY",
+    "LowRank",
+    "SPARSE_BACKENDS",
+    "density_bucket",
+    "is_sparse",
+    "operand_kind",
 ]

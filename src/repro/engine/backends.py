@@ -57,7 +57,6 @@ from ..blas import direct as blas_direct
 from ..blas.kernels import gemm_flops, syrk_flops
 from ..cache.model import CacheModel
 from ..errors import ShapeError
-from .plan import ExecutionPlan
 
 __all__ = ["Backend", "PlanBackend", "BlasDirectBackend", "OPS",
            "register_backend", "unregister_backend", "get_backend",
@@ -76,17 +75,35 @@ class Backend(abc.ABC):
 
     name: str = ""
     ops: frozenset = frozenset()
+    #: operand kinds this backend accepts ("dense", "sparse", "lowrank"
+    #: — see :func:`repro.engine.sparse.operand_kind`).  Every backend
+    #: predating structured operands declares only "dense", so dense
+    #: dispatch never sees a structured backend and stays bit-identical.
+    operands: frozenset = frozenset({"dense"})
 
     def supports(self, op: str, shape: Tuple[int, ...], dtype,
                  model: CacheModel) -> bool:
         """Whether this backend can serve ``op`` on ``shape``/``dtype``."""
         return op in self.ops
 
+    def supports_operand(self, op: str, operand, model: CacheModel) -> bool:
+        """Whether this backend accepts this *specific* structured operand
+        (e.g. ``banded_ata`` requires a ``dia_matrix``).  Only consulted
+        for non-dense kinds, after :meth:`supports` passes."""
+        return True
+
     def cost(self, op: str, shape: Tuple[int, ...], dtype,
              model: CacheModel) -> float:
         """Modeled cost for the heuristic chooser (``inf`` = never pick
         heuristically; the measured tuner may still explore it)."""
         return float("inf")
+
+    def operand_cost(self, op: str, operand, shape: Tuple[int, ...], dtype,
+                     model: CacheModel) -> float:
+        """Modeled cost given the actual operand — structured backends
+        override this to price nnz/bandwidth/rank, which plain shapes
+        cannot express.  Defaults to the shape-only :meth:`cost`."""
+        return self.cost(op, shape, dtype, model)
 
     @abc.abstractmethod
     def run(self, engine, op: str, a: np.ndarray, c: np.ndarray,
@@ -306,16 +323,28 @@ def backends_for(op: str) -> Tuple[Backend, ...]:
         return tuple(_REGISTRY[n] for n in _ORDER if op in _REGISTRY[n].ops)
 
 
-def candidates(op: str, shape: Tuple[int, ...], dtype,
-               model: CacheModel) -> Tuple[Backend, ...]:
-    """The backends whose ``supports`` hook accepts this request."""
-    return tuple(b for b in backends_for(op)
-                 if b.supports(op, shape, dtype, model))
+def candidates(op: str, shape: Tuple[int, ...], dtype, model: CacheModel,
+               kind: str = "dense",
+               operand=None) -> Tuple[Backend, ...]:
+    """The backends whose ``supports`` hook accepts this request.
+
+    ``kind`` selects the operand-kind axis (``"dense"`` by default —
+    structured backends declare other kinds and drop out, keeping the
+    dense candidate set byte-identical to the pre-sparse registry); when
+    an ``operand`` is supplied, ``supports_operand`` filters further.
+    """
+    pool = tuple(b for b in backends_for(op)
+                 if kind in b.operands and b.supports(op, shape, dtype, model))
+    if operand is not None:
+        pool = tuple(b for b in pool
+                     if b.supports_operand(op, operand, model))
+    return pool
 
 
 def choose_heuristic(op: str, shape: Tuple[int, ...], dtype,
                      model: CacheModel,
-                     pool: Optional[Tuple[Backend, ...]] = None) -> Backend:
+                     pool: Optional[Tuple[Backend, ...]] = None,
+                     operand=None) -> Backend:
     """Deterministic modeled-cost selection (the pre-tuner dispatch rules).
 
     Picks the supporting backend with the lowest ``cost`` hook, breaking
@@ -323,6 +352,8 @@ def choose_heuristic(op: str, shape: Tuple[int, ...], dtype,
     finite-cost one.  For ``ata`` this reproduces the historical rule
     exactly: ``syrk`` when the operand fits the cache model (or is 1×1),
     the Algorithm 1 recursion otherwise; for ``atb`` it picks FastStrassen.
+    With a structured ``operand``, ``operand_cost`` prices the candidates
+    instead, so nnz/bandwidth/rank inform the modeled choice.
     """
     pool = pool if pool is not None else candidates(op, shape, dtype, model)
     if not pool:
@@ -331,7 +362,10 @@ def choose_heuristic(op: str, shape: Tuple[int, ...], dtype,
                          f"{np.dtype(dtype)}")
     best, best_cost = None, float("inf")
     for backend in pool:
-        cost = backend.cost(op, shape, dtype, model)
+        if operand is not None:
+            cost = backend.operand_cost(op, operand, shape, dtype, model)
+        else:
+            cost = backend.cost(op, shape, dtype, model)
         if best is None or cost < best_cost:
             best, best_cost = backend, cost
     return best

@@ -43,7 +43,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from .plan import (OP_ADD, OP_FUSED, OP_GEMM, OP_GEMM_STORE, OP_LINCOMB,
-                   OP_SCALE_STORE, OP_SYRK, OP_ZERO,
+                   OP_SCALE_STORE, OP_SYRK,
                    _ARENA_P, _ARENA_Q, _BASE_A, _BASE_B, _BASE_C,
                    ExecutionPlan, FusedStep, _interpret_fused, _resolve,
                    _tril_indices)

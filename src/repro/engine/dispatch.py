@@ -45,6 +45,7 @@ from .cpu import available_cpus
 from .dag import DagExecutor
 from .plan import ExecutionPlan, compile_plan, execute_plan
 from .pool import WorkspacePool
+from .sparse import density_bucket, operand_kind, operand_nnz, validate_operand
 from .tuner import BackendTuner
 
 __all__ = ["ExecutionEngine", "EngineStats", "default_engine",
@@ -63,7 +64,7 @@ def validate_atb_operands(a: np.ndarray, b: np.ndarray) -> None:
     validate_matrix(a, "A")
     validate_matrix(b, "B")
     if b.shape[0] != a.shape[0]:
-        raise ShapeError(f"A and B must share their first dimension, "
+        raise ShapeError("A and B must share their first dimension, "
                          f"got {a.shape} and {b.shape}")
     if a.dtype != b.dtype:
         raise DTypeError("operands must share a dtype, got "
@@ -160,6 +161,15 @@ class EngineStats:
     #: (idle + checked out) — the figure the out-of-core executor charges
     #: against ``Config.memory_budget``
     pool_bytes_high: int = 0
+    #: completed matmul_* calls whose operand was structured (scipy
+    #: sparse or :class:`repro.engine.sparse.LowRank`)
+    sparse_runs: int = 0
+    #: structured runs served by the ``densify`` crossover backend — the
+    #: measured tuner (or modeled heuristic) judged materialising the
+    #: operand densely faster than staying sparse
+    densify_crossovers: int = 0
+    #: stored entries (nnz) those structured runs processed in total
+    sparse_nnz: int = 0
 
     @property
     def plan_hit_rate(self) -> float:
@@ -320,6 +330,9 @@ class ExecutionEngine:
         self._tuner_explores = 0
         self._fused_steps = 0
         self._codegen_kernels = 0
+        self._sparse_runs = 0
+        self._densify_crossovers = 0
+        self._sparse_nnz = 0
         self._interleaved_batches = 0
         self._interleaved_items = 0
         # a tuner-arbitrated fused-vs-unfused decision must reach _plan()
@@ -381,7 +394,8 @@ class ExecutionEngine:
 
     def _resolve_backend(self, op: str, shape: Tuple[int, ...], dtype,
                          model: CacheModel, algo: str,
-                         parallel: Optional[str] = None
+                         parallel: Optional[str] = None,
+                         operand=None, density: Optional[str] = None
                          ) -> Tuple[Backend, bool, Optional[str],
                                     Optional[bool], str]:
         """Resolve a request to a backend.
@@ -401,13 +415,30 @@ class ExecutionEngine:
         plan-compiled candidate enters the table twice — plain and
         ``"+fused"`` — and the measured table arbitrates the pair exactly
         as it arbitrates distinct backends.
+
+        A structured ``operand`` (scipy sparse / :class:`LowRank`) flips
+        the candidate axis to its kind — only backends declaring that
+        kind are considered at every precedence level — and ``density``
+        scopes the tuner cell, so the sparse-vs-densify crossover is
+        measured per density bucket.  Dense requests (``operand=None``)
+        resolve byte-identically to the pre-sparse engine.
         """
+        kind = operand_kind(operand) if operand is not None else "dense"
         if algo != "auto":
             backend = get_backend(algo, op)
+            if kind not in backend.operands:
+                raise ShapeError(
+                    f"backend {algo!r} does not accept {kind!r} operands "
+                    f"(accepts {sorted(backend.operands)})")
             if not backend.supports(op, shape, dtype, model):
                 raise ShapeError(
                     f"backend {algo!r} cannot serve {op!r} on shape {shape} "
                     f"with dtype {np.dtype(dtype)} on this host")
+            if (operand is not None
+                    and not backend.supports_operand(op, operand, model)):
+                raise ShapeError(
+                    f"backend {algo!r} does not accept this {kind} operand "
+                    f"(shape {shape})")
             return backend, False, None, None, backend.name
         forced = get_config().backend
         if forced != "auto":
@@ -415,9 +446,12 @@ class ExecutionEngine:
                 backend = get_backend(forced, op)
             except ShapeError:
                 backend = None  # forced backend does not serve this op
-            if backend is not None and backend.supports(op, shape, dtype, model):
+            if (backend is not None and kind in backend.operands
+                    and backend.supports(op, shape, dtype, model)
+                    and (operand is None
+                         or backend.supports_operand(op, operand, model))):
                 return backend, False, None, None, backend.name
-        pool = candidates(op, shape, dtype, model)
+        pool = candidates(op, shape, dtype, model, kind=kind, operand=operand)
         if self.tuner is not None:
             arbitrate = self._fuse_mode() == "auto"
             names = [b.name for b in pool]
@@ -428,7 +462,8 @@ class ExecutionEngine:
                 sched = self._effective_sched(parallel)
                 name, explored = self.tuner.choose(op, shape, dtype,
                                                    tuple(names),
-                                                   model=model, sched=sched)
+                                                   model=model, sched=sched,
+                                                   density=density)
                 if name is not None:  # a frozen tuner may abstain
                     with self._stats_lock:
                         if explored:
@@ -448,8 +483,8 @@ class ExecutionEngine:
                         fuse = False
                     backend = next(b for b in pool if b.name == base)
                     return backend, explored, sched, fuse, name
-        return (choose_heuristic(op, shape, dtype, model, pool), False, None,
-                None, "")
+        return (choose_heuristic(op, shape, dtype, model, pool,
+                                 operand=operand), False, None, None, "")
 
     def _run_backend(self, backend: Backend, op: str, shape: Tuple[int, ...],
                      a: np.ndarray, c: np.ndarray, alpha: float,
@@ -458,14 +493,16 @@ class ExecutionEngine:
                      sched: Optional[str] = None,
                      held: Optional[dict] = None,
                      fuse: Optional[bool] = None,
-                     record_name: str = "") -> None:
+                     record_name: str = "",
+                     density: Optional[str] = None) -> None:
         """Execute through ``backend``, timing the call into the tuner's
         table when it was a tuner explore decision (``sched`` is the cell
-        signature and ``record_name`` the candidate name the decision was
-        filed under).  A tuner-arbitrated ``fuse`` decision travels to
-        ``_plan`` through a thread-local override — ``backend.run``
-        executes synchronously on this thread, and its frozen signature
-        cannot carry the flag."""
+        signature, ``record_name`` the candidate name the decision was
+        filed under, and ``density`` the structured-operand density bucket
+        the decision was scoped to).  A tuner-arbitrated ``fuse`` decision
+        travels to ``_plan`` through a thread-local override —
+        ``backend.run`` executes synchronously on this thread, and its
+        frozen signature cannot carry the flag."""
         self._fuse_local.value = fuse
         try:
             if measured and self.tuner is not None:
@@ -474,7 +511,7 @@ class ExecutionEngine:
                 self.tuner.record(op, shape, a.dtype,
                                   record_name or backend.name,
                                   self.tuner.timer() - start, model=model,
-                                  sched=sched)
+                                  sched=sched, density=density)
             else:
                 backend.run(self, op, a, c, alpha, b, model, parallel, held)
         finally:
@@ -560,8 +597,19 @@ class ExecutionEngine:
             Per-call scheduling override (``None`` uses the engine's
             mode): ``"off"`` forces sequential replay, ``"dag"`` forces
             DAG scheduling, ``"auto"`` applies the size heuristics.
+
+        ``a`` may also be a scipy sparse matrix or a
+        :class:`~repro.engine.sparse.LowRank` operand: dispatch then
+        selects among the structured backends (``sparse_gram`` /
+        ``densify`` / ``banded_ata`` / ``lowrank_gram``), with the
+        measured tuner arbitrating the sparse-vs-densify crossover per
+        density bucket.  ``c`` stays a dense ndarray either way.
         """
-        validate_matrix(a, "A")
+        kind = operand_kind(a)
+        if kind == "dense":
+            validate_matrix(a, "A")
+        else:
+            validate_operand(a, "A")
         m, n = a.shape
         if c is None:
             c = np.zeros((n, n), dtype=a.dtype)
@@ -573,12 +621,21 @@ class ExecutionEngine:
             raise ShapeError(f"A and C must share a dtype, got {a.dtype} and {c.dtype}")
 
         model = cache if cache is not None else default_cache_model(a.dtype)
+        operand = a if kind != "dense" else None
+        density = density_bucket(a) if operand is not None else None
         backend, measured, sched, fuse, record_name = self._resolve_backend(
-            "ata", (m, n), a.dtype, model, algo, parallel)
+            "ata", (m, n), a.dtype, model, algo, parallel,
+            operand=operand, density=density)
         scale(c, beta)
         self._run_backend(backend, "ata", (m, n), a, c, alpha, None, model,
                           parallel, measured, sched, fuse=fuse,
-                          record_name=record_name)
+                          record_name=record_name, density=density)
+        if operand is not None:
+            with self._stats_lock:
+                self._sparse_runs += 1
+                self._sparse_nnz += operand_nnz(a)
+                if backend.name == "densify":
+                    self._densify_crossovers += 1
         return c
 
     # -- A^T B --------------------------------------------------------------
@@ -594,8 +651,24 @@ class ExecutionEngine:
         ``"recursive_gemm"`` forces the classical Algorithm 2 recursion
         and ``"blas_direct"`` a bound vendor ``?gemm``.  ``parallel``
         overrides the engine's scheduling mode per call.
+
+        ``a`` may be a scipy sparse matrix or a
+        :class:`~repro.engine.sparse.LowRank` operand (``b`` and ``c``
+        stay dense): dispatch selects among the structured backends with
+        the tuner arbitrating sparse-vs-densify per density bucket.
         """
-        validate_atb_operands(a, b)
+        kind = operand_kind(a)
+        if kind == "dense":
+            validate_atb_operands(a, b)
+        else:
+            validate_operand(a, "A")
+            validate_matrix(b, "B")
+            if b.shape[0] != a.shape[0]:
+                raise ShapeError("A and B must share their first dimension, "
+                                 f"got {a.shape} and {b.shape}")
+            if a.dtype != b.dtype:
+                raise DTypeError("operands must share a dtype, got "
+                                 f"{sorted({str(a.dtype), str(b.dtype)})}")
         m, n = a.shape
         k = b.shape[1]
         if c is None:
@@ -611,11 +684,20 @@ class ExecutionEngine:
                              f"{sorted({str(a.dtype), str(c.dtype)})}")
 
         model = cache if cache is not None else default_cache_model(a.dtype)
+        operand = a if kind != "dense" else None
+        density = density_bucket(a) if operand is not None else None
         backend, measured, sched, fuse, record_name = self._resolve_backend(
-            "atb", (m, n, k), a.dtype, model, algo, parallel)
+            "atb", (m, n, k), a.dtype, model, algo, parallel,
+            operand=operand, density=density)
         self._run_backend(backend, "atb", (m, n, k), a, c, alpha, b, model,
                           parallel, measured, sched, fuse=fuse,
-                          record_name=record_name)
+                          record_name=record_name, density=density)
+        if operand is not None:
+            with self._stats_lock:
+                self._sparse_runs += 1
+                self._sparse_nnz += operand_nnz(a)
+                if backend.name == "densify":
+                    self._densify_crossovers += 1
         return c
 
     # -- out-of-core --------------------------------------------------------
@@ -663,6 +745,14 @@ class ExecutionEngine:
         if procs is None:
             procs = get_config().farm_procs
         if procs:
+            from .ooc import SparseChunkSource, SparseSource
+            if (operand_kind(a) != "dense"
+                    or isinstance(a, (SparseSource, SparseChunkSource))):
+                raise ShapeError(
+                    "the multi-process farm stages panels into dense "
+                    "shared-memory arenas and does not accept sparse "
+                    "operands; run with procs=0 (in-process streaming) or "
+                    "densify first")
             from .farm import PanelFarm
             return PanelFarm(self, procs=procs).run(
                 a, c, alpha, beta=beta, algo=algo, cache=cache,
@@ -875,6 +965,9 @@ class ExecutionEngine:
             interleaved_batches=self._interleaved_batches,
             interleaved_items=self._interleaved_items,
             pool_bytes_high=self.pool.bytes_high_water,
+            sparse_runs=self._sparse_runs,
+            densify_crossovers=self._densify_crossovers,
+            sparse_nnz=self._sparse_nnz,
         )
 
     def clear(self) -> None:

@@ -542,7 +542,7 @@ class PanelFarm:
                 raise ShapeError(f"C must have shape ({n}, {n}) for A of "
                                  f"shape ({m}, {n}), got {c.shape}")
             if c.dtype != dtype:
-                raise ShapeError(f"A and C must share a dtype, got "
+                raise ShapeError("A and C must share a dtype, got "
                                  f"{dtype} and {c.dtype}")
 
         from ..blas.kernels import scale
@@ -717,7 +717,7 @@ class PanelFarm:
                             _, panel_idx, trace = message
                             failure = (
                                 f"worker {worker.process.name!r} failed "
-                                f"while computing panel "
+                                "while computing panel "
                                 f"{worker.panel if panel_idx is None else panel_idx}"
                                 f" of {len(bounds)}:\n{trace}")
                             break
@@ -808,7 +808,7 @@ class PanelFarm:
         except Exception as exc:
             raise FarmError(
                 f"farm could not heal a worker failure ({signal.reason}); "
-                f"the retry budget was exhausted and the degraded "
+                "the retry budget was exhausted and the degraded "
                 f"in-process completion failed at panel {panel_idx} of "
                 f"{len(bounds)}: {exc!r}") from exc
 

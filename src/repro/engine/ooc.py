@@ -82,9 +82,11 @@ from ..config import get_config
 from ..errors import BudgetError, DTypeError, ShapeError
 from .cpu import available_cpus
 from .plan import split_rows
+from .sparse import HAVE_SCIPY, _sps, is_sparse
 
 __all__ = ["ShardedAtA", "OocRunStats", "ArraySource", "MemmapSource",
-           "ChunkSource", "as_source", "matmul_ata_ooc", "run_ooc"]
+           "ChunkSource", "SparseSource", "SparseChunkSource", "as_source",
+           "matmul_ata_ooc", "run_ooc"]
 
 Bounds = Tuple[Tuple[int, int], ...]
 
@@ -240,15 +242,155 @@ class ChunkSource:
                         f"stream carries more rows than the declared {m}")
 
 
-def as_source(a) -> Union[ArraySource, MemmapSource, ChunkSource]:
+class SparseSource:
+    """Panel source over a scipy sparse matrix — panels are CSR row slices.
+
+    The matrix is normalised to CSR once (row slicing is a cheap
+    ``indptr`` walk there; CSC would pay a full conversion per panel) and
+    each scheduled panel is handed to the engine as a sparse matrix, so
+    per-panel dispatch — including the tuner-arbitrated sparse-vs-densify
+    crossover — applies at panel granularity and the full operand is
+    never densified.
+
+    The budget still charges the **dense-equivalent** panel window
+    (``rows * n * itemsize``), deliberately: the schedule must be a pure
+    function of ``(shape, dtype, budget)`` so results stay bit-identical
+    across source kinds, and a dense charge is the safe upper bound for
+    whatever a downstream ``densify`` pick materialises per panel.
+    """
+
+    def __init__(self, a) -> None:
+        if not is_sparse(a):
+            raise DTypeError(
+                "SparseSource expects a scipy sparse matrix, got "
+                f"{type(a).__name__}")
+        if len(a.shape) != 2:
+            raise ShapeError(f"A must be 2-dimensional, got shape {a.shape}")
+        self._a = a.tocsr()
+        self.shape = tuple(int(d) for d in a.shape)
+        self.dtype = np.dtype(a.dtype)
+
+    @property
+    def nnz(self) -> int:
+        return int(self._a.nnz)
+
+    def panels(self, bounds: Bounds):
+        for lo, hi in bounds:
+            yield self._a[lo:hi]
+
+
+class SparseChunkSource:
+    """Forward-only iterator of sparse row chunks, stitched into panels.
+
+    The sparse counterpart of :class:`ChunkSource`: chunks are scipy
+    sparse matrices of ``n`` columns arriving in row order with arbitrary
+    heights; an internal stitch buffer re-slices them into the scheduled
+    panel bounds (splitting only the boundary chunk — CSR row slicing —
+    and stacking with ``scipy.sparse.vstack``), with the same
+    forward-only, short-stream and over-long-stream validation.  Panels
+    come out as CSR, so the whole stream flows through sparse dispatch
+    without ever materialising ``A``.
+    """
+
+    def __init__(self, chunks, shape: Tuple[int, int], dtype) -> None:
+        if not HAVE_SCIPY:
+            raise DTypeError(
+                "SparseChunkSource requires scipy; stream dense chunks "
+                "through ChunkSource instead")
+        m, n = shape
+        if m < 1 or n < 1:
+            raise ShapeError(f"declared shape must be positive, got {shape}")
+        self._chunks = iter(chunks)
+        self.shape = (int(m), int(n))
+        self.dtype = np.dtype(dtype)
+
+    def panels(self, bounds: Bounds):
+        m, n = self.shape
+        pending: list = []
+        pending_rows = 0
+        consumed = 0
+        exhausted = False
+        for lo, hi in bounds:
+            if lo != consumed:
+                raise ShapeError(
+                    f"chunk sources are forward-only: panel [{lo}, {hi}) "
+                    f"requested but the stream is at row {consumed}")
+            need = hi - lo
+            while pending_rows < need and not exhausted:
+                try:
+                    chunk = next(self._chunks)
+                except StopIteration:
+                    exhausted = True
+                    break
+                if not is_sparse(chunk):
+                    raise DTypeError(
+                        "sparse stream chunk must be a scipy sparse "
+                        f"matrix, got {type(chunk).__name__}")
+                if len(chunk.shape) != 2 or chunk.shape[1] != n:
+                    raise ShapeError(
+                        f"stream chunk must have shape (rows, {n}), got "
+                        f"{chunk.shape}")
+                if np.dtype(chunk.dtype) != self.dtype:
+                    raise DTypeError(
+                        f"stream chunk dtype {chunk.dtype} does not match "
+                        f"the declared {self.dtype}")
+                if chunk.shape[0]:
+                    pending.append(chunk.tocsr())
+                    pending_rows += chunk.shape[0]
+            if pending_rows < need:
+                raise ShapeError(
+                    f"stream ended early: declared {m} rows but only "
+                    f"{consumed + pending_rows} arrived")
+            take = []
+            taken = 0
+            while taken < need:
+                chunk = pending[0]
+                if taken + chunk.shape[0] <= need:
+                    take.append(pending.pop(0))
+                    taken += chunk.shape[0]
+                else:
+                    split = need - taken
+                    take.append(chunk[:split])
+                    pending[0] = chunk[split:]
+                    taken = need
+            pending_rows -= need
+            panel = take[0] if len(take) == 1 else _sps.vstack(take,
+                                                               format="csr")
+            consumed += need
+            yield panel
+        if pending_rows:
+            raise ShapeError(
+                f"stream carries more rows than the declared {m} "
+                f"(at least {consumed + pending_rows})")
+        if not exhausted:
+            for extra in self._chunks:
+                if not is_sparse(extra):
+                    raise DTypeError(
+                        "sparse stream chunk must be a scipy sparse "
+                        f"matrix, got {type(extra).__name__}")
+                if len(extra.shape) != 2 or extra.shape[1] != n:
+                    raise ShapeError(
+                        f"stream chunk must have shape (rows, {n}), got "
+                        f"{extra.shape}")
+                if extra.shape[0]:
+                    raise ShapeError(
+                        f"stream carries more rows than the declared {m}")
+
+
+def as_source(a) -> Union[ArraySource, MemmapSource, ChunkSource,
+                          "SparseSource"]:
     """Adapt ``a`` into a panel source.
 
     ``np.memmap`` becomes a staging :class:`MemmapSource`, any other
-    ``ndarray`` a view-based :class:`ArraySource`; objects already
-    exposing the source protocol (``shape``/``dtype``/``panels``) pass
-    through.  Bare iterators are rejected — wrap them in a
-    :class:`ChunkSource` with a declared shape and dtype.
+    ``ndarray`` a view-based :class:`ArraySource`, and a scipy sparse
+    matrix a CSR-slicing :class:`SparseSource`; objects already exposing
+    the source protocol (``shape``/``dtype``/``panels``) pass through.
+    Bare iterators are rejected — wrap them in a :class:`ChunkSource`
+    (dense chunks) or :class:`SparseChunkSource` (sparse chunks) with a
+    declared shape and dtype.
     """
+    if is_sparse(a):
+        return SparseSource(a)
     if isinstance(a, np.memmap):
         return MemmapSource(a)
     if isinstance(a, np.ndarray):
@@ -257,7 +399,8 @@ def as_source(a) -> Union[ArraySource, MemmapSource, ChunkSource]:
         return a
     raise ShapeError(
         f"cannot adapt {type(a).__name__} into a panel source; pass an "
-        "ndarray, an np.memmap, or a ChunkSource(chunks, shape, dtype)")
+        "ndarray, an np.memmap, a scipy sparse matrix, or a "
+        "ChunkSource(chunks, shape, dtype)")
 
 
 # ---------------------------------------------------------------------------
@@ -410,7 +553,7 @@ class ShardedAtA:
                     f"{n}x{n} output ({c_bytes} bytes) plus {buffers} "
                     f"panel buffer(s) of {rows} x {n} rows "
                     f"({buffers * rows * row_bytes} bytes); the smallest "
-                    f"feasible working set is "
+                    "feasible working set is "
                     f"{c_bytes + buffers * row_bytes} bytes — raise "
                     "REPRO_MEMORY_BUDGET / Config.memory_budget or shrink "
                     "the panel")
@@ -568,7 +711,7 @@ class ShardedAtA:
                 raise ShapeError(f"C must have shape ({n}, {n}) for A of "
                                  f"shape ({m}, {n}), got {c.shape}")
             if c.dtype != np.dtype(source.dtype):
-                raise ShapeError(f"A and C must share a dtype, got "
+                raise ShapeError("A and C must share a dtype, got "
                                  f"{np.dtype(source.dtype)} and {c.dtype}")
 
         from ..blas.kernels import scale
@@ -612,8 +755,8 @@ class ShardedAtA:
             # return a silently partial Gram — fail loudly instead
             raise ShapeError(
                 f"panel stream ended after {consumed} of {len(bounds)} "
-                f"scheduled panels; the source delivered fewer panels "
-                f"than its declared shape promised")
+                "scheduled panels; the source delivered fewer panels "
+                "than its declared shape promised")
         stats = OocRunStats(panels=len(bounds),
                             panel_rows=widest,
                             bytes_resident_high=resident_high,

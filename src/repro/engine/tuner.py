@@ -111,7 +111,8 @@ def _config_fingerprint(cfg: Config) -> List[int]:
 
 def _bucket_key(op: str, dtype, bucket: Tuple[int, ...],
                 model: Optional[CacheModel],
-                sched: Optional[str] = None) -> str:
+                sched: Optional[str] = None,
+                density: Optional[str] = None) -> str:
     """Table key for one cell.
 
     The cache model is part of the key because it is part of the plan key:
@@ -122,11 +123,20 @@ def _bucket_key(op: str, dtype, bucket: Tuple[int, ...],
     ``sched`` is the engine's scheduling signature (``None`` = sequential
     execution): a DAG-parallel engine's timings describe different
     executions than a sequential engine's, so they get their own cells.
+    ``density`` is the structured-operand density bucket
+    (:func:`repro.engine.sparse.density_bucket`): the sparse-vs-densify
+    crossover depends on density, so a 0.5%-dense operand's timings must
+    not pollute a 50%-dense one's.  It is appended only when present, so
+    every dense key — and every table written before structured operands
+    existed — stays byte-identical.
     """
     if model is None:
         model = default_cache_model(dtype)
-    return (f"{op}|{np.dtype(dtype).str}|{'x'.join(map(str, bucket))}"
-            f"|{model.capacity_words}c{model.line_words}|{sched or 'seq'}")
+    key = (f"{op}|{np.dtype(dtype).str}|{'x'.join(map(str, bucket))}"
+           f"|{model.capacity_words}c{model.line_words}|{sched or 'seq'}")
+    if density is not None:
+        key += f"|{density}"
+    return key
 
 
 def _fingerprint_key(fingerprint: List[int]) -> str:
@@ -521,7 +531,8 @@ class BackendTuner:
     def choose(self, op: str, shape: Sequence[int], dtype,
                candidate_names: Sequence[str],
                model: Optional[CacheModel] = None,
-               sched: Optional[str] = None) -> Tuple[Optional[str], bool]:
+               sched: Optional[str] = None,
+               density: Optional[str] = None) -> Tuple[Optional[str], bool]:
         """Pick a backend for this request.
 
         Returns ``(name, explored)`` where ``explored`` is ``True`` when
@@ -532,6 +543,8 @@ class BackendTuner:
         skip measurement when ``explored`` is ``False``.
         ``candidate_names`` must be non-empty; order breaks exploration
         ties, so callers pass registration order for determinism.
+        ``density`` scopes the cell to a structured operand's density
+        bucket (``None`` for dense traffic — keys unchanged).
 
         A :attr:`frozen` tuner never explores: it exploits the best
         *sampled* candidate, or returns ``(None, False)`` when the bucket
@@ -544,7 +557,8 @@ class BackendTuner:
         with self._lock:
             self._check_config()
             entry = self._table.get(
-                _bucket_key(op, dtype, shape_bucket(shape), model, sched), {})
+                _bucket_key(op, dtype, shape_bucket(shape), model, sched,
+                            density), {})
             if self.frozen:
                 sampled = [n for n in candidate_names
                            if entry.get(n, {}).get("count", 0) > 0]
@@ -569,7 +583,8 @@ class BackendTuner:
     def record(self, op: str, shape: Sequence[int], dtype, name: str,
                seconds: float,
                model: Optional[CacheModel] = None,
-               sched: Optional[str] = None) -> None:
+               sched: Optional[str] = None,
+               density: Optional[str] = None) -> None:
         """Feed one measured execution into the table (and autosave every
         ``save_every`` samples).  No-op on a :attr:`frozen` tuner — the
         loaded table is the whole story."""
@@ -580,7 +595,8 @@ class BackendTuner:
             return  # a broken clock must not poison the table
         with self._lock:
             self._check_config()
-            key = _bucket_key(op, dtype, shape_bucket(shape), model, sched)
+            key = _bucket_key(op, dtype, shape_bucket(shape), model, sched,
+                              density)
             cell = self._table.setdefault(key, {}).setdefault(
                 name, {"count": 0, "total": 0.0, "best": float("inf")})
             cell["count"] += 1
@@ -601,13 +617,15 @@ class BackendTuner:
 
     def best(self, op: str, shape: Sequence[int], dtype,
              model: Optional[CacheModel] = None,
-             sched: Optional[str] = None) -> Optional[str]:
+             sched: Optional[str] = None,
+             density: Optional[str] = None) -> Optional[str]:
         """The measured-fastest backend for this bucket, or ``None`` when
         the bucket has no samples yet."""
         with self._lock:
             self._check_config()
             entry = self._table.get(
-                _bucket_key(op, dtype, shape_bucket(shape), model, sched))
+                _bucket_key(op, dtype, shape_bucket(shape), model, sched,
+                            density))
             if not entry:
                 return None
             return min(entry, key=lambda n: entry[n]["best"])

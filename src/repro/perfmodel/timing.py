@@ -30,10 +30,8 @@ from typing import Optional
 from ..cache.model import CacheModel
 from ..core.complexity import (
     ata_multiplications,
-    ata_multiplications_closed,
     classical_syrk_multiplications,
     strassen_multiplications,
-    strassen_multiplications_closed,
 )
 from ..distributed import costs as dcosts
 from ..distributed.network import NetworkModel

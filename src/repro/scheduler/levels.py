@@ -27,8 +27,6 @@ that of each diagonal A^T A block).
 
 from __future__ import annotations
 
-import math
-
 from ..errors import SchedulerError
 
 __all__ = [

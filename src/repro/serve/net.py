@@ -47,15 +47,18 @@ import numpy as np
 from .. import faults
 from ..config import get_config
 from ..errors import ProtocolError, ServerClosedError
+from ..engine.sparse import is_sparse
 from .protocol import (
     ENCODINGS,
     PROTOCOL_VERSION,
-    encode_frame,
+    csr_payload_nbytes,
     error_header,
     pack_array,
+    pack_csr,
     raise_remote,
     read_frame,
     unpack_array,
+    unpack_csr,
     write_frame,
 )
 from .retry import retry
@@ -297,11 +300,16 @@ class NetServer:
                             encoding, client) -> None:
         request_id = header.get("id")
         try:
-            a = unpack_array(header, payload)
+            if header.get("sparse") == "csr":
+                a = unpack_csr(header, payload)
+                a_nbytes = csr_payload_nbytes(header)
+            else:
+                a = unpack_array(header, payload)
+                a_nbytes = a.nbytes
             b = None
             if "b_dtype" in header:
                 b = unpack_array(header, payload, prefix="b_",
-                                 offset=a.nbytes)
+                                 offset=a_nbytes)
             result = await self.server.submit(
                 a, op=header.get("req_op", "ata"), b=b,
                 algo=header.get("algo", "auto"),
@@ -536,8 +544,16 @@ class Client:
         ``attempts > 1`` retries :class:`QueueFullError` (including the
         fairness subclass) with :func:`repro.serve.retry`'s jittered
         backoff; ``retry_kwargs`` pass through to it.
+
+        ``a`` may be a scipy sparse matrix: it ships as a CSR payload
+        (``indptr``/``indices``/``data`` raw byte sections — see
+        :func:`repro.serve.protocol.pack_csr`) and is served through the
+        engine's sparse dispatch, never densified on the wire.
         """
-        meta, raw = pack_array(a)
+        if is_sparse(a):
+            meta, raw = pack_csr(a)
+        else:
+            meta, raw = pack_array(a)
         header: Dict[str, Any] = {"op": "submit", "req_op": op,
                                   "algo": algo, "alpha": float(alpha),
                                   **meta}

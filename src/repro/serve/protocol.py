@@ -60,6 +60,11 @@ try:  # optional; the container may not ship it — JSON is the floor
 except ImportError:  # pragma: no cover - environment-dependent
     msgpack = None
 
+try:  # optional; CSR payloads need it, everything else does not
+    from scipy import sparse as _sps
+except Exception:  # pragma: no cover - environment-dependent
+    _sps = None
+
 __all__ = [
     "PROTOCOL_VERSION",
     "ENCODINGS",
@@ -72,6 +77,9 @@ __all__ = [
     "write_frame",
     "pack_array",
     "unpack_array",
+    "pack_csr",
+    "unpack_csr",
+    "csr_payload_nbytes",
     "error_header",
     "raise_remote",
 ]
@@ -154,7 +162,7 @@ def _decode_header(tag: int, raw: bytes) -> Dict[str, Any]:
         raise ProtocolError(f"undecodable frame header: {exc}") from exc
     if not isinstance(header, dict) or "op" not in header:
         raise ProtocolError(
-            f"frame header must be a mapping with an 'op' key, got "
+            "frame header must be a mapping with an 'op' key, got "
             f"{type(header).__name__}")
     return header
 
@@ -265,6 +273,127 @@ def unpack_array(header: Dict[str, Any], payload: bytes, prefix: str = "",
             f"offset {offset}; shape {shape} of {dtype} needs {nbytes}")
     flat = np.frombuffer(payload, dtype=dtype, count=count, offset=offset)
     return flat.reshape(shape).copy()
+
+
+# ---------------------------------------------------------------------------
+# CSR sparse matrix <-> (header fragment, payload bytes)
+# ---------------------------------------------------------------------------
+
+def pack_csr(a, prefix: str = "") -> Tuple[Dict[str, Any], bytes]:
+    """``(header fragment, raw bytes)`` describing a scipy sparse matrix.
+
+    The operand is normalised to canonical CSR (duplicates summed,
+    indices sorted) and its three component arrays — ``indptr``,
+    ``indices``, ``data`` — are appended **raw**, in that order, exactly
+    as :func:`pack_array` appends a dense buffer; the fragment carries
+    ``{prefix}sparse = "csr"`` plus the dtypes/counts needed to slice
+    them back out.  Canonical CSR has one byte representation per
+    matrix value, so round trips are bit-identical component-wise, and
+    a sparse operand ships ``nnz``-proportional bytes instead of the
+    ``m*n`` a densified payload would.
+    """
+    if _sps is None:
+        raise ProtocolError(
+            "packing a sparse payload requires scipy, which is not "
+            "importable in this process")
+    if not _sps.issparse(a):
+        raise ProtocolError(
+            "pack_csr expects a scipy sparse matrix, got "
+            f"{type(a).__name__}")
+    csr = a.tocsr()
+    if csr is a:  # tocsr() may return the operand itself; never mutate it
+        csr = csr.copy()
+    csr.sum_duplicates()
+    csr.sort_indices()
+    indptr = np.ascontiguousarray(csr.indptr)
+    indices = np.ascontiguousarray(csr.indices)
+    data = np.ascontiguousarray(csr.data)
+    meta = {f"{prefix}sparse": "csr",
+            f"{prefix}dtype": data.dtype.str,
+            f"{prefix}shape": [int(d) for d in csr.shape],
+            f"{prefix}index_dtype": indices.dtype.str,
+            f"{prefix}nnz": int(csr.nnz)}
+    payload = (bytes(memoryview(indptr).cast("B"))
+               + bytes(memoryview(indices).cast("B"))
+               + bytes(memoryview(data).cast("B")))
+    return meta, payload
+
+
+def csr_payload_nbytes(header: Dict[str, Any], prefix: str = "") -> int:
+    """Byte length of the CSR payload section a :func:`pack_csr` fragment
+    describes — what a reader skips to find the next payload section."""
+    try:
+        dtype = np.dtype(header[f"{prefix}dtype"])
+        index_dtype = np.dtype(header[f"{prefix}index_dtype"])
+        m = int(header[f"{prefix}shape"][0])
+        nnz = int(header[f"{prefix}nnz"])
+    except (KeyError, IndexError, TypeError, ValueError) as exc:
+        raise ProtocolError(
+            f"frame header carries no decodable {prefix or 'csr '}"
+            f"metadata: {exc}") from exc
+    if m < 0 or nnz < 0:
+        raise ProtocolError(
+            f"csr header declares negative sizes (rows={m}, nnz={nnz})")
+    return (m + 1) * index_dtype.itemsize + nnz * (index_dtype.itemsize
+                                                   + dtype.itemsize)
+
+
+def unpack_csr(header: Dict[str, Any], payload: bytes, prefix: str = "",
+               offset: int = 0):
+    """Rebuild the CSR matrix a :func:`pack_csr` fragment describes.
+
+    Slices ``indptr`` / ``indices`` / ``data`` out of ``payload`` from
+    ``offset`` and validates their structure (monotone ``indptr`` ending
+    at ``nnz``, column indices in range) before constructing the matrix,
+    so a corrupt or hostile frame raises :class:`ProtocolError` instead
+    of a segfault deep inside scipy.  The result owns fresh writable
+    buffers — it does not alias ``payload``.
+    """
+    if _sps is None:
+        raise ProtocolError(
+            "unpacking a sparse payload requires scipy, which is not "
+            "importable in this process")
+    if header.get(f"{prefix}sparse") != "csr":
+        raise ProtocolError(
+            "frame header does not describe a csr payload "
+            f"(got {header.get(f'{prefix}sparse')!r})")
+    try:
+        dtype = np.dtype(header[f"{prefix}dtype"])
+        index_dtype = np.dtype(header[f"{prefix}index_dtype"])
+        m, n = (int(d) for d in header[f"{prefix}shape"])
+        nnz = int(header[f"{prefix}nnz"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(
+            f"frame header carries no decodable {prefix or 'csr '}"
+            f"metadata: {exc}") from exc
+    if m < 0 or n < 0 or nnz < 0:
+        raise ProtocolError(
+            f"csr header declares negative sizes (shape=({m}, {n}), "
+            f"nnz={nnz})")
+    total = csr_payload_nbytes(header, prefix)
+    if offset + total > len(payload):
+        raise ProtocolError(
+            f"frame payload holds {len(payload) - offset} bytes from "
+            f"offset {offset}; a ({m}, {n}) csr with {nnz} stored "
+            f"entries needs {total}")
+    idx_size = index_dtype.itemsize
+    indptr = np.frombuffer(payload, dtype=index_dtype, count=m + 1,
+                           offset=offset).copy()
+    offset += (m + 1) * idx_size
+    indices = np.frombuffer(payload, dtype=index_dtype, count=nnz,
+                            offset=offset).copy()
+    offset += nnz * idx_size
+    data = np.frombuffer(payload, dtype=dtype, count=nnz,
+                         offset=offset).copy()
+    if m and (indptr[0] != 0 or indptr[-1] != nnz
+              or np.any(np.diff(indptr) < 0)):
+        raise ProtocolError(
+            "csr payload carries an inconsistent indptr (must start at 0, "
+            f"end at nnz={nnz}, and be non-decreasing)")
+    if nnz and (indices.min() < 0 or indices.max() >= n):
+        raise ProtocolError(
+            f"csr payload carries column indices outside [0, {n})")
+    return _sps.csr_matrix((data, indices, indptr), shape=(m, n))
 
 
 # ---------------------------------------------------------------------------

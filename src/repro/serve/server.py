@@ -74,6 +74,7 @@ from ..config import get_config
 from ..engine import ExecutionEngine
 from ..engine.backends import get_backend
 from ..engine.dispatch import validate_atb_operands
+from ..engine.sparse import is_sparse, validate_operand
 from ..errors import (
     ConfigurationError,
     DeadlineError,
@@ -317,7 +318,7 @@ class Server:
                 self._rejected += 1
                 entry["rejected"] += 1
                 raise QueueFullError(
-                    f"server is at its admission limit "
+                    "server is at its admission limit "
                     f"({self.max_inflight} requests in flight)")
             held = self._client_inflight.get(client, 0)
             if held >= self.client_cap:
@@ -366,7 +367,17 @@ class Server:
         backs off the same way), and queue drains interleave client ids
         round-robin.  The wire front door passes its per-connection id
         automatically.
+
+        A scipy sparse ``a`` is served through the engine's sparse
+        dispatch on a direct (non-coalesced) path like
+        :meth:`submit_ooc` — sparse operands share no plan with dense
+        companions, so there is nothing to batch them with — under the
+        same admission, fairness, deadline and ledger semantics.
         """
+        if is_sparse(a):
+            return await self._submit_sparse(a, op, b, algo=algo,
+                                             alpha=alpha, timeout=timeout,
+                                             client=client)
         loop = self._bind_loop()
         if self._closing:
             raise ServerClosedError("server is closed to new submissions")
@@ -417,6 +428,108 @@ class Server:
         if op == "ata":
             return a.shape
         return (a.shape[0], a.shape[1], b.shape[1])
+
+    # -- sparse submission --------------------------------------------------
+    def _validate_sparse(self, op: str, a, b, algo: str) -> None:
+        """Pre-admission validation of a sparse request — the sparse
+        counterpart of :meth:`_validate` (whose dense-operand rules a
+        sparse matrix cannot satisfy)."""
+        if op not in _OPS:
+            raise ConfigurationError(
+                f"unknown operation {op!r}; expected one of {_OPS}")
+        validate_operand(a, "A")
+        if op == "ata":
+            if b is not None:
+                raise ShapeError("op='ata' takes no B operand")
+        else:
+            if b is None:
+                raise ShapeError("op='atb' requires a B operand")
+            validate_matrix(b, "B")
+            if b.shape[0] != a.shape[0]:
+                raise ShapeError("A and B must share their first "
+                                 f"dimension, got {a.shape} and {b.shape}")
+            if np.dtype(a.dtype) != b.dtype:
+                raise ShapeError("operands must share a dtype, got "
+                                 f"{sorted({str(a.dtype), str(b.dtype)})}")
+        if algo != "auto":
+            backend = get_backend(algo, op)  # unknown name -> ShapeError
+            shape = self._request_shape(op, a, b)
+            if "sparse" not in backend.operands:
+                raise ShapeError(
+                    f"backend {algo!r} does not accept sparse operands "
+                    f"(accepts {sorted(backend.operands)})")
+            if (not backend.supports(op, shape, a.dtype,
+                                     default_cache_model(a.dtype))
+                    or not backend.supports_operand(
+                        op, a, default_cache_model(a.dtype))):
+                raise ShapeError(
+                    f"backend {algo!r} cannot serve {op!r} on this sparse "
+                    f"operand of shape {shape} with dtype "
+                    f"{np.dtype(a.dtype)} on this host")
+
+    async def _submit_sparse(self, a, op: str, b, *, algo: str,
+                             alpha: float, timeout: Optional[float],
+                             client: str) -> np.ndarray:
+        """Direct execution path for sparse operands (see :meth:`submit`):
+        admission, fairness, deadlines and the ledger apply exactly as on
+        the coalescing path, but the request runs alone on the executor —
+        through the engine's sparse dispatch, where the measured tuner
+        arbitrates sparse-vs-densify per density bucket."""
+        loop = self._bind_loop()
+        if self._closing:
+            raise ServerClosedError("server is closed to new submissions")
+        if timeout is None:
+            timeout = self.default_timeout_seconds
+        timeout = float(timeout)
+        if timeout < 0:
+            raise ConfigurationError(
+                f"timeout must be >= 0 seconds, got {timeout}")
+        client = str(client)
+        self._validate_sparse(op, a, b, algo)
+        self._admit(client)
+        future = loop.create_future()
+        future.add_done_callback(
+            lambda fut: self._on_request_done(fut, client))
+        task = loop.create_task(
+            self._run_sparse(future, a, op, b, algo, float(alpha)))
+        self._batch_tasks.add(task)
+        task.add_done_callback(self._batch_tasks.discard)
+        if timeout > 0:
+            deadline_timer = loop.call_later(
+                timeout, self._expire, future, timeout, None)
+            future.add_done_callback(
+                lambda _, handle=deadline_timer: handle.cancel())
+        return await future
+
+    async def _run_sparse(self, future: "asyncio.Future", a, op: str, b,
+                          algo: str, alpha: float) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(
+                self._executor, self._execute_sparse, a, op, b, algo, alpha)
+        except asyncio.CancelledError:
+            if not future.done():
+                future.set_exception(ServerClosedError(
+                    "sparse request aborted by server shutdown"))
+            raise
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+            return
+        if not future.done():
+            future.set_result(result)
+
+    def _execute_sparse(self, a, op: str, b, algo: str,
+                        alpha: float) -> np.ndarray:
+        """Runs on an executor thread, like :meth:`_execute_batch`."""
+        start = time.monotonic()
+        try:
+            if op == "ata":
+                return self.engine.matmul_ata(a, alpha=alpha, algo=algo)
+            return self.engine.matmul_atb(a, b, alpha=alpha, algo=algo)
+        finally:
+            with self._lock:
+                self._metrics.observe_run(time.monotonic() - start)
 
     # -- out-of-core / streaming submission ---------------------------------
     async def submit_ooc(self, a: np.ndarray, *, algo: str = "auto",
@@ -617,7 +730,7 @@ class Server:
         if not future.done():
             future.set_exception(DeadlineError(
                 f"request deadline of {timeout:g}s expired before a "
-                f"result was ready"))
+                "result was ready"))
         if queue is not None:
             queue.prune()
 
@@ -903,7 +1016,7 @@ class Server:
         lines.append("# TYPE repro_serve_requests_total counter")
         for outcome in ("completed", "failed", "rejected", "cancelled",
                         "expired"):
-            lines.append(f'repro_serve_requests_total'
+            lines.append('repro_serve_requests_total'
                          f'{{outcome="{outcome}"}} '
                          f'{getattr(stats, outcome)}')
         counter("repro_serve_inflight", stats.inflight,
@@ -966,7 +1079,7 @@ class Server:
                      .replace("\n", r"\n"))
             for outcome in _LEDGER_FIELDS:
                 lines.append(
-                    f'repro_serve_client_requests_total'
+                    'repro_serve_client_requests_total'
                     f'{{client="{label}",outcome="{outcome}"}} '
                     f'{getattr(snap, outcome)}')
         return "\n".join(lines) + "\n"

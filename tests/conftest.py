@@ -11,13 +11,29 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.config import configured
+from repro.config import configured, get_config, set_config
 
 
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic RNG, fresh per test."""
     return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture(autouse=True)
+def _restore_global_config():
+    """Guarantee config isolation between tests.
+
+    ``configured()`` save/restores a process-wide global, so tests that
+    deliberately race it across threads (the plan-cache invalidation
+    hammer) can leave the global pointing at a transient override —
+    which then silently changes backend heuristics for every later test
+    in the session.  Snapshot and restore around each test so no test
+    inherits another's configuration, however it was mangled."""
+    previous = get_config()
+    yield
+    if get_config() is not previous:
+        set_config(previous)
 
 
 @pytest.fixture(autouse=True)

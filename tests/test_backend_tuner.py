@@ -20,7 +20,7 @@ import pytest
 
 from repro.blas import direct as blas_direct
 from repro.blas.kernels import syrk as kernel_syrk
-from repro.config import Config, configured, get_config
+from repro.config import Config, configured
 from repro.core.ata import ata
 from repro.core.recursive_gemm import recursive_gemm
 from repro.core.strassen import fast_strassen
@@ -29,7 +29,6 @@ from repro.engine import (
     BackendTuner,
     ExecutionEngine,
     backend_names,
-    backends_for,
     choose_heuristic,
     get_backend,
     register_backend,

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.cache.model import CacheModel
 from repro.config import configured
 from repro.core.strassen import fast_strassen
 from repro.core.workspace import (

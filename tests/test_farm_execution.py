@@ -400,3 +400,59 @@ class TestAvailableCpus:
             assert engine._auto_workers == 1
         finally:
             engine.close()
+
+
+class TestSharedMemoryShim:
+    """The ``_attach`` tracker-suppression shim (bpo-39959).
+
+    Python 3.13 grew a native ``track=False``; older interpreters get a
+    back-port that blanks ``resource_tracker.register`` for the duration
+    of the attach.  Either way the contract is the same: attaching to an
+    arena must never register it with the caller's resource tracker —
+    that tracker would unlink the parent's arena on exit.  The CI
+    fast-lane 3.13 matrix entry exercises the native path; everywhere
+    else the fallback runs.
+    """
+
+    def test_attach_does_not_register_with_tracker(self, monkeypatch):
+        from multiprocessing import resource_tracker, shared_memory
+
+        from repro.engine.farm import _attach
+
+        owner = shared_memory.SharedMemory(create=True, size=64)
+        registered = []
+        original = resource_tracker.register
+        monkeypatch.setattr(resource_tracker, "register",
+                            lambda *a, **k: registered.append(a))
+        try:
+            attached = _attach(owner.name)
+            try:
+                assert attached.buf[:4] == owner.buf[:4]
+                assert not any("shared_memory" in str(a) for a in registered)
+            finally:
+                attached.close()
+        finally:
+            monkeypatch.setattr(resource_tracker, "register", original)
+            owner.close()
+            owner.unlink()
+
+    def test_fallback_restores_register(self, monkeypatch):
+        """The <3.13 monkeypatch path restores the tracker hook even
+        when the attach itself raises."""
+        from multiprocessing import resource_tracker, shared_memory
+
+        import repro.engine.farm as farm_mod
+
+        real = shared_memory.SharedMemory
+
+        def no_track_kwarg(*args, **kwargs):
+            if "track" in kwargs:
+                raise TypeError("track is 3.13+")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(farm_mod.shared_memory, "SharedMemory",
+                            no_track_kwarg)
+        before = resource_tracker.register
+        with pytest.raises(FileNotFoundError):
+            farm_mod._attach("repro-no-such-arena-xyzzy")
+        assert resource_tracker.register is before

@@ -33,7 +33,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cache.model import CacheModel
-from repro.config import Config, configured, get_config
+from repro.config import Config, configured
 from repro.core.workspace import StrassenWorkspace
 from repro.engine import (
     DagExecutor,

@@ -1,11 +1,10 @@
 """Tests for task-tree construction (Section 4.1)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import SchedulerError
-from repro.scheduler.task import ComputationType, Task, TreeNode
+from repro.scheduler.task import ComputationType, Task
 from repro.scheduler.tree import build_task_tree
 from repro.core.partition import Block
 

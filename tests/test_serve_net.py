@@ -26,11 +26,10 @@ import numpy as np
 import pytest
 
 from repro.config import configured
-from repro.engine import ExecutionEngine
+from repro.engine import HAVE_SCIPY, ExecutionEngine
 from repro.errors import (
     DeadlineError,
     ProtocolError,
-    QueueFullError,
     ServerClosedError,
     ShapeError,
 )
@@ -576,3 +575,113 @@ class TestDecayingEstimators:
             WindowHistogram((1.0, 0.5))
         with pytest.raises(ValueError):
             WindowHistogram((1.0,), window=0.0)
+
+
+# ---------------------------------------------------------------------------
+# sparse CSR payloads (ISSUE 10)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.skipif(not HAVE_SCIPY, reason="CSR payloads need scipy")
+class TestSparsePayloads:
+    """CSR wire encoding: bit-identical round trips, validated decode,
+    and end-to-end sparse ``Client.submit`` without densifying on the
+    wire.  Skipped wholesale without scipy — the wire then simply never
+    produces a ``sparse: "csr"`` header."""
+
+    @property
+    def sps(self):
+        import scipy.sparse
+        return scipy.sparse
+
+    def _random_csr(self, rng, m=40, n=25, dens=0.1, dtype=np.float64):
+        nnz = int(dens * m * n)
+        a = self.sps.coo_matrix(
+            (rng.standard_normal(nnz).astype(dtype),
+             (rng.integers(0, m, nnz), rng.integers(0, n, nnz))),
+            shape=(m, n))
+        return a.tocsr()
+
+    def test_csr_roundtrip_is_bit_identical(self, rng):
+        from repro.serve.protocol import (
+            csr_payload_nbytes, pack_csr, unpack_csr)
+        for dtype in (np.float32, np.float64):
+            a = self._random_csr(rng, dtype=dtype)
+            a.sum_duplicates()
+            a.sort_indices()
+            meta, raw = pack_csr(a)
+            assert len(raw) == csr_payload_nbytes(meta)
+            back = unpack_csr({**meta}, bytes(raw))
+            # component-wise byte identity, not just allclose
+            assert back.shape == a.shape and back.dtype == a.dtype
+            assert np.array_equal(back.indptr, a.indptr)
+            assert np.array_equal(back.indices, a.indices)
+            assert back.data.tobytes() == a.data.tobytes()
+
+    def test_pack_canonicalises_without_mutating_input(self, rng):
+        from repro.serve.protocol import pack_csr, unpack_csr
+        coo = self.sps.coo_matrix(
+            (np.array([1.0, 2.0, 4.0]),
+             (np.array([0, 0, 1]), np.array([1, 1, 0]))), shape=(3, 3))
+        csr = coo.tocsr()  # may hold unsorted/duplicate entries via coo
+        meta, raw = pack_csr(coo)
+        back = unpack_csr(meta, bytes(raw))
+        assert back[0, 1] == 3.0 and back[1, 0] == 4.0  # dups summed
+        assert np.all(np.diff(back.indptr) >= 0)
+        assert coo.nnz == 3  # input untouched
+        del csr
+
+    def test_corrupt_csr_payload_rejected(self, rng):
+        from repro.serve.protocol import pack_csr, unpack_csr
+        from repro.errors import ProtocolError
+        a = self._random_csr(rng)
+        meta, raw = pack_csr(a)
+        with pytest.raises(ProtocolError):
+            unpack_csr(dict(meta), bytes(raw)[:-4])  # short payload
+        bad_col = bytearray(raw)
+        itemsize = np.dtype(meta["index_dtype"]).itemsize
+        # poison the first column index (just past the indptr section)
+        # to point past n
+        start = (a.shape[0] + 1) * itemsize
+        bad_col[start:start + itemsize] = np.array(
+            [a.shape[1] + 7], dtype=meta["index_dtype"]).tobytes()
+        with pytest.raises(ProtocolError):
+            unpack_csr(dict(meta), bytes(bad_col))
+
+    def test_sparse_ata_over_tcp(self, rng):
+        a = self._random_csr(rng, m=80, n=30, dens=0.08)
+        want = np.tril(a.toarray().T @ a.toarray())
+
+        async def scenario():
+            async with NetServer(max_inflight=8) as net:
+                async with Client(port=net.port) as client:
+                    got = await client.submit(a)
+            return got
+
+        got = run(scenario())
+        assert got.dtype == np.float64
+        assert np.allclose(got, want, rtol=1e-10)
+
+    def test_sparse_atb_over_tcp(self, rng):
+        a = self._random_csr(rng, m=60, n=20, dens=0.12)
+        b = rng.standard_normal((60, 6))
+        want = a.toarray().T @ b
+
+        async def scenario():
+            async with NetServer(max_inflight=8) as net:
+                async with Client(port=net.port) as client:
+                    got = await client.submit(a, op="atb", b=b)
+            return got
+
+        got = run(scenario())
+        assert np.allclose(got, want, rtol=1e-10)
+
+    def test_sparse_rejects_dense_only_algo_over_wire(self, rng):
+        a = self._random_csr(rng)
+
+        async def scenario():
+            async with NetServer(max_inflight=8) as net:
+                async with Client(port=net.port) as client:
+                    with pytest.raises(ShapeError):
+                        await client.submit(a, algo="syrk")
+
+        run(scenario())
